@@ -1,0 +1,288 @@
+// Benchmarks regenerating every table and figure of the paper. Each
+// benchmark runs the corresponding experiment end to end at the quick scale
+// and reports the headline quantity the paper's artifact shows, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+//
+// For paper-scale dimensions (IR 40, 1 GB heap, 8,500 methods) run
+// `go run ./cmd/jasrun -scale standard`.
+package jasworkload
+
+import (
+	"testing"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/server"
+)
+
+func quickCfg() Config { return DefaultConfig(ScaleQuick) }
+
+// requestLevel runs the shared request-level experiment once per iteration.
+func requestLevel(b *testing.B) *core.RequestLevelRun {
+	b.Helper()
+	run, err := RunRequestLevel(quickCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// detail runs the shared instruction-detail experiment once per iteration.
+func detail(b *testing.B) *core.DetailRun {
+	b.Helper()
+	d, err := RunDetail(quickCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkFig2Throughput regenerates Figure 2: per-class transaction
+// throughput over the run, stabilizing after ramp-up.
+func BenchmarkFig2Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := requestLevel(b)
+		f2 := run.Fig2()
+		var total float64
+		for rt := 0; rt < server.NumRequestTypes; rt++ {
+			total += f2.SteadyMean[rt]
+		}
+		b.ReportMetric(total, "req/s")
+		b.ReportMetric(f2.JOPS/float64(run.Cfg.IR), "JOPS/IR")
+	}
+}
+
+// BenchmarkFig3GC regenerates Figure 3: GC pause, interval, and share of
+// runtime.
+func BenchmarkFig3GC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := requestLevel(b)
+		f3 := run.Fig3()
+		b.ReportMetric(f3.Summary.MeanPauseMS, "gc-ms")
+		b.ReportMetric(f3.Summary.MeanIntervalSec, "gc-interval-s")
+		b.ReportMetric(f3.Summary.PercentOfRuntime, "gc-%runtime")
+	}
+}
+
+// BenchmarkFig4Profile regenerates Figure 4: the component breakdown and
+// the flat method profile.
+func BenchmarkFig4Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := requestLevel(b)
+		f4 := run.Fig4()
+		b.ReportMetric(f4.WASOverWebPlusDB, "WAS/(web+db2)")
+		b.ReportMetric(float64(f4.Report.MethodsFor50Pct), "methods-for-50%")
+	}
+}
+
+// BenchmarkFig5CPI regenerates Figure 5: CPI, speculation rate, L1 miss.
+func BenchmarkFig5CPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f5, err := d.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f5.MeanCPI, "CPI")
+		b.ReportMetric(f5.MeanSpec, "disp/comp")
+		b.ReportMetric(f5.IdleCPI, "idle-CPI")
+	}
+}
+
+// BenchmarkFig6Branch regenerates Figure 6: branch prediction.
+func BenchmarkFig6Branch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f6, err := d.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*f6.MeanCondMiss, "cond-miss-%")
+		b.ReportMetric(100*f6.MeanTargetMiss, "target-miss-%")
+	}
+}
+
+// BenchmarkFig7TLB regenerates Figure 7: ERAT/TLB miss frequencies and the
+// large-page ablation.
+func BenchmarkFig7TLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f7, err := d.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f7.InstrBetweenDERAT, "instr/DERAT-miss")
+		b.ReportMetric(100*f7.TLBSatisfiesDERAT, "TLB-covers-%")
+	}
+}
+
+// BenchmarkFig7LargePages regenerates the Section 4.2.2 large-page
+// ablation behind Figure 7.
+func BenchmarkFig7LargePages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		abl, err := RunLargePageAblation(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(abl.DTLBHitGainPct, "DTLB-hit-gain-%")
+		b.ReportMetric(abl.ITLBHitGainPct, "ITLB-hit-gain-%")
+	}
+}
+
+// BenchmarkFig8L1D regenerates Figure 8: L1 D-cache load/store miss rates.
+func BenchmarkFig8L1D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f8, err := d.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f8.MeanLoadMiss, "miss/load")
+		b.ReportMetric(f8.MeanStoreMiss, "miss/store")
+	}
+}
+
+// BenchmarkFig9Sourcing regenerates Figure 9: where L1 misses are
+// satisfied from.
+func BenchmarkFig9Sourcing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f9, err := d.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var l2 float64
+		for src, v := range f9.Share {
+			if src.String() == "L2" {
+				l2 = v
+			}
+		}
+		b.ReportMetric(100*l2, "L2-share-%")
+		b.ReportMetric(100*f9.ModifiedShare, "L2.75-mod-%")
+	}
+}
+
+// BenchmarkTableLocking regenerates the Section 4.2.4 locking/SYNC table.
+func BenchmarkTableLocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		lk, err := d.Locking()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lk.InstrPerLarx, "instr/LARX")
+		b.ReportMetric(100*lk.SyncSRQShareKernel, "kernel-SYNC-%")
+	}
+}
+
+// BenchmarkFig10Correlation regenerates Figure 10: the CPI correlation
+// analysis.
+func BenchmarkFig10Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := detail(b)
+		f10, err := d.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r, ok := f10.Corr("Cond. Branch Mispred."); ok {
+			b.ReportMetric(r, "r(CPI,cond-miss)")
+		}
+		b.ReportMetric(f10.TargetMissVsICacheMiss, "r(tgt,L1I)")
+	}
+}
+
+// BenchmarkTableScalars regenerates the Section 2/4.1 whole-system
+// scalars, including the disk-starved comparison.
+func BenchmarkTableScalars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := RunScalars(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sc.JOPSPerIR, "JOPS/IR")
+		b.ReportMetric(100*sc.UtilRAMDisk, "util-%")
+		b.ReportMetric(100*sc.DiskIOWaitShare, "disk-iowait-%")
+	}
+}
+
+// BenchmarkAblationL2Size runs the Section 4.2.3 what-if: CPI versus L2
+// capacity ("Increasing the size of the L2 cache can improve performance").
+func BenchmarkAblationL2Size(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		pts, err := core.L2SizeStudy(cfg, []int{768, 3072})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].CPI, "CPI@768KB")
+		b.ReportMetric(pts[1].CPI, "CPI@3MB")
+	}
+}
+
+// BenchmarkAblationL3Latency runs the Section 4.2.3 what-if: CPI versus L3
+// latency ("a lower latency to L3 could also deliver sizeable performance
+// benefits").
+func BenchmarkAblationL3Latency(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		pts, err := core.L3LatencyStudy(cfg, []float64{110, 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].CPI, "CPI@110cyc")
+		b.ReportMetric(pts[1].CPI, "CPI@40cyc")
+	}
+}
+
+// BenchmarkAblationCodePages runs the Section 4.2.2 follow-on: JIT code in
+// 16 MB pages.
+func BenchmarkAblationCodePages(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		pts, err := core.CodeLargePagesStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1e6*pts[0].Extra, "ITLB-ppm@4K")
+		b.ReportMetric(1e6*pts[1].Extra, "ITLB-ppm@16M")
+	}
+}
+
+// BenchmarkAblationCoreScaling runs the Section 7 future-work study:
+// throughput and CPI versus core count at proportional load.
+func BenchmarkAblationCoreScaling(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		pts, err := core.CoreScalingStudy(cfg, []int{1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Extra, "JOPS@2cores")
+		b.ReportMetric(pts[1].Extra, "JOPS@4cores")
+	}
+}
+
+// BenchmarkCrossChecks regenerates the paper's robustness checks: Trade6's
+// similarly small GC overhead (Section 6) and the Sovereign JVM's higher
+// CPU utilization at the same injection rate (footnote 2).
+func BenchmarkCrossChecks(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		cc, err := RunCrossChecks(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cc.Trade6GCShare, "trade6-gc-%")
+		b.ReportMetric(100*cc.SovereignUtil, "sovereign-util-%")
+		b.ReportMetric(100*cc.J9Util, "j9-util-%")
+	}
+}

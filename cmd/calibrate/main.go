@@ -1,0 +1,94 @@
+// Command calibrate is the model-validation harness used while tuning the
+// simulator against the paper's numbers. It runs a detail-mode execution
+// and prints:
+//
+//   - headline rates (CPI, speculation, per-load/per-store L1D miss,
+//     branch misprediction, data-source shares, translation rates), and
+//   - a per-event CPI-contribution table (event rate x worst-case penalty),
+//     which shows where the model's cycles go.
+//
+// Usage:
+//
+//	calibrate [-scale quick|standard] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/power4"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "run scale: quick or standard")
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	flag.Parse()
+
+	sc := core.ScaleQuick
+	if *scale == "standard" {
+		sc = core.ScaleStandard
+	}
+	cfg := core.DefaultRunConfig(sc)
+	cfg.Seed = *seed
+
+	d, err := core.RunDetail(cfg, "cpi", "branch", "translation", "dsource", "prefetch", "ifetch", "sync", "kernel")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	c := d.SUT.AggregateCounters()
+	inst := float64(c.Get(power4.EvInstCompleted))
+	fmt.Printf("instructions=%.3e  CPI=%.2f  dispatched/completed=%.2f\n", inst, c.CPI(), c.SpeculationRate())
+	fmt.Printf("miss/load=%.3f  miss/store=%.3f  cond-miss=%.3f  target-miss=%.3f\n",
+		c.Ratio(power4.EvL1DLoadMiss, power4.EvLoads),
+		c.Ratio(power4.EvL1DStoreMiss, power4.EvStores),
+		c.Ratio(power4.EvBrCondMispred, power4.EvBrCond),
+		c.Ratio(power4.EvBrTargetMispred, power4.EvBrIndirect))
+	lm := float64(c.Get(power4.EvL1DLoadMiss))
+	fmt.Printf("sources: L2=%.2f L2.75shr=%.3f L2.75mod=%.3f L3=%.2f L3.5=%.3f mem=%.3f\n",
+		float64(c.Get(power4.EvDataFromL2))/lm,
+		float64(c.Get(power4.EvDataFromL275Shr))/lm,
+		float64(c.Get(power4.EvDataFromL275Mod))/lm,
+		float64(c.Get(power4.EvDataFromL3))/lm,
+		float64(c.Get(power4.EvDataFromL35))/lm,
+		float64(c.Get(power4.EvDataFromMem))/lm)
+	fmt.Printf("DERAT=1/%.0f  DTLB/DERAT=%.2f  IERAT=1/%.0f  ITLB=1/%.0f  L1I=1/%.0f\n\n",
+		inst/float64(c.Get(power4.EvDERATMiss)),
+		c.Ratio(power4.EvDTLBMiss, power4.EvDERATMiss),
+		inst/float64(c.Get(power4.EvIERATMiss)),
+		inst/float64(c.Get(power4.EvITLBMiss)),
+		inst/float64(c.Get(power4.EvL1IMiss)))
+
+	p := power4.DefaultPenalties()
+	rows := []struct {
+		name string
+		ev   power4.Event
+		pen  float64
+	}{
+		{"cond mispredict", power4.EvBrCondMispred, p.CondMispred},
+		{"target mispredict", power4.EvBrTargetMispred, p.TargetMispred},
+		{"DERAT miss", power4.EvDERATMiss, p.DERATMiss},
+		{"IERAT miss", power4.EvIERATMiss, p.DERATMiss},
+		{"DTLB walk", power4.EvDTLBMiss, p.TLBWalk},
+		{"ITLB walk", power4.EvITLBMiss, p.TLBWalk},
+		{"store miss", power4.EvL1DStoreMiss, p.StoreMissCost},
+		{"data from L2", power4.EvDataFromL2, p.L2Latency},
+		{"data from L2.75", power4.EvDataFromL275Mod, p.RemoteL2},
+		{"data from L3", power4.EvDataFromL3, p.L3Latency},
+		{"data from L3.5", power4.EvDataFromL35, p.RemoteL3},
+		{"data from memory", power4.EvDataFromMem, p.MemLatency},
+		{"ifetch from L2", power4.EvIFetchL2, p.IMissL2},
+		{"ifetch from L3", power4.EvIFetchL3, p.IMissL3},
+		{"ifetch from memory", power4.EvIFetchMem, p.IMissMem},
+		{"SYNC drain", power4.EvSyncCount, p.SyncDrainUser},
+	}
+	fmt.Println("event                  rate           max CPI contribution (rate x penalty)")
+	for _, r := range rows {
+		n := float64(c.Get(r.ev))
+		fmt.Printf("%-20s  1/%-11.0f  %.3f\n", r.name, inst/n, n*r.pen/inst)
+	}
+	fmt.Println("\n(loads and I-fetches are partially hidden by the out-of-order window and")
+	fmt.Println("prefetching; the contribution column is the unhidden worst case.)")
+}

@@ -1,0 +1,44 @@
+// Command correlate runs the paper's Figure 10 analysis: Pearson
+// correlation of every hardware event against per-window CPI, plus the
+// cross-correlations the text quotes.
+//
+// Usage:
+//
+//	correlate [-scale quick|standard] [-ir N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jasworkload/internal/core"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "run scale: quick or standard")
+	ir := flag.Int("ir", 0, "override the injection rate (0 = scale default)")
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	flag.Parse()
+
+	sc := core.ScaleQuick
+	if *scale == "standard" {
+		sc = core.ScaleStandard
+	}
+	cfg := core.DefaultRunConfig(sc)
+	cfg.Seed = *seed
+	if *ir > 0 {
+		cfg.IR = *ir
+	}
+	d, err := core.RunDetail(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "correlate:", err)
+		os.Exit(1)
+	}
+	f10, err := d.Fig10()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "correlate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(f10.String())
+}

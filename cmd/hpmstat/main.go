@@ -1,0 +1,51 @@
+// Command hpmstat mirrors the AIX hpmstat utility the paper used: it runs
+// the workload with one hardware-counter group active and prints the
+// sampled counts window by window.
+//
+// Usage:
+//
+//	hpmstat [-group cpi|branch|translation|dsource|prefetch|ifetch|sync|kernel]
+//	        [-ir N] [-seconds N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/tools"
+)
+
+func main() {
+	group := flag.String("group", "cpi", "counter group to collect (one active group, as on POWER4)")
+	ir := flag.Int("ir", 30, "injection rate")
+	seconds := flag.Int("seconds", 60, "run length in simulated seconds")
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	rows := flag.Int("rows", 30, "sample rows to print (most recent)")
+	flag.Parse()
+
+	names := make([]string, 0)
+	for _, g := range hpm.StandardGroups() {
+		names = append(names, g.Name)
+	}
+	if _, ok := hpm.GroupByName(hpm.StandardGroups(), *group); !ok {
+		fmt.Fprintf(os.Stderr, "hpmstat: unknown group %q (have: %s)\n", *group, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultRunConfig(core.ScaleQuick)
+	cfg.IR = *ir
+	cfg.Seed = *seed
+	cfg.DurationMS = float64(*seconds) * 1000
+	cfg.RampMS = cfg.DurationMS / 5
+
+	d, err := core.RunDetail(cfg, *group)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpmstat:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tools.HPMStat(d.Monitors[*group], *rows))
+}

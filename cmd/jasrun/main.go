@@ -1,0 +1,126 @@
+// Command jasrun runs the full characterization — the simulated
+// SPECjAppServer2004 SUT under HPM sampling — and prints every figure and
+// table of the paper plus the paper-vs-measured report.
+//
+// Usage:
+//
+//	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-figures] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jasworkload/internal/core"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "run scale: quick, standard, or full")
+	ir := flag.Int("ir", 0, "override the injection rate (0 = scale default)")
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
+	markdown := flag.Bool("markdown", false, "emit the report as a markdown table (EXPERIMENTS.md format)")
+	flag.Parse()
+
+	var sc core.Scale
+	switch *scale {
+	case "quick":
+		sc = core.ScaleQuick
+	case "standard":
+		sc = core.ScaleStandard
+	case "full":
+		sc = core.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "jasrun: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := core.DefaultRunConfig(sc)
+	cfg.Seed = *seed
+	if *ir > 0 {
+		cfg.IR = *ir
+	}
+
+	if *figures {
+		if err := printFigures(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+	}
+	rep, err := core.BuildReport(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jasrun:", err)
+		os.Exit(1)
+	}
+	if *markdown {
+		fmt.Print(rep.Markdown())
+		return
+	}
+	fmt.Print(rep.String())
+}
+
+func printFigures(cfg core.RunConfig) error {
+	rl, err := core.RunRequestLevel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rl.Fig2())
+	fmt.Println(rl.Fig3())
+	fmt.Println(rl.Fig4())
+
+	d, err := core.RunDetail(cfg)
+	if err != nil {
+		return err
+	}
+	f5, err := d.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f5)
+	f6, err := d.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f6)
+	f7, err := d.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f7)
+	abl, err := core.RunLargePageAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(abl)
+	f8, err := d.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f8)
+	f9, err := d.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f9)
+	lk, err := d.Locking()
+	if err != nil {
+		return err
+	}
+	fmt.Println(lk)
+	f10, err := d.Fig10()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f10)
+	sc, err := core.RunScalars(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sc)
+	cc, err := core.RunCrossChecks(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cc)
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command tprof mirrors the AIX tprof profiler the paper used for Figure 4:
+// it runs the workload at request-level fidelity and prints the
+// component-level CPU breakdown and the flat method profile, plus a
+// vmstat-style utilization trace.
+//
+// Usage:
+//
+//	tprof [-ir N] [-seconds N] [-seed N] [-top N] [-vmstat]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/tools"
+)
+
+func main() {
+	ir := flag.Int("ir", 30, "injection rate")
+	seconds := flag.Int("seconds", 90, "run length in simulated seconds")
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	top := flag.Int("top", 10, "hottest methods to list")
+	vmstat := flag.Bool("vmstat", false, "also print the per-window vmstat view")
+	flag.Parse()
+
+	cfg := core.DefaultRunConfig(core.ScaleQuick)
+	cfg.IR = *ir
+	cfg.Seed = *seed
+	cfg.DurationMS = float64(*seconds) * 1000
+	cfg.RampMS = cfg.DurationMS / 5
+
+	run, err := core.RunRequestLevel(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tprof:", err)
+		os.Exit(1)
+	}
+	rep := tools.TProf(run.Engine.SegmentTotals(), run.SUT.JIT.Methods(), *top)
+	fmt.Print(rep.String())
+	if *vmstat {
+		ws := run.Engine.Windows()
+		if len(ws) > 30 {
+			ws = ws[len(ws)-30:]
+		}
+		fmt.Print(tools.VMStat(ws))
+	}
+}

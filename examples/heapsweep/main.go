@@ -1,0 +1,37 @@
+// Heapsweep: the GC-tuning scenario behind Section 4.1.1. The paper argues
+// that with an appropriately sized heap the collector costs under 2% of
+// runtime, contradicting studies that measured small heaps. This example
+// sweeps the heap size at a fixed load and shows GC share, pause times and
+// compaction activity growing as the heap shrinks — and the response-time
+// audit failing once collections dominate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jasworkload"
+)
+
+func main() {
+	fmt.Println("heap sweep at fixed load (IR 30), live set held at ~100 MB:")
+	fmt.Println("  heap(MB)  gc-every(s)  pause(ms)  gc%runtime  compactions  audit")
+	for _, mb := range []uint64{768, 512, 384, 256, 192, 144, 128} {
+		cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
+		cfg.HeapBytes = mb << 20
+		cfg.BaselineCacheBytes = 96 << 20
+		run, err := jasworkload.RunRequestLevel(cfg)
+		if err != nil {
+			log.Fatalf("heap %d MB: %v", mb, err)
+		}
+		f3 := run.Fig3()
+		_, pass := run.Audit()
+		fmt.Printf("  %8d  %11.1f  %9.0f  %9.2f%%  %11d  %v\n",
+			mb, f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS,
+			f3.Summary.PercentOfRuntime, f3.Summary.Compactions, pass)
+	}
+	fmt.Println("\nA generously sized heap keeps GC below 2% of runtime (the paper's")
+	fmt.Println("observation, and why earlier small-heap studies measured GC as")
+	fmt.Println("expensive); undersized heaps collect almost continuously until the")
+	fmt.Println("run fails its response-time audit.")
+}

@@ -1,0 +1,31 @@
+// Largepages: the Section 4.2.2 experiment. The paper's tuned system backs
+// the 1 GB Java heap with 16 MB AIX large pages and measures DTLB hit rates
+// rising 25% and ITLB 15% (through reduced pressure on the unified TLB).
+// This example runs both configurations and prints the comparison, along
+// with the paper's follow-on suggestion: executable/JIT code is still in
+// 4 KB pages and would benefit too.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jasworkload"
+)
+
+func main() {
+	cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
+	abl, err := jasworkload.RunLargePageAblation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(abl.String())
+
+	fmt.Println()
+	fmt.Printf("Java heap with 16MB pages covers the whole heap with a handful of\n")
+	fmt.Printf("translation entries; with 4KB pages the same heap needs thousands,\n")
+	fmt.Printf("overflowing the ERATs and pressuring the unified TLB.\n")
+	fmt.Printf("\nThe paper's unexploited follow-on: JIT-compiled code still sits in\n")
+	fmt.Printf("4KB pages (%.2e ITLB misses/instr here); placing the code cache in\n", abl.LargeITLBPerInst)
+	fmt.Printf("large pages is called out as a further opportunity (Section 4.2.2).\n")
+}

@@ -1,0 +1,42 @@
+// Quickstart: run the simulated SPECjAppServer2004 system at a modest
+// injection rate and print the headline numbers the paper leads with —
+// throughput (JOPS), CPU utilization, CPI, and the GC overhead that the
+// paper shows is far smaller than folklore says.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jasworkload"
+)
+
+func main() {
+	cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
+
+	// Request-level run: throughput, audit, GC.
+	run, err := jasworkload.RunRequestLevel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2 := run.Fig2()
+	f3 := run.Fig3()
+	fmt.Printf("injection rate %d -> JOPS %.1f (%.2f per IR), audit pass: %v\n",
+		cfg.IR, f2.JOPS, f2.JOPS/float64(cfg.IR), f2.AuditPass)
+	fmt.Printf("CPU utilization: %.0f%%\n", 100*run.Engine.MeanUtilization())
+	fmt.Printf("GC: every %.0f s, %.0f ms pauses, %.2f%% of runtime (paper: <2%%)\n",
+		f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS, f3.Summary.PercentOfRuntime)
+
+	// Instruction-detail run: the hardware's view.
+	d, err := jasworkload.RunDetail(cfg, "cpi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f5, err := d.Fig5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPI: %.2f loaded vs %.2f idle; %.2f instructions dispatched per retired\n",
+		f5.MeanCPI, f5.IdleCPI, f5.MeanSpec)
+	fmt.Printf("L1D miss rate: %.1f%% of accesses\n", 100*f5.MeanL1Miss)
+}

@@ -1,0 +1,50 @@
+// Whatif: the optimizations the paper proposes but could not measure on
+// fixed silicon, run as simulations over the same workload:
+//
+//   - a larger L2 and a lower-latency L3 (Section 4.2.3),
+//   - JIT-compiled code in 16 MB pages (Section 4.2.2's "further room"),
+//   - scaling the number of processor cores (Section 7, future work).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jasworkload/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultRunConfig(core.ScaleQuick)
+
+	l2, err := core.L2SizeStudy(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatWhatIf(
+		"L2 capacity sweep (paper: 'Increasing the size of the L2 cache can improve performance')",
+		"L2-share", l2))
+
+	l3, err := core.L3LatencyStudy(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatWhatIf(
+		"\nL3 latency sweep (paper: 'a lower latency to L3 could also deliver sizeable performance benefits')",
+		"latency", l3))
+
+	code, err := core.CodeLargePagesStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatWhatIf(
+		"\nJIT code page size (paper: 'utilizing large pages for JIT compiled code ... will lead to additional performance improvements')",
+		"ITLB/inst", code))
+
+	scaling, err := core.CoreScalingStudy(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatWhatIf(
+		"\nCore-count scaling at proportional load (paper future work, Section 7)",
+		"JOPS", scaling))
+}

@@ -1,0 +1,3 @@
+module jasworkload
+
+go 1.22

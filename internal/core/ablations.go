@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/mem"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/sim"
+)
+
+// The paper closes with optimization opportunities it could not measure on
+// fixed silicon: a larger L2, a lower-latency L3 (Section 4.2.3), JIT code
+// in large pages (Section 4.2.2), and — as future work (Section 7) — the
+// effect of scaling the number of processor cores. This file implements
+// those studies as what-if simulations over the same workload.
+
+// WhatIfPoint is one configuration of a what-if sweep.
+type WhatIfPoint struct {
+	Label string
+	CPI   float64
+	Extra float64 // study-specific secondary metric
+}
+
+// whatIfCPI builds a SUT with the mutator applied and measures steady CPI
+// (plus the L2 share of L1 misses as the secondary metric).
+func whatIfCPI(cfg RunConfig, mutate func(*sim.SUTConfig)) (float64, float64, error) {
+	scfg := sim.DefaultSUTConfig(cfg.IR)
+	scfg.Seed = cfg.Seed
+	scfg.HeapBytes = cfg.HeapBytes
+	scfg.HeapPageSize = cfg.HeapPageSize
+	if cfg.Scale == ScaleQuick {
+		scfg.Profile.NumMethods = 850
+		scfg.Profile.WarmSet = 60
+	}
+	if mutate != nil {
+		mutate(&scfg)
+	}
+	sut, err := sim.BuildSUT(scfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng, err := cfg.newEngine(sut, cfg.detail())
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	var cpi float64
+	n := 0
+	for _, w := range eng.Windows()[steadyStart(cfg):] {
+		if w.CPI > 0 {
+			cpi += w.CPI
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("core: no CPI windows measured")
+	}
+	ctr := sut.AggregateCounters()
+	l2share := ctr.Ratio(power4.EvDataFromL2, power4.EvL1DLoadMiss)
+	return cpi / float64(n), l2share, nil
+}
+
+// L2SizeStudy sweeps the per-chip L2 capacity; the paper: "Increasing the
+// size of the L2 cache can improve performance". Extra is the L2 share of
+// L1 misses.
+func L2SizeStudy(cfg RunConfig, sizesKB []int) ([]WhatIfPoint, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = []int{768, 1536, 3072, 6144}
+	}
+	var out []WhatIfPoint
+	for _, kb := range sizesKB {
+		kb := kb
+		cpi, l2, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
+			sc.Topology.L2.SizeBytes = uint64(kb) << 10
+		})
+		if err != nil {
+			return nil, fmt.Errorf("L2 %d KB: %w", kb, err)
+		}
+		out = append(out, WhatIfPoint{Label: fmt.Sprintf("L2=%dKB", kb), CPI: cpi, Extra: l2})
+	}
+	return out, nil
+}
+
+// L3LatencyStudy sweeps the L3 access latency; the paper: "a lower latency
+// to L3 could also deliver sizeable performance benefits". Extra repeats
+// the latency for rendering.
+func L3LatencyStudy(cfg RunConfig, latencies []float64) ([]WhatIfPoint, error) {
+	if len(latencies) == 0 {
+		latencies = []float64{110, 70, 40, 25}
+	}
+	var out []WhatIfPoint
+	for _, lat := range latencies {
+		lat := lat
+		cpi, _, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
+			sc.Core.Penalties.L3Latency = lat
+		})
+		if err != nil {
+			return nil, fmt.Errorf("L3 latency %.0f: %w", lat, err)
+		}
+		out = append(out, WhatIfPoint{Label: fmt.Sprintf("L3=%.0fcyc", lat), CPI: cpi, Extra: lat})
+	}
+	return out, nil
+}
+
+// CodeLargePagesStudy compares 4 KB versus 16 MB pages for the JIT code
+// cache — the further opportunity Section 4.2.2 calls out ("utilizing
+// large pages for JIT compiled code and other components of the execution
+// stack will lead to additional performance improvements"). Extra is ITLB
+// misses per instruction.
+func CodeLargePagesStudy(cfg RunConfig) ([]WhatIfPoint, error) {
+	var out []WhatIfPoint
+	for _, ps := range []mem.PageSize{mem.Page4K, mem.Page16M} {
+		ps := ps
+		scfg := cfg
+		d, err := func() (*DetailRun, error) {
+			scfgSim := sim.DefaultSUTConfig(scfg.IR)
+			scfgSim.Seed = scfg.Seed
+			scfgSim.HeapBytes = scfg.HeapBytes
+			scfgSim.HeapPageSize = scfg.HeapPageSize
+			scfgSim.CodePageSize = ps
+			if scfg.Scale == ScaleQuick {
+				scfgSim.Profile.NumMethods = 850
+				scfgSim.Profile.WarmSet = 60
+			}
+			sut, err := sim.BuildSUT(scfgSim)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := scfg.newEngine(sut, scfg.detail())
+			if err != nil {
+				return nil, err
+			}
+			m, err := newStdMonitor(eng, "translation")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := eng.Run(); err != nil {
+				return nil, err
+			}
+			return &DetailRun{Cfg: scfg, SUT: sut, Engine: eng, Monitors: m}, nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		itlb, err := d.steadyRatio("translation", power4.EvITLBMiss, power4.EvInstCompleted)
+		if err != nil {
+			return nil, err
+		}
+		var cpi float64
+		n := 0
+		for _, w := range d.Engine.Windows()[steadyStart(cfg):] {
+			if w.CPI > 0 {
+				cpi += w.CPI
+				n++
+			}
+		}
+		out = append(out, WhatIfPoint{
+			Label: fmt.Sprintf("code pages=%s", ps),
+			CPI:   cpi / float64(n),
+			Extra: itlb,
+		})
+	}
+	return out, nil
+}
+
+// CoreScalingStudy is the Section 7 future-work experiment: scale the
+// number of live chips (2 cores each) and measure sustainable throughput
+// and CPI at a load proportional to the core count. Extra is the JOPS
+// achieved.
+func CoreScalingStudy(cfg RunConfig, chipCounts []int) ([]WhatIfPoint, error) {
+	if len(chipCounts) == 0 {
+		chipCounts = []int{1, 2, 4}
+	}
+	base := cfg.IR
+	var out []WhatIfPoint
+	for _, chips := range chipCounts {
+		chips := chips
+		scfg := sim.DefaultSUTConfig(base * chips / 2)
+		scfg.Seed = cfg.Seed
+		scfg.HeapBytes = cfg.HeapBytes
+		scfg.HeapPageSize = cfg.HeapPageSize
+		scfg.Topology.Chips = chips
+		scfg.Topology.ChipsPerMCM = 1
+		if cfg.Scale == ScaleQuick {
+			scfg.Profile.NumMethods = 850
+			scfg.Profile.WarmSet = 60
+		}
+		sut, err := sim.BuildSUT(scfg)
+		if err != nil {
+			return nil, err
+		}
+		runCfg := cfg
+		runCfg.IR = scfg.IR
+		eng, err := runCfg.newEngine(sut, cfg.detail())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		var cpi float64
+		n := 0
+		for _, w := range eng.Windows()[steadyStart(cfg):] {
+			if w.CPI > 0 {
+				cpi += w.CPI
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("core scaling: no windows at %d chips", chips)
+		}
+		out = append(out, WhatIfPoint{
+			Label: fmt.Sprintf("%d cores (IR %d)", chips*2, scfg.IR),
+			CPI:   cpi / float64(n),
+			Extra: eng.Tracker().JOPS(),
+		})
+	}
+	return out, nil
+}
+
+// newStdMonitor attaches the named standard groups to an engine.
+func newStdMonitor(eng *sim.Engine, groups ...string) (map[string]*hpm.Monitor, error) {
+	mons := map[string]*hpm.Monitor{}
+	for _, name := range groups {
+		g, ok := hpm.GroupByName(hpm.StandardGroups(), name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown HPM group %q", name)
+		}
+		m, err := hpm.NewMonitor(eng.Source(), g, 1000)
+		if err != nil {
+			return nil, err
+		}
+		eng.AttachMonitor(m)
+		mons[name] = m
+	}
+	return mons, nil
+}
+
+// FormatWhatIf renders a sweep as a small table.
+func FormatWhatIf(title, extraName string, pts []WhatIfPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %-18s CPI=%.2f  %s=%.4g\n", p.Label, p.CPI, extraName, p.Extra)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// ablCfg shortens what-if runs: each study point is a full engine run.
+func ablCfg() RunConfig {
+	cfg := DefaultRunConfig(ScaleQuick)
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	return cfg
+}
+
+func TestL2SizeStudyDirection(t *testing.T) {
+	pts, err := L2SizeStudy(ablCfg(), []int{768, 6144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Bigger L2 -> lower CPI and higher L2 share of misses.
+	if pts[1].CPI >= pts[0].CPI {
+		t.Fatalf("bigger L2 did not reduce CPI: %.2f -> %.2f", pts[0].CPI, pts[1].CPI)
+	}
+	if pts[1].Extra <= pts[0].Extra {
+		t.Fatalf("bigger L2 did not raise its miss share: %.2f -> %.2f", pts[0].Extra, pts[1].Extra)
+	}
+}
+
+func TestL3LatencyStudyDirection(t *testing.T) {
+	pts, err := L3LatencyStudy(ablCfg(), []float64{110, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].CPI >= pts[0].CPI {
+		t.Fatalf("faster L3 did not reduce CPI: %.2f -> %.2f", pts[0].CPI, pts[1].CPI)
+	}
+}
+
+func TestCodeLargePagesStudyDirection(t *testing.T) {
+	pts, err := CodeLargePagesStudy(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// 16 MB code pages cut ITLB misses (paper's proposed optimization).
+	if pts[1].Extra >= pts[0].Extra {
+		t.Fatalf("large code pages did not cut ITLB misses: %.2e -> %.2e", pts[0].Extra, pts[1].Extra)
+	}
+	if pts[1].CPI >= pts[0].CPI {
+		t.Fatalf("large code pages did not help CPI: %.2f -> %.2f", pts[0].CPI, pts[1].CPI)
+	}
+}
+
+func TestCoreScalingStudyDirection(t *testing.T) {
+	pts, err := CoreScalingStudy(ablCfg(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice the cores at twice the load: roughly twice the JOPS.
+	ratio := pts[1].Extra / pts[0].Extra
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("JOPS scaling ratio = %.2f, want ~2", ratio)
+	}
+	// Both configurations deliver plausible CPI.
+	for _, p := range pts {
+		if p.CPI < 2 || p.CPI > 5.5 {
+			t.Fatalf("%s: CPI %.2f out of range", p.Label, p.CPI)
+		}
+	}
+}
+
+func TestFormatWhatIf(t *testing.T) {
+	out := FormatWhatIf("title", "x", []WhatIfPoint{{Label: "a", CPI: 3, Extra: 7}})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "CPI=3.00") || !strings.Contains(out, "x=7") {
+		t.Fatalf("rendering wrong:\n%s", out)
+	}
+}
+
+func TestRunLargePageAblation(t *testing.T) {
+	abl, err := RunLargePageAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large heap pages must cut DTLB misses per instruction.
+	if abl.LargeDTLBPerInst >= abl.SmallDTLBPerInst {
+		t.Fatalf("large pages did not cut DTLB misses: %.2e vs %.2e",
+			abl.LargeDTLBPerInst, abl.SmallDTLBPerInst)
+	}
+	if abl.DTLBHitGainPct <= 0 {
+		t.Fatalf("DTLB hit gain = %.1f%%, want positive", abl.DTLBHitGainPct)
+	}
+	if !strings.Contains(abl.String(), "Large-page ablation") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestRunScalars(t *testing.T) {
+	sc, err := RunScalars(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.JOPSPerIR < 1.2 || sc.JOPSPerIR > 2.0 {
+		t.Fatalf("JOPS/IR = %.2f", sc.JOPSPerIR)
+	}
+	if !sc.RAMDiskPasses {
+		t.Fatal("RAM-disk configuration failed its audit")
+	}
+	if sc.KernelShare < 0.1 || sc.KernelShare > 0.3 {
+		t.Fatalf("kernel share = %.2f, want ~0.2", sc.KernelShare)
+	}
+	// The 2-disk configuration drowns in I/O wait, as in the paper.
+	if sc.DiskIOWaitShare <= 0.02 {
+		t.Fatalf("disk iowait = %.3f, want substantial", sc.DiskIOWaitShare)
+	}
+	if sc.DiskPasses {
+		t.Fatal("disk-starved run passed its response-time audit")
+	}
+	if !strings.Contains(sc.String(), "JOPS per IR") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestRunCrossChecks(t *testing.T) {
+	cc, err := RunCrossChecks(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 6: Trade6 shows a similarly small GC overhead.
+	if cc.Trade6GCShare <= 0 || cc.Trade6GCShare > 2.5 {
+		t.Fatalf("Trade6 GC share = %.2f%%", cc.Trade6GCShare)
+	}
+	if cc.Jas2004GCShare <= 0 || cc.Jas2004GCShare > 2.5 {
+		t.Fatalf("jas2004 GC share = %.2f%%", cc.Jas2004GCShare)
+	}
+	// Section 4.1.1: both JVMs keep GC cheap.
+	if cc.SovereignGCShare <= 0 || cc.SovereignGCShare > 2.5 {
+		t.Fatalf("Sovereign GC share = %.2f%%", cc.SovereignGCShare)
+	}
+	// Footnote 2: Sovereign burns more CPU at the same IR.
+	if cc.SovereignUtil <= cc.J9Util {
+		t.Fatalf("Sovereign util %.2f not above J9 %.2f", cc.SovereignUtil, cc.J9Util)
+	}
+	// Same delivered throughput (the driver sets the rate, not the JVM).
+	if cc.SovereignJOPS < cc.J9JOPS*0.9 || cc.SovereignJOPS > cc.J9JOPS*1.1 {
+		t.Fatalf("JOPS diverged: %.1f vs %.1f", cc.SovereignJOPS, cc.J9JOPS)
+	}
+	if !strings.Contains(cc.String(), "Trade6") {
+		t.Fatal("missing rendering")
+	}
+}

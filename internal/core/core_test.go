@@ -1,0 +1,349 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// testCfg is a reduced quick config so the core test suite stays fast:
+// one shared request-level run and one shared detail run are reused by all
+// figure tests.
+func testCfg() RunConfig {
+	return DefaultRunConfig(ScaleQuick)
+}
+
+var (
+	sharedRL     *RequestLevelRun
+	sharedDetail *DetailRun
+)
+
+func requestLevel(t *testing.T) *RequestLevelRun {
+	t.Helper()
+	if sharedRL == nil {
+		run, err := RunRequestLevel(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRL = run
+	}
+	return sharedRL
+}
+
+func detailRun(t *testing.T) *DetailRun {
+	t.Helper()
+	if sharedDetail == nil {
+		d, err := RunDetail(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDetail = d
+	}
+	return sharedDetail
+}
+
+func TestDefaultRunConfigScales(t *testing.T) {
+	q := DefaultRunConfig(ScaleQuick)
+	s := DefaultRunConfig(ScaleStandard)
+	f := DefaultRunConfig(ScaleFull)
+	if q.IR >= s.IR || q.HeapBytes >= s.HeapBytes {
+		t.Fatal("quick scale not smaller than standard")
+	}
+	qd, _ := q.durations()
+	sd, _ := s.durations()
+	fd, fr := f.durations()
+	if !(qd < sd && sd < fd) {
+		t.Fatal("durations not ordered by scale")
+	}
+	if fd != 60*60_000 || fr != 5*60_000 {
+		t.Fatal("full scale is not the paper's 60-minute/5-minute shape")
+	}
+	if q.detail() <= 0 || s.detail() <= 0 {
+		t.Fatal("zero detail fractions")
+	}
+}
+
+func TestRunDetailUnknownGroup(t *testing.T) {
+	if _, err := RunDetail(testCfg(), "nonsense"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestFig2SteadyThroughput(t *testing.T) {
+	f2 := requestLevel(t).Fig2()
+	var total float64
+	for rt := range f2.SteadyMean {
+		if f2.SteadyMean[rt] <= 0 {
+			t.Fatalf("class %d has no steady throughput", rt)
+		}
+		if f2.SteadyCV[rt] > 0.6 {
+			t.Fatalf("class %d CV %.2f not steady", rt, f2.SteadyCV[rt])
+		}
+		total += f2.SteadyMean[rt]
+	}
+	// ~1.6 requests per second per IR.
+	perIR := total / float64(testCfg().IR)
+	if perIR < 1.2 || perIR > 2.0 {
+		t.Fatalf("throughput per IR = %.2f", perIR)
+	}
+	if !f2.AuditPass {
+		t.Fatal("quick run failed its audit")
+	}
+	if !strings.Contains(f2.String(), "Figure 2") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig3GCBehaviour(t *testing.T) {
+	f3 := requestLevel(t).Fig3()
+	if f3.Summary.Collections == 0 {
+		t.Fatal("no collections")
+	}
+	if f3.Summary.Compactions != 0 {
+		t.Fatal("tuned system compacted")
+	}
+	if f3.Summary.PercentOfRuntime > 2.5 {
+		t.Fatalf("GC share %.2f%% too high for a tuned system", f3.Summary.PercentOfRuntime)
+	}
+	if f3.Summary.MarkShare < 0.6 {
+		t.Fatalf("mark share %.2f; the paper has mark dominating", f3.Summary.MarkShare)
+	}
+	if !strings.Contains(f3.String(), "Figure 3") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig4ProfileBreakdown(t *testing.T) {
+	f4 := requestLevel(t).Fig4()
+	if f4.WASOverWebPlusDB < 1.4 || f4.WASOverWebPlusDB > 2.8 {
+		t.Fatalf("WAS/(web+db2) = %.2f", f4.WASOverWebPlusDB)
+	}
+	if f4.Report.HottestOverallShare > 0.015 {
+		t.Fatalf("hottest method %.3f of CPU; profile not flat", f4.Report.HottestOverallShare)
+	}
+	if f4.Report.MethodsFor50Pct < 10 {
+		t.Fatalf("only %d methods for 50%%: too concentrated", f4.Report.MethodsFor50Pct)
+	}
+	if !strings.Contains(f4.String(), "jas2004") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig5CPI(t *testing.T) {
+	f5, err := detailRun(t).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.MeanCPI < 2 || f5.MeanCPI > 5 {
+		t.Fatalf("loaded CPI = %.2f", f5.MeanCPI)
+	}
+	if f5.IdleCPI < 0.4 || f5.IdleCPI > 1.0 {
+		t.Fatalf("idle CPI = %.2f", f5.IdleCPI)
+	}
+	if f5.IdleCPI >= f5.MeanCPI {
+		t.Fatal("idle CPI not below loaded CPI")
+	}
+	if f5.MeanSpec < 1.8 || f5.MeanSpec > 3.0 {
+		t.Fatalf("speculation rate = %.2f", f5.MeanSpec)
+	}
+	if f5.CPI.Len() == 0 || f5.CPI.Len() != f5.SpecRate.Len() {
+		t.Fatal("series lengths wrong")
+	}
+	if !strings.Contains(f5.String(), "Figure 5") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig6Branch(t *testing.T) {
+	f6, err := detailRun(t).Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.MeanCondMiss < 0.02 || f6.MeanCondMiss > 0.15 {
+		t.Fatalf("conditional misprediction = %.3f", f6.MeanCondMiss)
+	}
+	if f6.MeanTargetMiss <= 0 || f6.MeanTargetMiss > 0.25 {
+		t.Fatalf("target misprediction = %.3f", f6.MeanTargetMiss)
+	}
+	// GC claims.
+	if f6.BranchRateGC <= f6.BranchRateQuiet {
+		t.Fatal("GC windows should have more branches")
+	}
+	if f6.CondMissGC >= f6.CondMissQuiet {
+		t.Fatal("GC windows should mispredict less")
+	}
+	if !strings.Contains(f6.String(), "Figure 6") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig7Translation(t *testing.T) {
+	f7, err := detailRun(t).Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.InstrBetweenDERAT < 100 {
+		t.Fatalf("DERAT misses too frequent: one per %.0f instructions", f7.InstrBetweenDERAT)
+	}
+	if f7.TLBSatisfiesDERAT < 0.4 || f7.TLBSatisfiesDERAT > 0.95 {
+		t.Fatalf("TLB covers %.2f of DERAT misses", f7.TLBSatisfiesDERAT)
+	}
+	if f7.MeanDERAT <= f7.MeanDTLB || f7.MeanIERAT <= f7.MeanITLB {
+		t.Fatal("ERAT misses must dominate TLB misses")
+	}
+	if f7.DTLBQuietOverGC < 5 {
+		t.Fatalf("GC should see far fewer TLB misses; ratio %.1f", f7.DTLBQuietOverGC)
+	}
+	if sm, err := f7.Smoothed(f7.DERATPerInst, 20); err != nil || len(sm) != 20 {
+		t.Fatalf("bezier smoothing failed: %v", err)
+	}
+	if !strings.Contains(f7.String(), "Figure 7") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig8L1D(t *testing.T) {
+	f8, err := detailRun(t).Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.MeanStoreMiss <= f8.MeanLoadMiss {
+		t.Fatal("stores must miss more often than loads")
+	}
+	if f8.OverallMiss < 0.06 || f8.OverallMiss > 0.25 {
+		t.Fatalf("overall L1D miss = %.3f", f8.OverallMiss)
+	}
+	if f8.StoreMissGC >= f8.StoreMissQuiet {
+		t.Fatal("store misses should drop during GC")
+	}
+	if !strings.Contains(f8.String(), "Figure 8") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig9Sources(t *testing.T) {
+	f9, err := detailRun(t).Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range f9.Share {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("source shares sum to %.3f", sum)
+	}
+	if l2 := l2share(*&f9); l2 < 0.5 {
+		t.Fatalf("L2 share %.2f; should dominate", l2)
+	}
+	if f9.ModifiedShare > 0.08 {
+		t.Fatalf("modified cross-chip share %.3f; paper has very little", f9.ModifiedShare)
+	}
+	if !strings.Contains(f9.String(), "Figure 9") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestLockingTable(t *testing.T) {
+	lk, err := detailRun(t).Locking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk.InstrPerLarx < 300 || lk.InstrPerLarx > 1000 {
+		t.Fatalf("instructions per LARX = %.0f", lk.InstrPerLarx)
+	}
+	if lk.SyncSRQShareUser >= lk.SyncSRQShareKernel {
+		t.Fatal("kernel SYNC share must exceed user share")
+	}
+	if lk.SyncSRQShareUser > 0.02 {
+		t.Fatalf("user SYNC share = %.3f; paper <1%%", lk.SyncSRQShareUser)
+	}
+	if !strings.Contains(lk.String(), "SYNC") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestFig10Correlations(t *testing.T) {
+	f10, err := detailRun(t).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Correlations) != len(fig10Events) {
+		t.Fatalf("bars = %d, want %d", len(f10.Correlations), len(fig10Events))
+	}
+	for _, c := range f10.Correlations {
+		if c.R < -1 || c.R > 1 {
+			t.Fatalf("correlation out of range: %+v", c)
+		}
+	}
+	if r, ok := f10.Corr("DTLB Miss"); !ok || r < 0 {
+		t.Fatalf("DTLB correlation = %.2f, want positive", r)
+	}
+	if _, ok := f10.Corr("nope"); ok {
+		t.Fatal("bogus label resolved")
+	}
+	// The text's specific claims.
+	if f10.SpecVsL1 > 0.5 {
+		t.Fatalf("speculation vs L1 = %.2f; paper found it weak", f10.SpecVsL1)
+	}
+	if f10.TargetMissVsICacheMiss < 0.1 {
+		t.Fatalf("target-vs-icache = %.2f; paper found it strong", f10.TargetMissVsICacheMiss)
+	}
+	if f10.DeepIFetch < 0.1 {
+		t.Fatalf("deep I-fetch corr = %.2f, want positive", f10.DeepIFetch)
+	}
+	if !strings.Contains(f10.String(), "Figure 10") {
+		t.Fatal("missing rendering")
+	}
+}
+
+func TestIdleCPI(t *testing.T) {
+	cpi := IdleCPI(testCfg())
+	if cpi < 0.4 || cpi > 1.0 {
+		t.Fatalf("idle CPI = %.2f, want ~0.7", cpi)
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	rep := &Report{}
+	rep.add("E1", "Fig 2", "metric", "x", "y", true)
+	rep.add("E2", "Fig 3", "metric2", "a", "b", false)
+	md := rep.Markdown()
+	if !strings.Contains(md, "| E1 |") || !strings.Contains(md, "| NO |") {
+		t.Fatalf("markdown malformed:\n%s", md)
+	}
+	str := rep.String()
+	if !strings.Contains(str, "1/2 paper observations hold") {
+		t.Fatalf("summary malformed:\n%s", str)
+	}
+}
+
+func TestRequestLevelAudit(t *testing.T) {
+	audits, pass := requestLevel(t).Audit()
+	if !pass {
+		t.Fatal("quick run failed its audit")
+	}
+	if len(audits) == 0 {
+		t.Fatal("no class audits")
+	}
+	for _, a := range audits {
+		if a.Count == 0 || a.P90MS <= 0 {
+			t.Fatalf("empty audit row: %+v", a)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	if !within(1, 0, 2) || within(3, 0, 2) {
+		t.Fatal("within wrong")
+	}
+	f9, err := detailRun(t).Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3share(f9) <= 0 || l3share(f9) >= 1 {
+		t.Fatalf("l3share = %v", l3share(f9))
+	}
+	if safeDiv(1, 0) != 0 || safeDiv(6, 3) != 2 {
+		t.Fatal("safeDiv wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/server"
+	"jasworkload/internal/sim"
+)
+
+// CrossChecks reproduces the paper's two robustness checks:
+//
+//   - Section 6: "In a separate study, we observed a similar small GC
+//     runtime overhead with Trade6, another J2EE workload."
+//   - Sections 3.1/4.1.1 and footnote 2: "Whether we use J9 JVM or
+//     Sovereign JVM, little CPU time is spent on garbage collection";
+//     Sovereign shows a higher CPU utilization at the same injection rate.
+type CrossChecks struct {
+	Jas2004GCShare float64 // % of runtime in GC, J9 + jas2004
+	Trade6GCShare  float64 // % of runtime in GC, J9 + Trade6
+
+	J9Util           float64
+	SovereignUtil    float64
+	SovereignGCShare float64
+	J9JOPS           float64
+	SovereignJOPS    float64
+}
+
+// runVariant executes a request-level run with the given app and JVM.
+func runVariant(cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
+	scfg := sim.DefaultSUTConfig(cfg.IR)
+	scfg.Seed = cfg.Seed
+	scfg.HeapBytes = cfg.HeapBytes
+	scfg.HeapPageSize = cfg.HeapPageSize
+	scfg.App = app
+	scfg.JVM = v
+	if cfg.Scale == ScaleQuick {
+		scfg.Profile.NumMethods = 850
+		scfg.Profile.WarmSet = 60
+	}
+	sut, err := sim.BuildSUT(scfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng, err := cfg.newEngine(sut, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	dur, _ := cfg.durations()
+	sum := jvm.Summarize(sut.Heap.Events(), dur)
+	return sum.PercentOfRuntime, eng.MeanUtilization(), eng.Tracker().JOPS(), nil
+}
+
+// RunCrossChecks executes all three variant runs.
+func RunCrossChecks(cfg RunConfig) (CrossChecks, error) {
+	var res CrossChecks
+	var err error
+	if res.Jas2004GCShare, res.J9Util, res.J9JOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMJ9); err != nil {
+		return res, fmt.Errorf("jas2004/J9: %w", err)
+	}
+	if res.Trade6GCShare, _, _, err = runVariant(cfg, server.Trade6App(), sim.JVMJ9); err != nil {
+		return res, fmt.Errorf("trade6/J9: %w", err)
+	}
+	if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
+		return res, fmt.Errorf("jas2004/Sovereign: %w", err)
+	}
+	return res, nil
+}
+
+// String renders the cross-check table.
+func (c CrossChecks) String() string {
+	var b strings.Builder
+	b.WriteString("Cross-checks (Sections 3.1, 4.1.1, 6)\n")
+	fmt.Fprintf(&b, "GC share of runtime: jas2004/J9 %.2f%%, Trade6/J9 %.2f%%, jas2004/Sovereign %.2f%%\n",
+		c.Jas2004GCShare, c.Trade6GCShare, c.SovereignGCShare)
+	fmt.Fprintf(&b, "  (paper: all small — \"<2%%\"; Trade6 shows \"a similar small GC runtime overhead\")\n")
+	fmt.Fprintf(&b, "CPU utilization at the same IR: J9 %.0f%%, Sovereign %.0f%%\n",
+		100*c.J9Util, 100*c.SovereignUtil)
+	fmt.Fprintf(&b, "  (paper footnote: Sovereign \"has a higher CPU utilization at the same IR\")\n")
+	return b.String()
+}

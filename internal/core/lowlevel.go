@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/sim"
+	"jasworkload/internal/stats"
+)
+
+// DetailRun is one instruction-detail execution with a set of HPM monitors
+// attached; Figures 5-9 and the locking table are views of it.
+type DetailRun struct {
+	Cfg      RunConfig
+	SUT      *sim.SUT
+	Engine   *sim.Engine
+	Monitors map[string]*hpm.Monitor
+}
+
+// RunDetail executes the workload at instruction-level (sampled) fidelity
+// with the given HPM groups collected.
+func RunDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
+	if len(groups) == 0 {
+		groups = []string{"cpi", "branch", "translation", "dsource", "prefetch", "ifetch", "sync", "kernel"}
+	}
+	sut, eng, mons, err := cfg.detailRun(groups...)
+	if err != nil {
+		return nil, err
+	}
+	return &DetailRun{Cfg: cfg, SUT: sut, Engine: eng, Monitors: mons}, nil
+}
+
+// steadySeries extracts the steady-state part of an event's per-window
+// series from the named group.
+func (d *DetailRun) steadySeries(group string, ev power4.Event) (*stats.Series, error) {
+	m, ok := d.Monitors[group]
+	if !ok {
+		return nil, fmt.Errorf("core: group %q not collected", group)
+	}
+	s, err := m.Series(ev)
+	if err != nil {
+		return nil, err
+	}
+	return s.Slice(steadyStart(d.Cfg), s.Len()), nil
+}
+
+// steadyRatio returns the steady-state total of num/den from a group.
+func (d *DetailRun) steadyRatio(group string, num, den power4.Event) (float64, error) {
+	n, err := d.steadySeries(group, num)
+	if err != nil {
+		return 0, err
+	}
+	dd, err := d.steadySeries(group, den)
+	if err != nil {
+		return 0, err
+	}
+	var sn, sd float64
+	for i := range n.Values {
+		sn += n.Values[i]
+		sd += dd.Values[i]
+	}
+	if sd == 0 {
+		return 0, nil
+	}
+	return sn / sd, nil
+}
+
+// gcWindows partitions steady windows into those containing a collection
+// and those without.
+func (d *DetailRun) gcWindows() (gc, quiet []int) {
+	ws := d.Engine.Windows()
+	for i := steadyStart(d.Cfg); i < len(ws); i++ {
+		if ws[i].GCs > 0 {
+			gc = append(gc, i-steadyStart(d.Cfg))
+		} else {
+			quiet = append(quiet, i-steadyStart(d.Cfg))
+		}
+	}
+	return gc, quiet
+}
+
+// meanAt averages a series over the given indices.
+func meanAt(s *stats.Series, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range idx {
+		if i < s.Len() {
+			sum += s.At(i)
+		}
+	}
+	return sum / float64(len(idx))
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Result is the CPI / speculation / L1 figure.
+type Fig5Result struct {
+	CPI        *stats.Series
+	SpecRate   *stats.Series
+	L1MissRate *stats.Series // L1D misses per L1D access
+	MeanCPI    float64
+	MeanSpec   float64
+	MeanL1Miss float64
+	IdleCPI    float64
+	// CPIvsGC is the correlation between per-window CPI and GC pause time;
+	// the paper: "we do not see a strong correlation".
+	CPIvsGC float64
+}
+
+// Fig5 regenerates the CPI figure from a detail run.
+func (d *DetailRun) Fig5() (Fig5Result, error) {
+	var res Fig5Result
+	cyc, err := d.steadySeries("cpi", power4.EvCycles)
+	if err != nil {
+		return res, err
+	}
+	inst, err := d.steadySeries("cpi", power4.EvInstCompleted)
+	if err != nil {
+		return res, err
+	}
+	disp, err := d.steadySeries("cpi", power4.EvInstDispatched)
+	if err != nil {
+		return res, err
+	}
+	res.CPI, err = stats.RatioSeries("CPI", cyc, inst)
+	if err != nil {
+		return res, err
+	}
+	res.SpecRate, err = stats.RatioSeries("dispatched/completed", disp, inst)
+	if err != nil {
+		return res, err
+	}
+	ldm, err := d.steadySeries("cpi", power4.EvL1DLoadMiss)
+	if err != nil {
+		return res, err
+	}
+	stm, err := d.steadySeries("cpi", power4.EvL1DStoreMiss)
+	if err != nil {
+		return res, err
+	}
+	lds, err := d.steadySeries("cpi", power4.EvLoads)
+	if err != nil {
+		return res, err
+	}
+	sts, err := d.steadySeries("cpi", power4.EvStores)
+	if err != nil {
+		return res, err
+	}
+	res.L1MissRate = stats.NewSeries("L1D miss rate", 1000)
+	for i := range ldm.Values {
+		acc := lds.Values[i] + sts.Values[i]
+		if acc > 0 {
+			res.L1MissRate.Append((ldm.Values[i] + stm.Values[i]) / acc)
+		} else {
+			res.L1MissRate.Append(0)
+		}
+	}
+	res.MeanCPI = stats.Mean(res.CPI.Values)
+	res.MeanSpec = stats.Mean(res.SpecRate.Values)
+	res.MeanL1Miss = stats.Mean(res.L1MissRate.Values)
+	res.IdleCPI = IdleCPI(d.Cfg)
+
+	gcPause := stats.NewSeries("gc", 1000)
+	ws := d.Engine.Windows()
+	for i := steadyStart(d.Cfg); i < len(ws); i++ {
+		gcPause.Append(ws[i].GCPauseMS)
+	}
+	if gcPause.Len() == res.CPI.Len() {
+		res.CPIvsGC, _ = stats.Correlation(res.CPI.Values, gcPause.Values)
+	}
+	return res, nil
+}
+
+// IdleCPI measures the CPI of an unloaded system: the OS idle loop run
+// through a fresh core (the paper: ~0.7).
+func IdleCPI(cfg RunConfig) float64 {
+	sut, err := cfg.buildSUT()
+	if err != nil {
+		return 0
+	}
+	core := sut.Cores[0]
+	sut.Server.EmitIdle(core, 200_000)
+	ctr := core.Counters()
+	return ctr.CPI()
+}
+
+// String renders the figure.
+func (f Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: CPI, Speculation Rate, and L1 Miss Rate\n")
+	if f.CPI != nil && f.CPI.Len() > 1 {
+		b.WriteString(f.CPI.ASCIIPlot(60, 5))
+	}
+	fmt.Fprintf(&b, "mean CPI          = %.2f (paper: ~3, idle ~0.7; measured idle %.2f)\n", f.MeanCPI, f.IdleCPI)
+	fmt.Fprintf(&b, "dispatch/complete = %.2f (paper: ~5 dispatched per ~2 retired)\n", f.MeanSpec)
+	fmt.Fprintf(&b, "L1D miss rate     = %.3f (paper: ~0.14 overall)\n", f.MeanL1Miss)
+	fmt.Fprintf(&b, "corr(CPI, GC)     = %+.2f (paper: no strong correlation)\n", f.CPIvsGC)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Result is the branch-prediction figure.
+type Fig6Result struct {
+	CondMispredictRate   *stats.Series // per conditional branch
+	TargetMispredictRate *stats.Series // per indirect branch
+	MeanCondMiss         float64
+	MeanTargetMiss       float64
+	// GC windows show more branches and fewer mispredictions.
+	BranchRateGC    float64 // branches per instruction in GC windows
+	BranchRateQuiet float64
+	CondMissGC      float64
+	CondMissQuiet   float64
+}
+
+// Fig6 regenerates the branch figure.
+func (d *DetailRun) Fig6() (Fig6Result, error) {
+	var res Fig6Result
+	cond, err := d.steadySeries("branch", power4.EvBrCond)
+	if err != nil {
+		return res, err
+	}
+	condM, err := d.steadySeries("branch", power4.EvBrCondMispred)
+	if err != nil {
+		return res, err
+	}
+	ind, err := d.steadySeries("branch", power4.EvBrIndirect)
+	if err != nil {
+		return res, err
+	}
+	indM, err := d.steadySeries("branch", power4.EvBrTargetMispred)
+	if err != nil {
+		return res, err
+	}
+	inst, err := d.steadySeries("branch", power4.EvInstCompleted)
+	if err != nil {
+		return res, err
+	}
+	res.CondMispredictRate, _ = stats.RatioSeries("cond mispredict", condM, cond)
+	res.TargetMispredictRate, _ = stats.RatioSeries("target mispredict", indM, ind)
+	res.MeanCondMiss = sumRatio(condM, cond)
+	res.MeanTargetMiss = sumRatio(indM, ind)
+
+	gc, quiet := d.gcWindows()
+	brPerInst := stats.NewSeries("br/inst", 1000)
+	for i := range cond.Values {
+		if inst.Values[i] > 0 {
+			brPerInst.Append((cond.Values[i] + ind.Values[i]) / inst.Values[i])
+		} else {
+			brPerInst.Append(0)
+		}
+	}
+	res.BranchRateGC = meanAt(brPerInst, gc)
+	res.BranchRateQuiet = meanAt(brPerInst, quiet)
+	res.CondMissGC = meanAt(res.CondMispredictRate, gc)
+	res.CondMissQuiet = meanAt(res.CondMispredictRate, quiet)
+	return res, nil
+}
+
+func sumRatio(num, den *stats.Series) float64 {
+	var n, d float64
+	for i := range num.Values {
+		n += num.Values[i]
+		d += den.Values[i]
+	}
+	if d == 0 {
+		return 0
+	}
+	return n / d
+}
+
+// String renders the figure.
+func (f Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Branch Prediction\n")
+	fmt.Fprintf(&b, "conditional misprediction = %.3f (paper: ~0.06)\n", f.MeanCondMiss)
+	fmt.Fprintf(&b, "indirect target mispredict = %.3f (paper: ~0.05)\n", f.MeanTargetMiss)
+	fmt.Fprintf(&b, "GC windows: branches/inst %.3f vs %.3f quiet; cond miss %.3f vs %.3f quiet\n",
+		f.BranchRateGC, f.BranchRateQuiet, f.CondMissGC, f.CondMissQuiet)
+	return b.String()
+}

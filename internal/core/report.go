@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	ID       string
+	Artifact string
+	Metric   string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// Report is the full paper-vs-measured table.
+type Report struct {
+	Cfg  RunConfig
+	Rows []Row
+}
+
+// add appends a row.
+func (r *Report) add(id, artifact, metric, paper string, measured string, holds bool) {
+	r.Rows = append(r.Rows, Row{ID: id, Artifact: artifact, Metric: metric, Paper: paper, Measured: measured, Holds: holds})
+}
+
+func within(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+// BuildReport runs every experiment at the given config and assembles the
+// comparison table. This is what cmd/jasrun prints and what EXPERIMENTS.md
+// records.
+func BuildReport(cfg RunConfig) (*Report, error) {
+	rep := &Report{Cfg: cfg}
+
+	// Request-level run: Figures 2-4 and the GC table.
+	rl, err := RunRequestLevel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f2 := rl.Fig2()
+	var steadySum float64
+	maxCV := 0.0
+	for rt := range f2.SteadyMean {
+		steadySum += f2.SteadyMean[rt]
+		if f2.SteadyCV[rt] > maxCV {
+			maxCV = f2.SteadyCV[rt]
+		}
+	}
+	rep.add("E1", "Fig 2", "steady throughput of 4 classes", "constant after <5 min ramp",
+		fmt.Sprintf("%.1f req/s total, max CV %.2f", steadySum, maxCV), maxCV < 0.5 && steadySum > 0)
+	rep.add("E11", "§2", "JOPS per IR", "~1.6",
+		fmt.Sprintf("%.2f", f2.JOPS/float64(cfg.IR)), within(f2.JOPS/float64(cfg.IR), 1.3, 1.9))
+
+	f3 := rl.Fig3()
+	// Pause and interval scale with the configured heap; normalize the
+	// bounds so reduced-scale runs are judged fairly.
+	hs := float64(cfg.HeapBytes) / float64(1<<30)
+	gcIntLo, gcIntHi := 15.0, 45.0
+	if cfg.Scale == ScaleQuick {
+		gcIntLo, gcIntHi = 4, 45
+	}
+	rep.add("E2", "Fig 3", "time between GCs (s)", "25-28",
+		fmt.Sprintf("%.1f", f3.Summary.MeanIntervalSec), within(f3.Summary.MeanIntervalSec, gcIntLo, gcIntHi))
+	rep.add("E2", "Fig 3", "GC pause (ms)", "300-400",
+		fmt.Sprintf("%.0f (heap %.2fx)", f3.Summary.MeanPauseMS, hs), within(f3.Summary.MeanPauseMS, 150*hs, 600*hs))
+	rep.add("E2", "Fig 3", "GC share of runtime", "~1.3% (<2%)",
+		fmt.Sprintf("%.2f%%", f3.Summary.PercentOfRuntime), within(f3.Summary.PercentOfRuntime, 0.3*hs, 2.5))
+	rep.add("E2", "Fig 3", "mark share of GC time", ">80%",
+		fmt.Sprintf("%.0f%%", 100*f3.Summary.MarkShare), within(f3.Summary.MarkShare, 0.7, 0.95))
+	rep.add("E2", "Fig 3", "compactions", "0",
+		fmt.Sprintf("%d", f3.Summary.Compactions), f3.Summary.Compactions == 0)
+	rep.add("E2", "Fig 3", "used-heap growth (dark matter)", "~1 MB/min",
+		fmt.Sprintf("%.2f MB/min", f3.Summary.UsedGrowthMBPerMin), f3.Summary.UsedGrowthMBPerMin > 0)
+
+	f4 := rl.Fig4()
+	rep.add("E3", "Fig 4", "WAS / (web+DB2) cycles", "~2",
+		fmt.Sprintf("%.2f", f4.WASOverWebPlusDB), within(f4.WASOverWebPlusDB, 1.5, 2.7))
+	rep.add("E3", "Fig 4", "JITed share of WAS", "~50%",
+		fmt.Sprintf("%.0f%%", 100*f4.JITedShareOfWAS), within(f4.JITedShareOfWAS, 0.35, 0.62))
+	rep.add("E3", "Fig 4", "jas2004 code share of CPU", "~2%",
+		fmt.Sprintf("%.1f%%", 100*f4.Jas2004Share), within(f4.Jas2004Share, 0.004, 0.04))
+	rep.add("E3", "Fig 4", "methods covering 50% of JITed time", "224 of 8500",
+		fmt.Sprintf("%d of %d", f4.Report.MethodsFor50Pct, f4.Report.TotalMethods),
+		within(float64(f4.Report.MethodsFor50Pct)/float64(f4.Report.TotalMethods), 0.01, 0.08))
+	rep.add("E3", "Fig 4", "hottest method share of CPU", "<1%",
+		fmt.Sprintf("%.2f%%", 100*f4.Report.HottestOverallShare), f4.Report.HottestOverallShare < 0.012)
+
+	// Detail run: Figures 5-10 + locking.
+	d, err := RunDetail(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f5, err := d.Fig5()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E4", "Fig 5", "loaded CPI", "~3",
+		fmt.Sprintf("%.2f", f5.MeanCPI), within(f5.MeanCPI, 2.2, 4.2))
+	rep.add("E4", "Fig 5", "idle CPI", "~0.7",
+		fmt.Sprintf("%.2f", f5.IdleCPI), within(f5.IdleCPI, 0.5, 0.95))
+	rep.add("E4", "Fig 5", "dispatched/completed", "~2.4",
+		fmt.Sprintf("%.2f", f5.MeanSpec), within(f5.MeanSpec, 1.9, 2.9))
+	rep.add("E4", "Fig 5", "corr(CPI, GC)", "not strong",
+		fmt.Sprintf("%+.2f", f5.CPIvsGC), f5.CPIvsGC < 0.6)
+
+	f6, err := d.Fig6()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E5", "Fig 6", "conditional misprediction", "~6%",
+		fmt.Sprintf("%.1f%%", 100*f6.MeanCondMiss), within(f6.MeanCondMiss, 0.035, 0.10))
+	rep.add("E5", "Fig 6", "indirect target misprediction", "~5%",
+		fmt.Sprintf("%.1f%%", 100*f6.MeanTargetMiss), within(f6.MeanTargetMiss, 0.02, 0.17))
+	rep.add("E5", "Fig 6", "GC: more branches, fewer misses", "yes",
+		fmt.Sprintf("br %.3f vs %.3f, miss %.3f vs %.3f",
+			f6.BranchRateGC, f6.BranchRateQuiet, f6.CondMissGC, f6.CondMissQuiet),
+		f6.BranchRateGC > f6.BranchRateQuiet && f6.CondMissGC < f6.CondMissQuiet)
+
+	f7, err := d.Fig7()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E6", "Fig 7", "instructions between DERAT misses", ">100",
+		fmt.Sprintf("%.0f", f7.InstrBetweenDERAT), f7.InstrBetweenDERAT > 100)
+	rep.add("E6", "Fig 7", "TLB satisfies DERAT misses", "~75%",
+		fmt.Sprintf("%.0f%%", 100*f7.TLBSatisfiesDERAT), within(f7.TLBSatisfiesDERAT, 0.5, 0.92))
+	rep.add("E6", "Fig 7", "ERAT >> TLB miss rates", "top two lines are ERATs",
+		fmt.Sprintf("DERAT/DTLB=%.1fx IERAT/ITLB=%.1fx", safeDiv(f7.MeanDERAT, f7.MeanDTLB), safeDiv(f7.MeanIERAT, f7.MeanITLB)),
+		f7.MeanDERAT > f7.MeanDTLB && f7.MeanIERAT > f7.MeanITLB)
+	rep.add("E6", "Fig 7", "GC: far fewer TLB misses", "2-3 orders",
+		fmt.Sprintf("quiet/GC = %.0fx", f7.DTLBQuietOverGC), f7.DTLBQuietOverGC > 5)
+
+	f8, err := d.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E7", "Fig 8", "L1D miss per load", "~1/12 (0.083)",
+		fmt.Sprintf("%.3f", f8.MeanLoadMiss), within(f8.MeanLoadMiss, 0.05, 0.15))
+	rep.add("E7", "Fig 8", "L1D miss per store", "~1/5 (0.20)",
+		fmt.Sprintf("%.3f", f8.MeanStoreMiss), within(f8.MeanStoreMiss, 0.12, 0.30))
+	rep.add("E7", "Fig 8", "stores miss more than loads", "yes",
+		fmt.Sprintf("%.3f > %.3f", f8.MeanStoreMiss, f8.MeanLoadMiss), f8.MeanStoreMiss > f8.MeanLoadMiss)
+	rep.add("E7", "Fig 8", "overall L1D miss", "~14%",
+		fmt.Sprintf("%.1f%%", 100*f8.OverallMiss), within(f8.OverallMiss, 0.08, 0.20))
+	rep.add("E7", "Fig 8", "GC: store misses drop", "yes",
+		fmt.Sprintf("%.3f vs %.3f quiet", f8.StoreMissGC, f8.StoreMissQuiet),
+		f8.StoreMissGC < f8.StoreMissQuiet || f8.StoreMissGC == 0)
+
+	f9, err := d.Fig9()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E8", "Fig 9", "L2 satisfies L1 misses", "~75%",
+		fmt.Sprintf("%.0f%%", 100*l2share(f9)), within(l2share(f9), 0.55, 0.9))
+	rep.add("E8", "Fig 9", "L3 share", "~15%",
+		fmt.Sprintf("%.0f%%", 100*l3share(f9)), within(l3share(f9), 0.05, 0.25))
+	rep.add("E8", "Fig 9", "L2.75 modified", "very little",
+		fmt.Sprintf("%.1f%%", 100*f9.ModifiedShare), f9.ModifiedShare < 0.06)
+
+	lk, err := d.Locking()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E9", "§4.2.4", "instructions per LARX", "~600",
+		fmt.Sprintf("%.0f", lk.InstrPerLarx), within(lk.InstrPerLarx, 400, 900))
+	rep.add("E9", "§4.2.4", "lock-acquisition instruction share", "~3%",
+		fmt.Sprintf("%.1f%%", 100*lk.LockAcquireInstrShare), within(lk.LockAcquireInstrShare, 0.02, 0.05))
+	rep.add("E9", "§4.2.4", "pthread_mutex_lock cycles", "~2%",
+		fmt.Sprintf("%.1f%%", 100*lk.MutexCycleShare), within(lk.MutexCycleShare, 0.005, 0.04))
+	rep.add("E9", "§4.2.4", "SYNC-in-SRQ user cycles", "<1%",
+		fmt.Sprintf("%.2f%%", 100*lk.SyncSRQShareUser), lk.SyncSRQShareUser < 0.02)
+	rep.add("E9", "§4.2.4", "SYNC-in-SRQ kernel cycles", "~7%",
+		fmt.Sprintf("%.1f%%", 100*lk.SyncSRQShareKernel), within(lk.SyncSRQShareKernel, 0.03, 0.12))
+
+	f10, err := d.Fig10()
+	if err != nil {
+		return nil, err
+	}
+	check := func(label string, wantPositive bool, strong bool) {
+		r, ok := f10.Corr(label)
+		holds := ok
+		if wantPositive && strong {
+			holds = holds && r > 0.30
+		} else if !wantPositive {
+			holds = holds && r < 0
+		}
+		want := "positive"
+		if strong {
+			want = "strongly positive"
+		}
+		if !wantPositive {
+			want = "negative"
+		}
+		rep.add("E10", "Fig 10", "corr(CPI, "+label+")", want, fmt.Sprintf("%+.2f", r), holds)
+	}
+	check("Cond. Branch Mispred.", true, true)
+	check("DTLB Miss", true, false)
+	check("D$ Prefetch Stream Alloc.", true, true)
+	check("SYNC in SRQ", true, false)
+
+	check("Cyc w/ Instr. Comp.", false, false)
+	check("Instr. from L1 I$", false, false)
+	rep.add("E10", "Fig 10", "corr(CPI, deep I-fetch (L2+L3+mem))", "positive",
+		fmt.Sprintf("%+.2f", f10.DeepIFetch), f10.DeepIFetch > 0.3)
+	if r, ok := f10.Corr("Speculation Rate"); ok {
+		rep.add("E10", "Fig 10", "corr(CPI, Speculation Rate)", "not strong",
+			fmt.Sprintf("%+.2f", r), r < 0.6)
+	}
+	rep.add("E10", "Fig 10", "corr(speculation, L1D miss)", "~0.1 (weak)",
+		fmt.Sprintf("%+.2f", f10.SpecVsL1), f10.SpecVsL1 < 0.5)
+	rep.add("E10", "Fig 10", "corr(target miss, L1I miss)", "strong",
+		fmt.Sprintf("%+.2f", f10.TargetMissVsICacheMiss), f10.TargetMissVsICacheMiss > 0.2)
+
+	// Cross-checks: Trade6 and the Sovereign JVM (Sections 3.1, 4.1.1, 6).
+	cc, err := RunCrossChecks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.add("E12", "§6", "Trade6 GC share", "similar small overhead",
+		fmt.Sprintf("%.2f%% (jas2004 %.2f%%)", cc.Trade6GCShare, cc.Jas2004GCShare),
+		cc.Trade6GCShare < 2.5)
+	rep.add("E12", "§4.1.1", "Sovereign GC share", "little CPU time in GC",
+		fmt.Sprintf("%.2f%%", cc.SovereignGCShare), cc.SovereignGCShare < 2.5)
+	rep.add("E12", "§4.1 fn2", "Sovereign CPU util vs J9 at same IR", "higher",
+		fmt.Sprintf("%.0f%% vs %.0f%%", 100*cc.SovereignUtil, 100*cc.J9Util),
+		cc.SovereignUtil > cc.J9Util)
+
+	return rep, nil
+}
+
+// l2share extracts the own-L2 share from a Fig9Result.
+func l2share(f Fig9Result) float64 {
+	for src, v := range f.Share {
+		if src.String() == "L2" {
+			return v
+		}
+	}
+	return 0
+}
+
+// l3share extracts the MCM-local L3 share.
+func l3share(f Fig9Result) float64 {
+	for src, v := range f.Share {
+		if src.String() == "L3" {
+			return v
+		}
+	}
+	return 0
+}
+
+// Markdown renders the report as the EXPERIMENTS.md table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| ID | Artifact | Metric | Paper | Measured | Holds |\n")
+	b.WriteString("|----|----------|--------|-------|----------|-------|\n")
+	for _, row := range r.Rows {
+		mark := "yes"
+		if !row.Holds {
+			mark = "NO"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+			row.ID, row.Artifact, row.Metric, row.Paper, row.Measured, mark)
+	}
+	return b.String()
+}
+
+// String renders the report for the terminal.
+func (r *Report) String() string {
+	var b strings.Builder
+	pass := 0
+	for _, row := range r.Rows {
+		mark := "ok  "
+		if !row.Holds {
+			mark = "MISS"
+		} else {
+			pass++
+		}
+		fmt.Fprintf(&b, "[%s] %-4s %-8s %-42s paper: %-22s measured: %s\n",
+			mark, row.ID, row.Artifact, row.Metric, row.Paper, row.Measured)
+	}
+	fmt.Fprintf(&b, "%d/%d paper observations hold\n", pass, len(r.Rows))
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jasworkload/internal/driver"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/server"
+	"jasworkload/internal/sim"
+	"jasworkload/internal/stats"
+	"jasworkload/internal/tools"
+)
+
+// RequestLevelRun is one request-level (no instruction detail) benchmark
+// execution; Figures 2, 3 and 4 are all views of it.
+type RequestLevelRun struct {
+	Cfg    RunConfig
+	SUT    *sim.SUT
+	Engine *sim.Engine
+}
+
+// RunRequestLevel executes the workload at request-level fidelity.
+func RunRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
+	sut, err := cfg.buildSUT()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cfg.newEngine(sut, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return &RequestLevelRun{Cfg: cfg, SUT: sut, Engine: eng}, nil
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Result is the benchmark-throughput figure: one series per request
+// class, bucketed over the run.
+type Fig2Result struct {
+	BucketSeconds int
+	Series        [server.NumRequestTypes]*stats.Series
+	// SteadyMean/CV summarize the post-ramp behaviour the paper calls out:
+	// "the transaction rate ... stabilizes relatively quickly, and remains
+	// fairly constant throughout execution".
+	SteadyMean [server.NumRequestTypes]float64
+	SteadyCV   [server.NumRequestTypes]float64
+	JOPS       float64
+	AuditPass  bool
+}
+
+// Fig2 regenerates the throughput figure from a request-level run.
+func (r *RequestLevelRun) Fig2() Fig2Result {
+	const bucketSec = 10
+	res := Fig2Result{BucketSeconds: bucketSec}
+	ws := r.Engine.Windows()
+	for rt := 0; rt < server.NumRequestTypes; rt++ {
+		res.Series[rt] = stats.NewSeries(server.RequestType(rt).String()+" /s", bucketSec*1000)
+	}
+	for start := 0; start < len(ws); start += bucketSec {
+		end := start + bucketSec
+		if end > len(ws) {
+			break
+		}
+		for rt := 0; rt < server.NumRequestTypes; rt++ {
+			var n int
+			for _, w := range ws[start:end] {
+				n += w.Completions[rt]
+			}
+			res.Series[rt].Append(float64(n) / bucketSec)
+		}
+	}
+	steady := steadyStart(r.Cfg) / bucketSec
+	for rt := 0; rt < server.NumRequestTypes; rt++ {
+		if steady < res.Series[rt].Len() {
+			s := res.Series[rt].Slice(steady, res.Series[rt].Len())
+			res.SteadyMean[rt] = stats.Mean(s.Values)
+			res.SteadyCV[rt] = stats.CoefficientOfVariation(s.Values)
+		}
+	}
+	res.JOPS = r.Engine.Tracker().JOPS()
+	_, res.AuditPass = r.Engine.Tracker().Audit()
+	return res
+}
+
+// String renders the figure as ASCII series plus the summary.
+func (f Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: Benchmark Throughput\n")
+	for rt := 0; rt < server.NumRequestTypes; rt++ {
+		if f.Series[rt] != nil && f.Series[rt].Len() > 1 {
+			b.WriteString(f.Series[rt].ASCIIPlot(60, 6))
+		}
+		fmt.Fprintf(&b, "  steady %-14s %6.2f req/s (CV %.3f)\n",
+			server.RequestType(rt), f.SteadyMean[rt], f.SteadyCV[rt])
+	}
+	fmt.Fprintf(&b, "JOPS = %.1f, audit pass = %v\n", f.JOPS, f.AuditPass)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Result is the GC figure plus its companion table.
+type Fig3Result struct {
+	Events  []jvm.GCEvent
+	Summary jvm.GCSummary
+}
+
+// Fig3 regenerates the garbage-collection statistics.
+func (r *RequestLevelRun) Fig3() Fig3Result {
+	dur, _ := r.Cfg.durations()
+	return Fig3Result{
+		Events:  r.SUT.Heap.Events(),
+		Summary: jvm.Summarize(r.SUT.Heap.Events(), dur),
+	}
+}
+
+// String renders the verbosegc log tail and the table.
+func (f Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Garbage Collection Statistics\n")
+	tail := f.Events
+	if len(tail) > 8 {
+		tail = tail[len(tail)-8:]
+	}
+	b.WriteString(jvm.FormatVerboseGC(tail))
+	b.WriteString(f.Summary.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Result is the profile-breakdown figure.
+type Fig4Result struct {
+	Report tools.TProfReport
+	// WASOverWebPlusDB is the capacity-planning headline: WebSphere
+	// consumes about twice the web server and DB2 combined.
+	WASOverWebPlusDB float64
+	// JITedShareOfWAS: about half the WAS process runtime is JITed code.
+	JITedShareOfWAS float64
+	// Jas2004Share: ~2% of CPU cycles execute benchmark code itself.
+	Jas2004Share float64
+}
+
+// Fig4 regenerates the profile breakdown.
+func (r *RequestLevelRun) Fig4() Fig4Result {
+	rep := tools.TProf(r.Engine.SegmentTotals(), r.SUT.JIT.Methods(), 10)
+	was := rep.SegmentShare[server.SegWASJit] + rep.SegmentShare[server.SegWASNative]
+	other := rep.SegmentShare[server.SegWebServer] + rep.SegmentShare[server.SegDB2]
+	res := Fig4Result{Report: rep}
+	if other > 0 {
+		res.WASOverWebPlusDB = was / other
+	}
+	if was > 0 {
+		res.JITedShareOfWAS = rep.SegmentShare[server.SegWASJit] / was
+	}
+	// The benchmark code's share of total CPU: its share of JITed time
+	// scaled by the JITed segment share.
+	st := jvm.AnalyzeProfile(r.SUT.JIT.Methods())
+	res.Jas2004Share = st.ComponentShare[jvm.CompJas2004] * rep.SegmentShare[server.SegWASJit]
+	return res
+}
+
+// String renders the figure.
+func (f Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString(f.Report.String())
+	fmt.Fprintf(&b, "WAS / (web+DB2) cycle ratio: %.2f (paper: ~2)\n", f.WASOverWebPlusDB)
+	fmt.Fprintf(&b, "JITed share of WAS process:  %.2f (paper: ~0.5)\n", f.JITedShareOfWAS)
+	fmt.Fprintf(&b, "jas2004 code share of CPU:   %.3f (paper: ~0.02)\n", f.Jas2004Share)
+	return b.String()
+}
+
+// Audit returns the run-rule audit for the underlying run.
+func (r *RequestLevelRun) Audit() ([]driver.ClassAudit, bool) { return r.Engine.Tracker().Audit() }

@@ -1,0 +1,133 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schema names for the jas2004-like database. Column 0 of every table is
+// the primary key.
+const (
+	TCustomers  = "customers"  // key, credit, balance, since
+	TVehicles   = "vehicles"   // key (model id), price, category
+	TInventory  = "inventory"  // key (model id), quantity, reorder level
+	TOrders     = "orders"     // key, customer, status, total
+	TOrderLines = "orderlines" // key, order, model, qty
+	TParts      = "parts"      // key, cost, assembly
+	TWorkOrders = "workorders" // key, model, qty, status
+	TSuppliers  = "suppliers"  // key, rating, leadtime
+)
+
+// ScaleConfig controls how the injection rate sizes the initial database,
+// mirroring the benchmark rule that "busier servers tend to have larger
+// data sets".
+type ScaleConfig struct {
+	IR              int
+	CustomersPerIR  int
+	VehiclesPerIR   int
+	OrdersPerIR     int
+	PartsPerIR      int
+	WorkOrdersPerIR int
+	Seed            int64
+}
+
+// DefaultScaleConfig returns the standard scaling.
+func DefaultScaleConfig(ir int) ScaleConfig {
+	return ScaleConfig{
+		IR:              ir,
+		CustomersPerIR:  75,
+		VehiclesPerIR:   25,
+		OrdersPerIR:     40,
+		PartsPerIR:      50,
+		WorkOrdersPerIR: 10,
+		Seed:            1,
+	}
+}
+
+// Sizes holds the initial table cardinalities for a scale.
+type Sizes struct {
+	Customers, Vehicles, Orders, OrderLines, Parts, WorkOrders, Suppliers int
+}
+
+// SizesFor computes the initial cardinalities.
+func SizesFor(cfg ScaleConfig) Sizes {
+	return Sizes{
+		Customers:  cfg.IR * cfg.CustomersPerIR,
+		Vehicles:   cfg.IR * cfg.VehiclesPerIR,
+		Orders:     cfg.IR * cfg.OrdersPerIR,
+		OrderLines: cfg.IR * cfg.OrdersPerIR * 3,
+		Parts:      cfg.IR * cfg.PartsPerIR,
+		WorkOrders: cfg.IR * cfg.WorkOrdersPerIR,
+		Suppliers:  100,
+	}
+}
+
+// Load creates and populates the jas2004 schema at the given scale.
+func Load(d *Database, cfg ScaleConfig) error {
+	if cfg.IR <= 0 {
+		return fmt.Errorf("db: bad injection rate %d", cfg.IR)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sz := SizesFor(cfg)
+	type tdef struct {
+		name string
+		cols int
+		rpp  int
+	}
+	for _, td := range []tdef{
+		{TCustomers, 4, 32},
+		{TVehicles, 3, 64},
+		{TInventory, 3, 64},
+		{TOrders, 4, 32},
+		{TOrderLines, 4, 48},
+		{TParts, 3, 64},
+		{TWorkOrders, 4, 32},
+		{TSuppliers, 3, 64},
+	} {
+		if _, err := d.CreateTable(td.name, td.cols, td.rpp); err != nil {
+			return err
+		}
+	}
+	tx := d.Begin()
+	for i := 0; i < sz.Customers; i++ {
+		if err := tx.Insert(TCustomers, Row{Value(i), Value(rng.Intn(1000)), Value(rng.Intn(100000)), Value(rng.Intn(3650))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Vehicles; i++ {
+		if err := tx.Insert(TVehicles, Row{Value(i), Value(15000 + rng.Intn(50000)), Value(rng.Intn(5))}); err != nil {
+			return err
+		}
+		if err := tx.Insert(TInventory, Row{Value(i), Value(rng.Intn(500)), Value(50)}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Orders; i++ {
+		cust := Value(rng.Intn(sz.Customers))
+		if err := tx.Insert(TOrders, Row{Value(i), cust, 1, Value(rng.Intn(90000))}); err != nil {
+			return err
+		}
+		for l := 0; l < 3; l++ {
+			key := Value(i*3 + l)
+			if err := tx.Insert(TOrderLines, Row{key, Value(i), Value(rng.Intn(sz.Vehicles)), Value(1 + rng.Intn(4))}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < sz.Parts; i++ {
+		if err := tx.Insert(TParts, Row{Value(i), Value(rng.Intn(900)), Value(rng.Intn(sz.Vehicles))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.WorkOrders; i++ {
+		if err := tx.Insert(TWorkOrders, Row{Value(i), Value(rng.Intn(sz.Vehicles)), Value(1 + rng.Intn(10)), 0}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Suppliers; i++ {
+		if err := tx.Insert(TSuppliers, Row{Value(i), Value(rng.Intn(10)), Value(1 + rng.Intn(30))}); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}

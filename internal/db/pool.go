@@ -1,0 +1,185 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"jasworkload/internal/mem"
+)
+
+// PageID identifies a table page.
+type PageID struct {
+	Table int
+	Page  uint32
+}
+
+// Storage is the backing store under the buffer pool. Latencies are in
+// simulated milliseconds per page transfer.
+type Storage interface {
+	// ReadMS returns the latency of fetching one page.
+	ReadMS() float64
+	// WriteMS returns the latency of writing back one page.
+	WriteMS() float64
+	// Name describes the backend.
+	Name() string
+}
+
+// RAMDisk is the paper's primary configuration: an OS-managed RAM disk
+// holding the database files, giving effectively free page I/O and ~0%
+// I/O wait.
+type RAMDisk struct{}
+
+// ReadMS returns ~0 (a memcpy).
+func (RAMDisk) ReadMS() float64 { return 0.005 }
+
+// WriteMS returns ~0.
+func (RAMDisk) WriteMS() float64 { return 0.005 }
+
+// Name returns "ramdisk".
+func (RAMDisk) Name() string { return "ramdisk" }
+
+// DiskModel is a small rotating-disk array: with too few spindles the
+// I/O wait grows until response times fail, which is exactly what the
+// paper observed with 2 disks.
+type DiskModel struct {
+	Spindles   int     // number of disks striped over
+	SeekMS     float64 // average seek + rotational latency
+	TransferMS float64 // per-page transfer time
+}
+
+// DefaultDiskModel returns a 2-spindle array like the paper's.
+func DefaultDiskModel() DiskModel {
+	return DiskModel{Spindles: 2, SeekMS: 4.5, TransferMS: 0.2}
+}
+
+// ReadMS returns the effective per-page read latency, amortized over
+// spindles (requests queue behind each other on few disks).
+func (d DiskModel) ReadMS() float64 {
+	if d.Spindles < 1 {
+		return d.SeekMS + d.TransferMS
+	}
+	return (d.SeekMS + d.TransferMS) / float64(d.Spindles)
+}
+
+// WriteMS returns the effective per-page write latency.
+func (d DiskModel) WriteMS() float64 { return d.ReadMS() }
+
+// Name returns a description like "disk(x2)".
+func (d DiskModel) Name() string { return fmt.Sprintf("disk(x%d)", d.Spindles) }
+
+// BufferPool caches table pages in frames carved out of the simulated
+// DB-buffer memory region. Frame addresses feed the memory trace; misses
+// accumulate I/O wait from the storage backend.
+type BufferPool struct {
+	region    *mem.Region
+	pageBytes uint64
+	frames    []PageID
+	present   map[PageID]int // -> frame index
+	dirty     []bool
+	clock     []bool // second-chance bits
+	hand      int
+
+	storage Storage
+
+	hits     uint64
+	misses   uint64
+	ioWaitMS float64
+}
+
+// NewBufferPool builds a pool of frames covering the given region.
+func NewBufferPool(region *mem.Region, pageBytes uint64, storage Storage) (*BufferPool, error) {
+	if region == nil {
+		return nil, errors.New("db: nil buffer region")
+	}
+	if pageBytes == 0 || region.Size/pageBytes == 0 {
+		return nil, fmt.Errorf("db: bad page size %d for region of %d bytes", pageBytes, region.Size)
+	}
+	if storage == nil {
+		return nil, errors.New("db: nil storage")
+	}
+	n := int(region.Size / pageBytes)
+	bp := &BufferPool{
+		region:    region,
+		pageBytes: pageBytes,
+		frames:    make([]PageID, n),
+		present:   make(map[PageID]int, n),
+		dirty:     make([]bool, n),
+		clock:     make([]bool, n),
+		storage:   storage,
+	}
+	for i := range bp.frames {
+		bp.frames[i] = PageID{Table: -1}
+	}
+	return bp, nil
+}
+
+// Frames returns the number of frames.
+func (bp *BufferPool) Frames() int { return len(bp.frames) }
+
+// Storage returns the backing store.
+func (bp *BufferPool) Storage() Storage { return bp.storage }
+
+// Touch ensures the page is resident and returns the address of the
+// touched slot within its frame. write marks the frame dirty.
+func (bp *BufferPool) Touch(p PageID, write bool) uint64 {
+	idx, ok := bp.present[p]
+	if ok {
+		bp.hits++
+		bp.clock[idx] = true
+	} else {
+		bp.misses++
+		bp.ioWaitMS += bp.storage.ReadMS()
+		idx = bp.evict()
+		bp.frames[idx] = p
+		bp.present[p] = idx
+		bp.clock[idx] = true
+		bp.dirty[idx] = false
+	}
+	if write {
+		bp.dirty[idx] = true
+	}
+	// Address: frame base plus a page-dependent offset so different pages
+	// in the same frame do not alias to one line.
+	off := (uint64(p.Page)*2048 + uint64(p.Table)*256) % bp.pageBytes
+	return bp.region.Base + uint64(idx)*bp.pageBytes + off
+}
+
+// evict frees a frame using the clock (second chance) algorithm.
+func (bp *BufferPool) evict() int {
+	for {
+		if bp.frames[bp.hand].Table == -1 {
+			idx := bp.hand
+			bp.hand = (bp.hand + 1) % len(bp.frames)
+			return idx
+		}
+		if bp.clock[bp.hand] {
+			bp.clock[bp.hand] = false
+			bp.hand = (bp.hand + 1) % len(bp.frames)
+			continue
+		}
+		idx := bp.hand
+		victim := bp.frames[idx]
+		if bp.dirty[idx] {
+			bp.ioWaitMS += bp.storage.WriteMS()
+		}
+		delete(bp.present, victim)
+		bp.hand = (bp.hand + 1) % len(bp.frames)
+		return idx
+	}
+}
+
+// HitRate returns the lifetime buffer-pool hit rate.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// TakeIOWaitMS returns and clears accumulated I/O wait.
+func (bp *BufferPool) TakeIOWaitMS() float64 {
+	w := bp.ioWaitMS
+	bp.ioWaitMS = 0
+	return w
+}

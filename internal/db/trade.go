@@ -1,0 +1,71 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Trade6-like schema. Column 0 is the primary key throughout.
+const (
+	TAccounts    = "accounts"    // key, balance, openOrders, loginCount
+	TQuotes      = "quotes"      // key (symbol id), price, volume
+	THoldings    = "holdings"    // key, account, symbol, quantity
+	TTradeOrders = "tradeorders" // key, account, symbol, side
+)
+
+// TradeSizes holds the initial cardinalities for a trading scale.
+type TradeSizes struct {
+	Accounts, Quotes, Holdings int
+}
+
+// TradeSizesFor computes the IR-scaled cardinalities.
+func TradeSizesFor(ir int) TradeSizes {
+	return TradeSizes{
+		Accounts: ir * 120,
+		Quotes:   ir * 25,
+		Holdings: ir * 240,
+	}
+}
+
+// LoadTrade creates and populates the Trade6-like schema.
+func LoadTrade(d *Database, ir int, seed int64) error {
+	if ir <= 0 {
+		return fmt.Errorf("db: bad injection rate %d", ir)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sz := TradeSizesFor(ir)
+	type tdef struct {
+		name string
+		cols int
+		rpp  int
+	}
+	for _, td := range []tdef{
+		{TAccounts, 4, 32},
+		{TQuotes, 3, 64},
+		{THoldings, 4, 48},
+		{TTradeOrders, 4, 32},
+	} {
+		if _, err := d.CreateTable(td.name, td.cols, td.rpp); err != nil {
+			return err
+		}
+	}
+	tx := d.Begin()
+	for i := 0; i < sz.Accounts; i++ {
+		if err := tx.Insert(TAccounts, Row{Value(i), Value(10000 + rng.Intn(90000)), 0, Value(rng.Intn(500))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Quotes; i++ {
+		if err := tx.Insert(TQuotes, Row{Value(i), Value(10 + rng.Intn(490)), Value(rng.Intn(1000000))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Holdings; i++ {
+		acct := Value(rng.Intn(sz.Accounts))
+		sym := Value(rng.Intn(sz.Quotes))
+		if err := tx.Insert(THoldings, Row{Value(i), acct, sym, Value(1 + rng.Intn(200))}); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,169 @@
+package db
+
+import "fmt"
+
+// undoKind enumerates the operations a transaction can roll back.
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // undo by delete
+	undoDelete                 // undo by reinsert
+	undoUpdate                 // undo by restoring the old row
+)
+
+type undoRec struct {
+	kind  undoKind
+	table *Table
+	key   Value
+	old   Row
+}
+
+// Txn is a single-threaded transaction with undo-based rollback and
+// redo logging on commit.
+type Txn struct {
+	db   *Database
+	id   uint64
+	undo []undoRec
+	redo []LogRecord
+	done bool
+}
+
+// Begin starts a transaction.
+func (d *Database) Begin() *Txn {
+	d.txnSeq++
+	return &Txn{db: d, id: d.txnSeq}
+}
+
+func (tx *Txn) check() error {
+	if tx == nil || tx.db == nil {
+		return ErrNoTxn
+	}
+	if tx.done {
+		return fmt.Errorf("%w: already finished", ErrNoTxn)
+	}
+	return nil
+}
+
+// Insert adds a row inside the transaction.
+func (tx *Txn) Insert(table string, row Row) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	id, err := tx.db.insertRow(t, row)
+	if err != nil {
+		return err
+	}
+	tx.db.touch(t, id, true)
+	tx.undo = append(tx.undo, undoRec{kind: undoInsert, table: t, key: row[0]})
+	if tx.db.wal != nil {
+		tx.redo = append(tx.redo, LogRecord{Kind: LogInsert, Table: table, Key: row[0], Row: append(Row(nil), row...)})
+	}
+	return nil
+}
+
+// Delete removes a row by primary key inside the transaction.
+func (tx *Txn) Delete(table string, key Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	if id, ok := t.pk[key]; ok {
+		tx.db.touch(t, id, true)
+	}
+	old, err := tx.db.deleteRow(t, key)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{kind: undoDelete, table: t, key: key, old: old})
+	if tx.db.wal != nil {
+		tx.redo = append(tx.redo, LogRecord{Kind: LogDelete, Table: table, Key: key})
+	}
+	return nil
+}
+
+// Update sets column col of the row with the given key.
+func (tx *Txn) Update(table string, key Value, col int, v Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	id, ok := t.pk[key]
+	if !ok {
+		return fmt.Errorf("%w: %q key %d", ErrNoRow, table, key)
+	}
+	if col <= 0 || col >= t.cols {
+		return fmt.Errorf("%w: column %d of %q (primary key is immutable)", ErrBadSchema, col, table)
+	}
+	tx.db.touch(t, id, true)
+	old := append(Row(nil), t.rows[id]...)
+	t.rows[id][col] = v
+	tx.undo = append(tx.undo, undoRec{kind: undoUpdate, table: t, key: key, old: old})
+	if tx.db.wal != nil {
+		tx.redo = append(tx.redo, LogRecord{Kind: LogUpdate, Table: table, Key: key, Col: col, Val: v})
+	}
+	return nil
+}
+
+// Get reads a row inside the transaction (no locking: the simulated
+// application server serializes conflicting work through its own locks).
+func (tx *Txn) Get(table string, key Value) (Row, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	return tx.db.Get(table, key)
+}
+
+// Commit finishes the transaction, keeping its effects and making them
+// durable through the WAL when one is attached.
+func (tx *Txn) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.db.wal != nil && len(tx.redo) > 0 {
+		tx.db.wal.commit(tx.id, tx.redo)
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.redo = nil
+	return nil
+}
+
+// Abort rolls every change back in reverse order.
+func (tx *Txn) Abort() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		switch u.kind {
+		case undoInsert:
+			if _, err := tx.db.deleteRow(u.table, u.key); err != nil {
+				return fmt.Errorf("db: rollback delete: %w", err)
+			}
+		case undoDelete:
+			if _, err := tx.db.insertRow(u.table, u.old); err != nil {
+				return fmt.Errorf("db: rollback reinsert: %w", err)
+			}
+		case undoUpdate:
+			id, ok := u.table.pk[u.key]
+			if !ok {
+				return fmt.Errorf("db: rollback update: %w", ErrNoRow)
+			}
+			u.table.rows[id] = u.old
+		}
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.redo = nil
+	return nil
+}

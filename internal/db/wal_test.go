@@ -1,0 +1,228 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func walDB(t *testing.T, group int) *Database {
+	t.Helper()
+	d := testDB(t)
+	if err := d.EnableWAL(group); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewWALValidation(t *testing.T) {
+	if _, err := NewWAL(nil, 4); err == nil {
+		t.Fatal("nil storage accepted")
+	}
+	if _, err := NewWAL(RAMDisk{}, 0); err == nil {
+		t.Fatal("zero group size accepted")
+	}
+}
+
+func TestWALRecordsCommittedWork(t *testing.T) {
+	d := walDB(t, 1)
+	d.CreateTable("t", 2, 10)
+	tx := d.Begin()
+	tx.Insert("t", Row{1, 10})
+	tx.Update("t", 1, 1, 99)
+	tx.Delete("t", 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	w := d.WAL()
+	// insert + update + delete + commit marker
+	if w.Appended() != 4 {
+		t.Fatalf("records = %d, want 4", w.Appended())
+	}
+	tail := w.Tail()
+	kinds := []LogKind{LogInsert, LogUpdate, LogDelete, LogCommit}
+	for i, k := range kinds {
+		if tail[i].Kind != k {
+			t.Fatalf("record %d kind = %v, want %v", i, tail[i].Kind, k)
+		}
+	}
+	// LSNs monotonic and txn ids present.
+	for i := 1; i < len(tail); i++ {
+		if tail[i].LSN <= tail[i-1].LSN {
+			t.Fatal("LSNs not monotonic")
+		}
+	}
+	if tail[0].Txn == 0 {
+		t.Fatal("txn id missing")
+	}
+	// group=1: every commit flushes.
+	if w.Flushes() != 1 || w.FlushedLSN() != w.LSN() {
+		t.Fatalf("flushes=%d flushed=%d lsn=%d", w.Flushes(), w.FlushedLSN(), w.LSN())
+	}
+}
+
+func TestWALAbortLogsNothing(t *testing.T) {
+	d := walDB(t, 1)
+	d.CreateTable("t", 2, 10)
+	tx := d.Begin()
+	tx.Insert("t", Row{1, 10})
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if d.WAL().Appended() != 0 {
+		t.Fatal("aborted transaction reached the log")
+	}
+	// Read-only commits log nothing either.
+	ro := d.Begin()
+	ro.Commit()
+	if d.WAL().Appended() != 0 {
+		t.Fatal("read-only commit logged records")
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	d := walDB(t, 4)
+	d.CreateTable("t", 2, 10)
+	for i := 0; i < 7; i++ {
+		tx := d.Begin()
+		tx.Insert("t", Row{Value(i), 0})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := d.WAL()
+	// 7 commits at group size 4: one flush after the 4th; 3 buffered.
+	if w.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1", w.Flushes())
+	}
+	if w.FlushedLSN() == w.LSN() {
+		t.Fatal("tail unexpectedly durable")
+	}
+	w.Flush()
+	if w.FlushedLSN() != w.LSN() {
+		t.Fatal("explicit flush did not catch up")
+	}
+	if w.Flushes() != 2 {
+		t.Fatalf("flushes = %d, want 2", w.Flushes())
+	}
+	// Idempotent when already durable.
+	w.Flush()
+	if w.Flushes() != 2 {
+		t.Fatal("no-op flush counted")
+	}
+	if w.TakeWaitMS() <= 0 {
+		t.Fatal("no flush latency accumulated")
+	}
+	if w.TakeWaitMS() != 0 {
+		t.Fatal("TakeWaitMS did not clear")
+	}
+}
+
+func TestWALTailBounded(t *testing.T) {
+	d := walDB(t, 1)
+	d.CreateTable("t", 2, 10)
+	for i := 0; i < 5000; i++ {
+		tx := d.Begin()
+		tx.Insert("t", Row{Value(i), 0})
+		tx.Commit()
+	}
+	w := d.WAL()
+	if len(w.Tail()) > 4096 {
+		t.Fatalf("tail grew to %d records", len(w.Tail()))
+	}
+	if w.Appended() != 10000 { // insert + commit per txn
+		t.Fatalf("appended = %d", w.Appended())
+	}
+	// The retained tail is the most recent suffix.
+	tail := w.Tail()
+	if tail[len(tail)-1].LSN != w.LSN() {
+		t.Fatal("tail does not end at the head LSN")
+	}
+}
+
+// Property: replaying the redo log of committed transactions onto a copy of
+// the initial state reproduces the final state exactly.
+func TestWALReplayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := testDB(t)
+		dst := testDB(t)
+		for _, d := range []*Database{src, dst} {
+			d.CreateTable("t", 2, 10)
+			setup := d.Begin()
+			for i := 0; i < 10; i++ {
+				setup.Insert("t", Row{Value(i), Value(i * 10)})
+			}
+			setup.Commit()
+		}
+		// The WAL starts at the checkpointed base image, like the SUT's.
+		if err := src.EnableWAL(1); err != nil {
+			t.Fatal(err)
+		}
+		// Random committed AND aborted transactions on src.
+		for txn := 0; txn < 15; txn++ {
+			tx := src.Begin()
+			for op := 0; op < 4; op++ {
+				k := Value(rng.Intn(30))
+				switch rng.Intn(3) {
+				case 0:
+					tx.Insert("t", Row{k, Value(rng.Intn(100))})
+				case 1:
+					tx.Update("t", k, 1, Value(rng.Intn(100)))
+				case 2:
+					tx.Delete("t", k)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				tx.Abort()
+			} else {
+				tx.Commit()
+			}
+		}
+		if err := Replay(dst, src.WAL().Tail()); err != nil {
+			t.Logf("replay: %v", err)
+			return false
+		}
+		a, _ := src.Scan("t", -1000, 1000, 0)
+		b, _ := dst.Scan("t", -1000, 1000, 0)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	d := testDB(t)
+	recs := []LogRecord{
+		{Txn: 1, Kind: LogInsert, Table: "missing", Row: Row{1, 2}},
+		{Txn: 1, Kind: LogCommit},
+	}
+	if err := Replay(d, recs); err == nil {
+		t.Fatal("replay into a missing table accepted")
+	}
+	// Uncommitted records are skipped silently.
+	recs2 := []LogRecord{{Txn: 9, Kind: LogInsert, Table: "missing", Row: Row{1, 2}}}
+	if err := Replay(d, recs2); err != nil {
+		t.Fatalf("uncommitted record not skipped: %v", err)
+	}
+}
+
+func TestLogKindString(t *testing.T) {
+	for _, k := range []LogKind{LogInsert, LogDelete, LogUpdate, LogCommit} {
+		if k.String() == "" {
+			t.Fatal("unnamed kind")
+		}
+	}
+	if LogKind(99).String() != "log(99)" {
+		t.Fatal("out-of-range name")
+	}
+}

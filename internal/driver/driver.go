@@ -1,0 +1,201 @@
+// Package driver models the benchmark driver machine: it injects requests
+// at a configured injection rate (IR), tracks per-class response times,
+// audits the run against the benchmark's response-time rules (90% of web
+// requests under 2 s, 90% of RMI requests under 5 s), and computes the
+// JOPS metric. Like the real driver, it runs "outside" the SUT and does
+// not consume SUT resources.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jasworkload/internal/server"
+	"jasworkload/internal/stats"
+)
+
+// Response-time requirements from the benchmark run rules.
+const (
+	WebDeadlineMS = 2000.0
+	RMIDeadlineMS = 5000.0
+	QuantileReq   = 0.90
+)
+
+// Config parameterizes the driver.
+type Config struct {
+	IR   int
+	Mix  server.Mix
+	Seed int64
+}
+
+// Driver generates Poisson arrivals per request class.
+type Driver struct {
+	cfg  Config
+	rng  *rand.Rand
+	sent [server.NumRequestTypes]uint64
+}
+
+// New builds a driver.
+func New(cfg Config) (*Driver, error) {
+	if cfg.IR <= 0 {
+		return nil, fmt.Errorf("driver: bad injection rate %d", cfg.IR)
+	}
+	if cfg.Mix.TotalPerIR() <= 0 {
+		return nil, errors.New("driver: empty mix")
+	}
+	return &Driver{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Arrival is one injected request with its offset within the window.
+type Arrival struct {
+	Type     server.RequestType
+	OffsetMS float64
+}
+
+// Window returns the arrivals for the next windowMS milliseconds, sorted
+// by offset. Counts are Poisson with mean rate IR x mix; the constant IR
+// makes the long-run rate constant, as in the benchmark.
+func (d *Driver) Window(windowMS float64) []Arrival {
+	var out []Arrival
+	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
+		rate := float64(d.cfg.IR) * d.cfg.Mix.RatePerIR[rt] // per second
+		mean := rate * windowMS / 1000
+		n := d.poisson(mean)
+		for i := 0; i < n; i++ {
+			out = append(out, Arrival{Type: rt, OffsetMS: d.rng.Float64() * windowMS})
+		}
+		d.sent[rt] += uint64(n)
+	}
+	// Insertion sort by offset (windows are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].OffsetMS < out[j-1].OffsetMS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// poisson samples a Poisson variate by Knuth's method (means here are
+// modest; for large means it degrades gracefully via normal approximation).
+func (d *Driver) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 50 {
+		n := int(mean + math.Sqrt(mean)*d.rng.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= d.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Sent returns per-class injected request counts.
+func (d *Driver) Sent() [server.NumRequestTypes]uint64 { return d.sent }
+
+// Tracker accumulates response times and completions for the audit.
+type Tracker struct {
+	resp      [server.NumRequestTypes][]float64
+	completed [server.NumRequestTypes]uint64
+	failed    uint64
+	startMS   float64
+	endMS     float64
+	web       [server.NumRequestTypes]bool
+}
+
+// NewTracker creates a tracker for a measurement interval starting at
+// startMS (ramp-up excluded), with jas2004's web/RMI class split.
+func NewTracker(startMS float64) *Tracker {
+	t := &Tracker{startMS: startMS, endMS: startMS}
+	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
+		t.web[rt] = rt.IsWeb()
+	}
+	return t
+}
+
+// NewTrackerForApp creates a tracker whose audit deadlines follow the
+// application's web/RMI classification.
+func NewTrackerForApp(startMS float64, web [server.NumRequestTypes]bool) *Tracker {
+	return &Tracker{startMS: startMS, endMS: startMS, web: web}
+}
+
+// Record logs one completed request.
+func (t *Tracker) Record(rt server.RequestType, completionMS, responseMS float64) {
+	if completionMS < t.startMS {
+		return // ramp-up: excluded from the audit
+	}
+	t.resp[rt] = append(t.resp[rt], responseMS)
+	t.completed[rt]++
+	if completionMS > t.endMS {
+		t.endMS = completionMS
+	}
+}
+
+// RecordFailure logs a request that errored out.
+func (t *Tracker) RecordFailure() { t.failed++ }
+
+// Completed returns per-class completion counts in the measured interval.
+func (t *Tracker) Completed() [server.NumRequestTypes]uint64 { return t.completed }
+
+// JOPS returns jAppServer-Operations-per-Second over the measured interval.
+func (t *Tracker) JOPS() float64 {
+	elapsed := (t.endMS - t.startMS) / 1000
+	if elapsed <= 0 {
+		return 0
+	}
+	var n uint64
+	for _, c := range t.completed {
+		n += c
+	}
+	return float64(n) / elapsed
+}
+
+// ClassAudit is the per-class audit result.
+type ClassAudit struct {
+	Type       server.RequestType
+	Count      uint64
+	P90MS      float64
+	MeanMS     float64
+	DeadlineMS float64
+	Pass       bool
+}
+
+// Audit evaluates the run rules and returns per-class results plus the
+// overall pass verdict. A run with no completed requests fails.
+func (t *Tracker) Audit() ([]ClassAudit, bool) {
+	out := make([]ClassAudit, 0, server.NumRequestTypes)
+	pass := true
+	var total uint64
+	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
+		ca := ClassAudit{Type: rt, Count: t.completed[rt], DeadlineMS: RMIDeadlineMS}
+		if t.web[rt] {
+			ca.DeadlineMS = WebDeadlineMS
+		}
+		if len(t.resp[rt]) > 0 {
+			p90, err := stats.Quantile(t.resp[rt], QuantileReq)
+			if err == nil {
+				ca.P90MS = p90
+			}
+			ca.MeanMS = stats.Mean(t.resp[rt])
+			ca.Pass = ca.P90MS <= ca.DeadlineMS
+		}
+		pass = pass && ca.Pass
+		total += ca.Count
+		out = append(out, ca)
+	}
+	if total == 0 || t.failed > total/100 {
+		pass = false
+	}
+	return out, pass
+}

@@ -1,0 +1,172 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"jasworkload/internal/server"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{IR: 0, Mix: server.DefaultMix()}); err == nil {
+		t.Fatal("IR 0 accepted")
+	}
+	if _, err := New(Config{IR: 10}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestWindowRates(t *testing.T) {
+	d, err := New(Config{IR: 40, Mix: server.DefaultMix(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [server.NumRequestTypes]int
+	const windows = 600 // 10 minutes of 1s windows
+	for w := 0; w < windows; w++ {
+		for _, a := range d.Window(1000) {
+			counts[a.Type]++
+			if a.OffsetMS < 0 || a.OffsetMS >= 1000 {
+				t.Fatalf("offset %v outside window", a.OffsetMS)
+			}
+		}
+	}
+	mix := server.DefaultMix()
+	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
+		want := 40 * mix.RatePerIR[rt] * windows
+		got := float64(counts[rt])
+		if math.Abs(got-want) > want*0.08 {
+			t.Errorf("%v: %v arrivals, want ~%v", rt, got, want)
+		}
+	}
+	// Total ~1.6 JOPS per IR injected.
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	perIRperSec := total / windows / 40
+	if math.Abs(perIRperSec-1.6) > 0.1 {
+		t.Fatalf("injected %.3f req/s/IR, want 1.6", perIRperSec)
+	}
+	sent := d.Sent()
+	var sentTotal uint64
+	for _, s := range sent {
+		sentTotal += s
+	}
+	if sentTotal != uint64(total) {
+		t.Fatal("Sent() disagrees with arrivals")
+	}
+}
+
+func TestWindowSorted(t *testing.T) {
+	d, _ := New(Config{IR: 100, Mix: server.DefaultMix(), Seed: 2})
+	for w := 0; w < 20; w++ {
+		arr := d.Window(1000)
+		for i := 1; i < len(arr); i++ {
+			if arr[i].OffsetMS < arr[i-1].OffsetMS {
+				t.Fatal("arrivals not sorted")
+			}
+		}
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	d, _ := New(Config{IR: 1000, Mix: server.DefaultMix(), Seed: 3})
+	var n int
+	for w := 0; w < 50; w++ {
+		n += len(d.Window(1000))
+	}
+	want := 1000 * 1.6 * 50.0
+	if math.Abs(float64(n)-want) > want*0.05 {
+		t.Fatalf("high-IR arrivals = %d, want ~%.0f", n, want)
+	}
+}
+
+func TestTrackerJOPSAndAudit(t *testing.T) {
+	tr := NewTracker(1000)
+	// 100 requests over 10 seconds, all fast.
+	for i := 0; i < 100; i++ {
+		rt := server.RequestType(i % server.NumRequestTypes)
+		at := 1000 + float64(i)*100
+		tr.Record(rt, at+100, 150)
+	}
+	jops := tr.JOPS()
+	if jops < 9 || jops > 11.5 {
+		t.Fatalf("JOPS = %v, want ~10", jops)
+	}
+	audits, pass := tr.Audit()
+	if !pass {
+		t.Fatal("fast run failed audit")
+	}
+	if len(audits) != server.NumRequestTypes {
+		t.Fatalf("audit classes = %d", len(audits))
+	}
+	for _, a := range audits {
+		if !a.Pass || a.P90MS > a.DeadlineMS {
+			t.Fatalf("class %v failed: %+v", a.Type, a)
+		}
+		if a.Type.IsWeb() && a.DeadlineMS != WebDeadlineMS {
+			t.Fatal("web deadline wrong")
+		}
+		if !a.Type.IsWeb() && a.DeadlineMS != RMIDeadlineMS {
+			t.Fatal("RMI deadline wrong")
+		}
+	}
+}
+
+func TestTrackerAuditFailsSlowWeb(t *testing.T) {
+	tr := NewTracker(0)
+	for i := 0; i < 100; i++ {
+		// 85% fast, 15% very slow: p90 over the 2s web deadline.
+		resp := 100.0
+		if i%7 == 0 {
+			resp = 30000
+		}
+		tr.Record(server.ReqBrowse, float64(i)*10+10, resp)
+		tr.Record(server.ReqCreateVehicle, float64(i)*10+10, 100)
+		tr.Record(server.ReqPurchase, float64(i)*10+10, 100)
+		tr.Record(server.ReqManage, float64(i)*10+10, 100)
+	}
+	_, pass := tr.Audit()
+	if pass {
+		t.Fatal("slow web class passed the audit")
+	}
+}
+
+func TestTrackerExcludesRampUp(t *testing.T) {
+	tr := NewTracker(5000)
+	tr.Record(server.ReqBrowse, 4000, 100) // during ramp-up
+	if tr.Completed()[server.ReqBrowse] != 0 {
+		t.Fatal("ramp-up request counted")
+	}
+	tr.Record(server.ReqBrowse, 6000, 100)
+	if tr.Completed()[server.ReqBrowse] != 1 {
+		t.Fatal("steady-state request not counted")
+	}
+}
+
+func TestTrackerEmptyFails(t *testing.T) {
+	tr := NewTracker(0)
+	if _, pass := tr.Audit(); pass {
+		t.Fatal("empty run passed")
+	}
+	if tr.JOPS() != 0 {
+		t.Fatal("empty JOPS nonzero")
+	}
+}
+
+func TestTrackerFailureBudget(t *testing.T) {
+	tr := NewTracker(0)
+	for i := 0; i < 100; i++ {
+		tr.Record(server.ReqBrowse, float64(i+1)*10, 50)
+		tr.Record(server.ReqPurchase, float64(i+1)*10, 50)
+		tr.Record(server.ReqManage, float64(i+1)*10, 50)
+		tr.Record(server.ReqCreateVehicle, float64(i+1)*10, 50)
+	}
+	for i := 0; i < 10; i++ {
+		tr.RecordFailure()
+	}
+	if _, pass := tr.Audit(); pass {
+		t.Fatal("run with >1% failures passed")
+	}
+}

@@ -1,0 +1,87 @@
+package hpm
+
+import (
+	"errors"
+	"fmt"
+
+	"jasworkload/internal/power4"
+	"jasworkload/internal/stats"
+)
+
+// Multiplexer rotates a set of counter groups across windows, the way
+// hpmcount time-multiplexes groups when more events are wanted than the
+// hardware can count at once. Each group is active for one window in turn;
+// extracted series are per-group (sparser than the run, scaled to rates by
+// the consumer). The paper instead dedicated long spans to each group —
+// both approaches are exposed so their trade-off can be studied: rotation
+// sees every phase but with fewer samples per group.
+type Multiplexer struct {
+	mon    *Monitor
+	groups []Group
+	turn   int
+	// samples per group, in rotation order.
+	byGroup map[string][]Sample
+	windows int
+}
+
+// NewMultiplexer builds a rotating monitor over the groups.
+func NewMultiplexer(src CounterSource, groups []Group, windowMS int) (*Multiplexer, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("hpm: no groups to multiplex")
+	}
+	for _, g := range groups {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	mon, err := NewMonitor(src, groups[0], windowMS)
+	if err != nil {
+		return nil, err
+	}
+	return &Multiplexer{
+		mon:     mon,
+		groups:  groups,
+		byGroup: map[string][]Sample{},
+	}, nil
+}
+
+// Tick closes the current window under the active group and rotates to the
+// next group, mirroring counter reprogramming between windows.
+func (m *Multiplexer) Tick() (Sample, error) {
+	s := m.mon.Tick()
+	m.byGroup[s.Group] = append(m.byGroup[s.Group], s)
+	m.windows++
+	m.turn = (m.turn + 1) % len(m.groups)
+	if err := m.mon.SetGroup(m.groups[m.turn]); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Windows returns how many windows have been closed.
+func (m *Multiplexer) Windows() int { return m.windows }
+
+// Samples returns the samples recorded while the named group was active.
+func (m *Multiplexer) Samples(group string) []Sample { return m.byGroup[group] }
+
+// RateSeries extracts event-per-instruction values for the windows during
+// which the event's group was active.
+func (m *Multiplexer) RateSeries(group string, ev power4.Event) (*stats.Series, error) {
+	g, ok := GroupByName(m.groups, group)
+	if !ok {
+		return nil, fmt.Errorf("hpm: group %q not multiplexed", group)
+	}
+	if !g.Has(ev) {
+		return nil, fmt.Errorf("hpm: event %v not in group %q", ev, group)
+	}
+	out := stats.NewSeries(ev.String()+"/inst", m.mon.WindowMS()*len(m.groups))
+	for _, s := range m.byGroup[group] {
+		inst := float64(s.Values[power4.EvInstCompleted])
+		if inst > 0 {
+			out.Append(float64(s.Values[ev]) / inst)
+		} else {
+			out.Append(0)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package hpm
+
+import (
+	"testing"
+
+	"jasworkload/internal/power4"
+)
+
+func TestMultiplexerValidation(t *testing.T) {
+	src := &fakeSource{}
+	if _, err := NewMultiplexer(src, nil, 100); err == nil {
+		t.Fatal("empty group list accepted")
+	}
+	if _, err := NewMultiplexer(src, []Group{{}}, 100); err == nil {
+		t.Fatal("invalid group accepted")
+	}
+}
+
+func TestMultiplexerRotation(t *testing.T) {
+	src := &fakeSource{}
+	gs := StandardGroups()[:3]
+	m, err := NewMultiplexer(src, gs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 9; w++ {
+		src.bump(power4.EvCycles, 100)
+		src.bump(power4.EvInstCompleted, 50)
+		src.bump(power4.EvBrCond, 10)
+		if _, err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Windows() != 9 {
+		t.Fatalf("windows = %d", m.Windows())
+	}
+	// Each group active for 3 of the 9 windows.
+	for _, g := range gs {
+		if n := len(m.Samples(g.Name)); n != 3 {
+			t.Fatalf("group %q sampled %d windows, want 3", g.Name, n)
+		}
+	}
+	// Branch counts only observed while the branch group was active.
+	for _, s := range m.Samples("branch") {
+		if s.Values[power4.EvBrCond] != 10 {
+			t.Fatalf("branch window saw %d branches, want 10", s.Values[power4.EvBrCond])
+		}
+	}
+	if _, ok := m.Samples("cpi")[0].Values[power4.EvBrCond]; ok {
+		t.Fatal("cpi group exposed a branch event")
+	}
+}
+
+func TestMultiplexerRateSeries(t *testing.T) {
+	src := &fakeSource{}
+	gs := StandardGroups()[:2] // cpi, branch
+	m, _ := NewMultiplexer(src, gs, 100)
+	for w := 0; w < 4; w++ {
+		src.bump(power4.EvInstCompleted, 1000)
+		src.bump(power4.EvLoads, 320)
+		if _, err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := m.RateSeries("cpi", power4.EvLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("series length = %d, want 2 (half the windows)", rs.Len())
+	}
+	if rs.At(0) != 0.32 {
+		t.Fatalf("load rate = %v", rs.At(0))
+	}
+	if _, err := m.RateSeries("branch", power4.EvLoads); err == nil {
+		t.Fatal("event outside group accepted")
+	}
+	if _, err := m.RateSeries("nope", power4.EvLoads); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}

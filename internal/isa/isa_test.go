@@ -1,0 +1,195 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	for c := ClassALU; c < Class(NumClasses); c++ {
+		if c.String() == "" {
+			t.Fatalf("class %d has empty name", c)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Fatalf("out-of-range class name = %q", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                            Class
+		isMem, isLoad, isStore, isBr bool
+	}{
+		{ClassALU, false, false, false, false},
+		{ClassLoad, true, true, false, false},
+		{ClassStore, true, false, true, false},
+		{ClassBranchCond, false, false, false, true},
+		{ClassBranchIndirect, false, false, false, true},
+		{ClassLarx, true, true, false, false},
+		{ClassStcx, true, false, true, false},
+		{ClassSync, false, false, false, false},
+	}
+	for _, tc := range cases {
+		if tc.c.IsMemory() != tc.isMem {
+			t.Errorf("%v IsMemory = %v", tc.c, tc.c.IsMemory())
+		}
+		if tc.c.IsLoad() != tc.isLoad {
+			t.Errorf("%v IsLoad = %v", tc.c, tc.c.IsLoad())
+		}
+		if tc.c.IsStore() != tc.isStore {
+			t.Errorf("%v IsStore = %v", tc.c, tc.c.IsStore())
+		}
+		if tc.c.IsBranch() != tc.isBr {
+			t.Errorf("%v IsBranch = %v", tc.c, tc.c.IsBranch())
+		}
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var cs CountingSink
+	cs.Consume(&Instr{Class: ClassLoad})
+	cs.Consume(&Instr{Class: ClassLarx})
+	cs.Consume(&Instr{Class: ClassStore, Kernel: true})
+	cs.Consume(&Instr{Class: ClassStcx})
+	cs.Consume(&Instr{Class: ClassBranchCond})
+	cs.Consume(&Instr{Class: ClassBranchIndirect})
+	if cs.Total != 6 {
+		t.Fatalf("Total = %d", cs.Total)
+	}
+	if cs.Loads() != 2 || cs.Stores() != 2 || cs.Branches() != 2 {
+		t.Fatalf("loads/stores/branches = %d/%d/%d", cs.Loads(), cs.Stores(), cs.Branches())
+	}
+	if cs.Kernel != 1 {
+		t.Fatalf("Kernel = %d", cs.Kernel)
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b CountingSink
+	tee := Tee{&a, &b}
+	tee.Consume(&Instr{Class: ClassALU})
+	tee.Consume(&Instr{Class: ClassLoad})
+	if a.Total != 2 || b.Total != 2 {
+		t.Fatalf("tee did not duplicate: %d/%d", a.Total, b.Total)
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	n := 0
+	s := SinkFunc(func(*Instr) { n++ })
+	s.Consume(&Instr{})
+	if n != 1 {
+		t.Fatal("SinkFunc not invoked")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range []Mix{Jas2004UserMix(), GCMix(), KernelMix()} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("standard mix invalid: %v", err)
+		}
+	}
+	bad := Mix{LoadRate: -0.1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	bad = Mix{LoadRate: 0.6, StoreRate: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("over-unity mix accepted")
+	}
+	if _, err := NewMixSampler(bad, 1); err == nil {
+		t.Fatal("NewMixSampler accepted bad mix")
+	}
+}
+
+// The sampler must reproduce configured rates exactly in the long run.
+func TestMixSamplerRates(t *testing.T) {
+	mix := Jas2004UserMix()
+	s, err := NewMixSampler(mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2_000_000
+	var counts [NumClasses]uint64
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	check := func(name string, got uint64, wantRate float64) {
+		t.Helper()
+		gotRate := float64(got) / n
+		if math.Abs(gotRate-wantRate) > wantRate*0.01+1e-5 {
+			t.Errorf("%s rate = %.6f, want %.6f", name, gotRate, wantRate)
+		}
+	}
+	check("load", counts[ClassLoad], mix.LoadRate)
+	check("store", counts[ClassStore], mix.StoreRate)
+	check("cond", counts[ClassBranchCond], mix.CondRate)
+	check("indirect", counts[ClassBranchIndirect], mix.IndirectRate)
+	check("larx", counts[ClassLarx], mix.LarxRate)
+	check("sync", counts[ClassSync], mix.SyncRate)
+	// The paper's headline: ~1 memory op per 2 instructions.
+	memRate := float64(counts[ClassLoad]+counts[ClassStore]+counts[ClassLarx]) / n
+	if memRate < 0.5 || memRate > 0.56 {
+		t.Errorf("memory op rate = %.4f, want ~0.53 (1 per ~1.9 instr)", memRate)
+	}
+}
+
+func TestMixSamplerDeterministic(t *testing.T) {
+	a, _ := NewMixSampler(Jas2004UserMix(), 42)
+	b, _ := NewMixSampler(Jas2004UserMix(), 42)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+// Property: any valid random mix is reproduced to within 2% relative error
+// over a long stream.
+func TestMixSamplerRateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		// Derive a small random but valid mix from the seed.
+		r := func(k int64, scale float64) float64 {
+			v := float64((seed>>uint(k*7))&0xff) / 255.0
+			return v * scale
+		}
+		mix := Mix{
+			LoadRate:  0.05 + r(0, 0.25),
+			StoreRate: 0.05 + r(1, 0.15),
+			CondRate:  0.02 + r(2, 0.1),
+		}
+		s, err := NewMixSampler(mix, seed)
+		if err != nil {
+			return false
+		}
+		const n = 300000
+		var loads, stores uint64
+		for i := 0; i < n; i++ {
+			switch s.Next() {
+			case ClassLoad:
+				loads++
+			case ClassStore:
+				stores++
+			}
+		}
+		ok := func(got uint64, want float64) bool {
+			return math.Abs(float64(got)/n-want) <= want*0.02+1e-4
+		}
+		return ok(loads, mix.LoadRate) && ok(stores, mix.StoreRate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixSamplerStcxNeverEmitted(t *testing.T) {
+	// STCX must be paired with LARX by lock models, never sampled directly.
+	s, _ := NewMixSampler(Jas2004UserMix(), 3)
+	for i := 0; i < 100000; i++ {
+		if s.Next() == ClassStcx {
+			t.Fatal("sampler emitted ClassStcx")
+		}
+	}
+}

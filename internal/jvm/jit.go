@@ -1,0 +1,205 @@
+package jvm
+
+import (
+	"fmt"
+	"sort"
+
+	"jasworkload/internal/mem"
+)
+
+// JITConfig controls the compilation model.
+type JITConfig struct {
+	// CompileThreshold is the invocation count at which a method is JIT
+	// compiled. The paper notes a long run was needed "to ensure that most
+	// 'important' WebSphere and jas2004 Java methods had a chance to be
+	// profiled by the JVM runtime and then be JIT-compiled ... at high
+	// optimization levels".
+	CompileThreshold uint64
+	// RecompileFactor: each higher optimization level needs this many times
+	// more invocations.
+	RecompileFactor uint64
+	// MaxOptLevel is the highest optimization level.
+	MaxOptLevel int
+	// InlineGrowth multiplies code size per optimization level (aggressive
+	// method inlining grows the code footprint).
+	InlineGrowth float64
+}
+
+// DefaultJITConfig returns thresholds typical of a server-mode JIT.
+func DefaultJITConfig() JITConfig {
+	return JITConfig{
+		CompileThreshold: 50,
+		RecompileFactor:  20,
+		MaxOptLevel:      3,
+		InlineGrowth:     1.35,
+	}
+}
+
+// JIT manages compilation state for the method universe and owns the code
+// cache region where compiled method bodies get addresses.
+type JIT struct {
+	cfg     JITConfig
+	methods []*Method
+	cache   *mem.Region
+	next    uint64 // bump pointer within the code cache
+
+	compilations  uint64
+	recompiles    uint64
+	cacheOverflow bool
+}
+
+// NewJIT builds a JIT over the method universe with code placed in the
+// given code-cache region.
+func NewJIT(cfg JITConfig, methods []*Method, cache *mem.Region) (*JIT, error) {
+	if cfg.CompileThreshold == 0 || cfg.MaxOptLevel < 0 {
+		return nil, fmt.Errorf("jvm: bad JIT config %+v", cfg)
+	}
+	if cache == nil {
+		return nil, fmt.Errorf("jvm: nil code cache region")
+	}
+	return &JIT{cfg: cfg, methods: methods, cache: cache, next: cache.Base}, nil
+}
+
+// Methods returns the universe.
+func (j *JIT) Methods() []*Method { return j.methods }
+
+// Method returns the method with the given id.
+func (j *JIT) Method(id MethodID) *Method { return j.methods[id] }
+
+// Invoke records one invocation of method id and runs the compilation
+// policy. It reports whether a (re)compilation happened during this call.
+func (j *JIT) Invoke(id MethodID) bool {
+	m := j.methods[id]
+	m.Invocations++
+	switch {
+	case !m.Compiled && m.Invocations >= j.cfg.CompileThreshold:
+		j.compile(m, 1)
+		return true
+	case m.Compiled && m.OptLevel < j.cfg.MaxOptLevel &&
+		m.Invocations >= j.cfg.CompileThreshold*pow(j.cfg.RecompileFactor, m.OptLevel):
+		j.compile(m, m.OptLevel+1)
+		return true
+	}
+	return false
+}
+
+func pow(base uint64, exp int) uint64 {
+	r := uint64(1)
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}
+
+// compile assigns (or reassigns) code-cache space at the given level.
+func (j *JIT) compile(m *Method, level int) {
+	size := uint64(float64(m.CodeSize) * powf(j.cfg.InlineGrowth, level-1))
+	size = (size + 127) &^ 127 // line-align code bodies
+	if j.next+size > j.cache.End() {
+		// Code cache exhausted: keep the old body (real JITs flush; the
+		// paper's footprint fits the default 64 MB cache).
+		j.cacheOverflow = true
+		return
+	}
+	if m.Compiled {
+		j.recompiles++
+	} else {
+		j.compilations++
+	}
+	m.Compiled = true
+	m.OptLevel = level
+	m.CodeAddr = j.next
+	j.next += size
+}
+
+func powf(b float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= b
+	}
+	return r
+}
+
+// Compilations returns (first-time compiles, recompiles).
+func (j *JIT) Compilations() (uint64, uint64) { return j.compilations, j.recompiles }
+
+// CacheUsed returns the bytes of code cache consumed.
+func (j *JIT) CacheUsed() uint64 { return j.next - j.cache.Base }
+
+// CacheOverflowed reports whether any compilation was rejected for space.
+func (j *JIT) CacheOverflowed() bool { return j.cacheOverflow }
+
+// CompiledShare returns the fraction of profile weight that is currently
+// JIT compiled — the sim's proxy for "how warmed up is the system".
+func (j *JIT) CompiledShare() float64 {
+	var comp, total float64
+	for _, m := range j.methods {
+		total += m.Weight
+		if m.Compiled {
+			comp += m.Weight
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return comp / total
+}
+
+// Precompile compiles methods covering the given profile-weight share
+// directly at the top optimization level, the way WebSphere's shared-class
+// cache / AOT store hands a restarted server warm code. It returns the
+// number of methods compiled.
+func (j *JIT) Precompile(share float64) int {
+	ids := make([]MethodID, len(j.methods))
+	for i := range ids {
+		ids[i] = MethodID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return j.methods[ids[a]].Weight > j.methods[ids[b]].Weight })
+	var covered float64
+	n := 0
+	for _, id := range ids {
+		if covered >= share {
+			break
+		}
+		m := j.methods[id]
+		covered += m.Weight
+		if !m.Compiled {
+			j.compile(m, j.cfg.MaxOptLevel)
+			if m.Compiled {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WarmUp drives invocations so that methods covering the given share of
+// profile weight are compiled at the top optimization level, mimicking the
+// paper's long warm-up runs. It returns the number of simulated
+// invocations spent.
+func (j *JIT) WarmUp(share float64) uint64 {
+	// Hot-first: sort ids by weight descending.
+	ids := make([]MethodID, len(j.methods))
+	for i := range ids {
+		ids[i] = MethodID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return j.methods[ids[a]].Weight > j.methods[ids[b]].Weight })
+	var spent uint64
+	var covered float64
+	need := j.cfg.CompileThreshold * pow(j.cfg.RecompileFactor, j.cfg.MaxOptLevel-1)
+	for _, id := range ids {
+		if covered >= share {
+			break
+		}
+		m := j.methods[id]
+		for m.OptLevel < j.cfg.MaxOptLevel {
+			if m.Invocations > need*2 {
+				break // safety: cache overflow keeps a method below max level
+			}
+			j.Invoke(id)
+			spent++
+		}
+		covered += m.Weight
+	}
+	return spent
+}

@@ -1,0 +1,181 @@
+package jvm
+
+import (
+	"testing"
+
+	"jasworkload/internal/mem"
+)
+
+func jitRig(t *testing.T, cacheBytes uint64) (*JIT, []*Method) {
+	t.Helper()
+	cfg := DefaultProfileConfig()
+	cfg.NumMethods = 200
+	cfg.WarmSet = 20
+	ms, err := GenerateMethods(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	r, err := as.AddRegion("jitcode", 16<<20, cacheBytes, mem.Page4K, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJIT(DefaultJITConfig(), ms, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, ms
+}
+
+func TestNewJITValidation(t *testing.T) {
+	if _, err := NewJIT(JITConfig{}, nil, nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	ms, _ := GenerateMethods(ProfileConfig{NumMethods: 10, WarmSet: 2, WarmShare: 0.5, TopCap: 0.5, Seed: 1})
+	if _, err := NewJIT(DefaultJITConfig(), ms, nil); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+}
+
+func TestCompileAtThreshold(t *testing.T) {
+	j, ms := jitRig(t, 16<<20)
+	th := DefaultJITConfig().CompileThreshold
+	m := ms[5]
+	for i := uint64(0); i < th-1; i++ {
+		if j.Invoke(m.ID) {
+			t.Fatal("compiled before threshold")
+		}
+	}
+	if m.Compiled {
+		t.Fatal("compiled early")
+	}
+	if !j.Invoke(m.ID) {
+		t.Fatal("threshold invocation did not compile")
+	}
+	if !m.Compiled || m.OptLevel != 1 {
+		t.Fatalf("state = compiled=%v opt=%d", m.Compiled, m.OptLevel)
+	}
+	if m.CodeAddr == 0 {
+		t.Fatal("no code address assigned")
+	}
+	c, r := j.Compilations()
+	if c != 1 || r != 0 {
+		t.Fatalf("compilations = %d/%d", c, r)
+	}
+}
+
+func TestRecompileAtHigherLevels(t *testing.T) {
+	j, ms := jitRig(t, 16<<20)
+	m := ms[0]
+	cfg := DefaultJITConfig()
+	// Drive to max level.
+	limit := cfg.CompileThreshold * pow(cfg.RecompileFactor, cfg.MaxOptLevel-1)
+	for i := uint64(0); i <= limit; i++ {
+		j.Invoke(m.ID)
+	}
+	if m.OptLevel != cfg.MaxOptLevel {
+		t.Fatalf("opt level = %d, want %d", m.OptLevel, cfg.MaxOptLevel)
+	}
+	_, r := j.Compilations()
+	if r != uint64(cfg.MaxOptLevel-1) {
+		t.Fatalf("recompiles = %d, want %d", r, cfg.MaxOptLevel-1)
+	}
+	// Invocations beyond max level never recompile.
+	before := m.CodeAddr
+	for i := 0; i < 1000; i++ {
+		if j.Invoke(m.ID) {
+			t.Fatal("recompiled past max level")
+		}
+	}
+	if m.CodeAddr != before {
+		t.Fatal("code moved without recompilation")
+	}
+}
+
+func TestCodeAddressesDisjointAndAligned(t *testing.T) {
+	j, ms := jitRig(t, 16<<20)
+	th := DefaultJITConfig().CompileThreshold
+	for _, m := range ms[:50] {
+		for i := uint64(0); i < th; i++ {
+			j.Invoke(m.ID)
+		}
+	}
+	type iv struct{ a, b uint64 }
+	var ivs []iv
+	for _, m := range ms[:50] {
+		if !m.Compiled {
+			t.Fatalf("method %d not compiled", m.ID)
+		}
+		if m.CodeAddr%128 != 0 {
+			t.Fatalf("code not line-aligned: %#x", m.CodeAddr)
+		}
+		ivs = append(ivs, iv{m.CodeAddr, m.CodeAddr + uint64(m.CodeSize)})
+	}
+	for i := range ivs {
+		for k := i + 1; k < len(ivs); k++ {
+			if ivs[i].a < ivs[k].b && ivs[k].a < ivs[i].b {
+				t.Fatalf("code bodies %d and %d overlap", i, k)
+			}
+		}
+	}
+	if j.CacheUsed() == 0 {
+		t.Fatal("cache usage not tracked")
+	}
+}
+
+func TestCodeCacheOverflow(t *testing.T) {
+	j, ms := jitRig(t, 256<<10) // deliberately tiny cache (64 pages)
+	th := DefaultJITConfig().CompileThreshold
+	for _, m := range ms {
+		for i := uint64(0); i < th; i++ {
+			j.Invoke(m.ID)
+		}
+	}
+	if !j.CacheOverflowed() {
+		t.Fatal("tiny cache never overflowed")
+	}
+	// The JIT survives overflow; some methods stay uncompiled.
+	uncompiled := 0
+	for _, m := range ms {
+		if !m.Compiled {
+			uncompiled++
+		}
+	}
+	if uncompiled == 0 {
+		t.Fatal("all methods fit a cache that should overflow")
+	}
+}
+
+func TestWarmUp(t *testing.T) {
+	j, _ := jitRig(t, 32<<20)
+	if j.CompiledShare() != 0 {
+		t.Fatal("cold JIT has compiled share")
+	}
+	spent := j.WarmUp(0.9)
+	if spent == 0 {
+		t.Fatal("warmup did nothing")
+	}
+	if s := j.CompiledShare(); s < 0.9 {
+		t.Fatalf("compiled share = %.2f after WarmUp(0.9)", s)
+	}
+	// Warm methods are at max opt level.
+	maxed := 0
+	for _, m := range j.Methods() {
+		if m.OptLevel == DefaultJITConfig().MaxOptLevel {
+			maxed++
+		}
+	}
+	if maxed == 0 {
+		t.Fatal("no method reached max opt level")
+	}
+}
+
+func TestMethodAccessor(t *testing.T) {
+	j, ms := jitRig(t, 16<<20)
+	if j.Method(ms[3].ID) != ms[3] {
+		t.Fatal("Method accessor wrong")
+	}
+	if len(j.Methods()) != len(ms) {
+		t.Fatal("Methods accessor wrong")
+	}
+}

@@ -1,0 +1,229 @@
+// Package jvm models the Java virtual machine the paper's workload runs
+// on: a JIT compiler with a method universe whose runtime profile is
+// calibrated to the paper's "flat profile" findings (Section 4.1.2), and a
+// flat-heap, non-generational mark-sweep-compact garbage collector with
+// verbosegc-style statistics (Section 4.1.1).
+package jvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Component classifies who owns a Java method, matching the paper's
+// Figure 4 breakdown of JIT-compiled code: about 76% of it is WebSphere,
+// Enterprise Java Services and Java library code, and only ~2% of overall
+// CPU is the jas2004 benchmark code itself.
+type Component uint8
+
+// Method-owning components inside the application-server JVM.
+const (
+	CompWebSphere Component = iota // WebSphere application server classes
+	CompEJS                        // Enterprise Java Services (EJB container)
+	CompJavaLib                    // java.* / javax.* library code
+	CompJas2004                    // the benchmark application itself
+	CompOther                      // everything else (ORB, XML, logging, ...)
+	numComponents
+)
+
+// NumComponents is the number of method-owning components.
+const NumComponents = int(numComponents)
+
+var componentNames = [...]string{
+	CompWebSphere: "WebSphere",
+	CompEJS:       "EJS",
+	CompJavaLib:   "JavaLib",
+	CompJas2004:   "jas2004",
+	CompOther:     "Other",
+}
+
+// String names the component.
+func (c Component) String() string {
+	if int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("component(%d)", uint8(c))
+}
+
+// MethodID identifies a method in the universe.
+type MethodID uint32
+
+// Method is one Java method known to the JVM.
+type Method struct {
+	ID        MethodID
+	Name      string
+	Component Component
+	Weight    float64 // fraction of JITed-code CPU time (sums to 1)
+	CodeSize  uint32  // bytes of JIT-compiled code
+	BodyLen   int     // abstract instructions per invocation
+
+	// Mutable JIT state.
+	Invocations uint64
+	Compiled    bool
+	OptLevel    int
+	CodeAddr    uint64 // address in the JIT code cache once compiled
+}
+
+// ProfileConfig parameterizes the flat-profile generator. Defaults encode
+// the paper's measured facts:
+//
+//   - 8,500 JITed methods
+//   - the hottest method (a char-to-byte converter) is <1% of overall time
+//   - 224 methods cover 50% of JITed-code time
+//   - ~76% of JITed time is WebSphere + EJS + JavaLib, ~3% is jas2004 code
+type ProfileConfig struct {
+	NumMethods int
+	WarmSet    int     // methods covering WarmShare of the time
+	WarmShare  float64 // fraction of JITed time in the warm set
+	TopCap     float64 // max weight of the single hottest method
+	Seed       int64
+}
+
+// DefaultProfileConfig returns the paper-calibrated configuration.
+func DefaultProfileConfig() ProfileConfig {
+	return ProfileConfig{
+		NumMethods: 8500,
+		WarmSet:    224,
+		WarmShare:  0.50,
+		TopCap:     0.018, // <1% of overall CPU once JITed code is ~45% of it
+		Seed:       1,
+	}
+}
+
+// componentMix is the share of JITed time per component.
+var componentMix = map[Component]float64{
+	CompWebSphere: 0.42,
+	CompEJS:       0.18,
+	CompJavaLib:   0.16,
+	CompJas2004:   0.03, // ~2% of overall CPU
+	CompOther:     0.21,
+}
+
+// GenerateMethods builds a deterministic method universe whose weight
+// distribution satisfies the flat-profile constraints. Weights are
+// normalized to sum to 1 over the universe.
+func GenerateMethods(cfg ProfileConfig) ([]*Method, error) {
+	if cfg.NumMethods <= 0 || cfg.WarmSet <= 0 || cfg.WarmSet >= cfg.NumMethods {
+		return nil, fmt.Errorf("jvm: bad profile config %+v", cfg)
+	}
+	if cfg.WarmShare <= 0 || cfg.WarmShare >= 1 || cfg.TopCap <= 0 {
+		return nil, fmt.Errorf("jvm: bad profile shares %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Two-regime weight model: a warm set with a mild Zipf inside it, and a
+	// long, even flatter tail. A single Zipf cannot simultaneously give
+	// "224 methods = 50%" and "top method < 1%" over 8,500 methods; the
+	// paper's profile is flatter than Zipf at the head.
+	weights := make([]float64, cfg.NumMethods)
+	var warmSum float64
+	for i := 0; i < cfg.WarmSet; i++ {
+		weights[i] = 1 / float64(i+8) // shifted to flatten the head
+		warmSum += weights[i]
+	}
+	for i := 0; i < cfg.WarmSet; i++ {
+		weights[i] *= cfg.WarmShare / warmSum
+	}
+	var tailSum float64
+	for i := cfg.WarmSet; i < cfg.NumMethods; i++ {
+		weights[i] = 1 / float64(i+64)
+		tailSum += weights[i]
+	}
+	for i := cfg.WarmSet; i < cfg.NumMethods; i++ {
+		weights[i] *= (1 - cfg.WarmShare) / tailSum
+	}
+	// Cap the hottest method, spilling the excess into the warm tail.
+	if weights[0] > cfg.TopCap {
+		excess := weights[0] - cfg.TopCap
+		weights[0] = cfg.TopCap
+		per := excess / float64(cfg.WarmSet-1)
+		for i := 1; i < cfg.WarmSet; i++ {
+			weights[i] += per
+		}
+	}
+
+	// Assign components. The hottest method is the paper's char-to-byte
+	// converter (a Java library conversion routine).
+	methods := make([]*Method, cfg.NumMethods)
+	compOf := makeComponentAssigner(rng)
+	for i := range methods {
+		comp := compOf()
+		name := fmt.Sprintf("%s.m%04d", componentNames[comp], i)
+		if i == 0 {
+			comp = CompJavaLib
+			name = "JavaLib.io.CharToByteConverter.convert"
+		}
+		// Code sizes: log-uniform 256 B .. 16 KB, hot methods bigger due to
+		// aggressive inlining.
+		size := uint32(256 << uint(rng.Intn(7)))
+		if i < cfg.WarmSet {
+			size *= 2
+		}
+		methods[i] = &Method{
+			ID:        MethodID(i),
+			Name:      name,
+			Component: comp,
+			Weight:    weights[i],
+			CodeSize:  size,
+			BodyLen:   40 + rng.Intn(360),
+		}
+	}
+	return methods, nil
+}
+
+// makeComponentAssigner returns a sampler over components matching
+// componentMix.
+func makeComponentAssigner(rng *rand.Rand) func() Component {
+	comps := make([]Component, 0, NumComponents)
+	cum := make([]float64, 0, NumComponents)
+	var c float64
+	for comp := Component(0); comp < numComponents; comp++ {
+		c += componentMix[comp]
+		comps = append(comps, comp)
+		cum = append(cum, c)
+	}
+	return func() Component {
+		x := rng.Float64() * cum[len(cum)-1]
+		for i, v := range cum {
+			if x <= v {
+				return comps[i]
+			}
+		}
+		return comps[len(comps)-1]
+	}
+}
+
+// ProfileStats summarizes a weight distribution the way tprof would.
+type ProfileStats struct {
+	Methods        int
+	TopWeight      float64 // hottest method's share of JITed time
+	Top224Share    float64 // share of the 224 hottest methods
+	ComponentShare map[Component]float64
+	TotalCodeBytes uint64
+}
+
+// AnalyzeProfile computes the flat-profile statistics for a universe.
+func AnalyzeProfile(methods []*Method) ProfileStats {
+	ws := make([]float64, len(methods))
+	var st ProfileStats
+	st.Methods = len(methods)
+	st.ComponentShare = map[Component]float64{}
+	for i, m := range methods {
+		ws[i] = m.Weight
+		st.ComponentShare[m.Component] += m.Weight
+		st.TotalCodeBytes += uint64(m.CodeSize)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+	if len(ws) > 0 {
+		st.TopWeight = ws[0]
+	}
+	n := 224
+	if n > len(ws) {
+		n = len(ws)
+	}
+	for _, w := range ws[:n] {
+		st.Top224Share += w
+	}
+	return st
+}

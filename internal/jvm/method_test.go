@@ -1,0 +1,106 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateMethodsValidation(t *testing.T) {
+	bad := []ProfileConfig{
+		{},
+		{NumMethods: 100, WarmSet: 100, WarmShare: 0.5, TopCap: 0.01},
+		{NumMethods: 100, WarmSet: 10, WarmShare: 1.5, TopCap: 0.01},
+		{NumMethods: 100, WarmSet: 10, WarmShare: 0.5, TopCap: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateMethods(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// The generated universe must satisfy the paper's flat-profile facts.
+func TestFlatProfilePaperConstraints(t *testing.T) {
+	ms, err := GenerateMethods(DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8500 {
+		t.Fatalf("universe = %d methods, want 8500", len(ms))
+	}
+	st := AnalyzeProfile(ms)
+	// Weights sum to 1.
+	var sum float64
+	for _, m := range ms {
+		if m.Weight < 0 {
+			t.Fatalf("negative weight on %s", m.Name)
+		}
+		sum += m.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// "Approximately 50% of the JITed code execution time is spent in 224
+	// methods (out of the 8500 methods)".
+	if st.Top224Share < 0.45 || st.Top224Share > 0.55 {
+		t.Fatalf("top-224 share = %.3f, want ~0.50", st.Top224Share)
+	}
+	// "The hottest method accounted for <1% of the overall execution time";
+	// JITed code is under half of overall, so <2.5% of JITed time.
+	if st.TopWeight > 0.025 {
+		t.Fatalf("top method = %.4f of JITed time, too hot", st.TopWeight)
+	}
+	// "About 76% of the JIT compiled code is made up of WebSphere,
+	// Enterprise Java Services, and Java Library code."
+	wasShare := st.ComponentShare[CompWebSphere] + st.ComponentShare[CompEJS] + st.ComponentShare[CompJavaLib]
+	if wasShare < 0.70 || wasShare > 0.82 {
+		t.Fatalf("WAS+EJS+JavaLib share = %.3f, want ~0.76", wasShare)
+	}
+	// jas2004 application code is a small sliver.
+	if s := st.ComponentShare[CompJas2004]; s < 0.01 || s > 0.06 {
+		t.Fatalf("jas2004 share = %.3f, want ~0.03", s)
+	}
+	// Multi-megabyte code footprint: larger than the 1.5 MB L2.
+	if st.TotalCodeBytes < 4<<20 {
+		t.Fatalf("code footprint = %d MB, want multi-megabyte", st.TotalCodeBytes>>20)
+	}
+	// Hottest method is the paper's char-to-byte converter.
+	if ms[0].Name != "JavaLib.io.CharToByteConverter.convert" {
+		t.Fatalf("hottest method = %q", ms[0].Name)
+	}
+}
+
+func TestGenerateMethodsDeterministic(t *testing.T) {
+	a, _ := GenerateMethods(DefaultProfileConfig())
+	b, _ := GenerateMethods(DefaultProfileConfig())
+	for i := range a {
+		if a[i].Weight != b[i].Weight || a[i].Name != b[i].Name || a[i].CodeSize != b[i].CodeSize {
+			t.Fatalf("universe not deterministic at %d", i)
+		}
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	for c := Component(0); c < numComponents; c++ {
+		if c.String() == "" {
+			t.Fatalf("component %d unnamed", c)
+		}
+	}
+	if Component(99).String() != "component(99)" {
+		t.Fatal("out-of-range name wrong")
+	}
+}
+
+func TestAnalyzeProfileSmallUniverse(t *testing.T) {
+	ms := []*Method{
+		{Weight: 0.7, Component: CompJas2004, CodeSize: 100},
+		{Weight: 0.3, Component: CompJavaLib, CodeSize: 50},
+	}
+	st := AnalyzeProfile(ms)
+	if st.TopWeight != 0.7 || st.Top224Share != 1.0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalCodeBytes != 150 {
+		t.Fatalf("code bytes = %d", st.TotalCodeBytes)
+	}
+}

@@ -1,0 +1,119 @@
+package jvm
+
+import (
+	"fmt"
+	"strings"
+
+	"jasworkload/internal/stats"
+)
+
+// GCSummary is the Figure 3 table: time between collections, pause length,
+// share of runtime spent collecting, mark/sweep split, and the dark-matter
+// growth that makes "used" heap creep upward.
+type GCSummary struct {
+	Collections        int
+	Compactions        int
+	MeanIntervalSec    float64
+	MinIntervalSec     float64
+	MaxIntervalSec     float64
+	MeanPauseMS        float64
+	MinPauseMS         float64
+	MaxPauseMS         float64
+	PercentOfRuntime   float64 // total pause / elapsed
+	MarkShare          float64 // mark time / (mark + sweep)
+	MeanLiveBytes      float64
+	UsedGrowthMBPerMin float64 // slope of UsedBytes over time
+}
+
+// Summarize computes the summary over a verbosegc log covering elapsedMS of
+// simulated run time.
+func Summarize(events []GCEvent, elapsedMS float64) GCSummary {
+	var s GCSummary
+	if len(events) == 0 {
+		return s
+	}
+	var intervals, pauses []float64
+	var markTotal, sweepTotal, pauseTotal, liveTotal float64
+	for i, e := range events {
+		if e.Compacted {
+			s.Compactions++
+		} else {
+			s.Collections++
+		}
+		pauses = append(pauses, e.PauseMS())
+		pauseTotal += e.PauseMS()
+		markTotal += e.MarkMS
+		sweepTotal += e.SweepMS
+		liveTotal += float64(e.LiveBytes)
+		if i > 0 {
+			intervals = append(intervals, (e.AtMS-events[i-1].AtMS)/1000)
+		}
+	}
+	if len(intervals) > 0 {
+		s.MeanIntervalSec = stats.Mean(intervals)
+		s.MinIntervalSec = stats.Min(intervals)
+		s.MaxIntervalSec = stats.Max(intervals)
+	}
+	s.MeanPauseMS = stats.Mean(pauses)
+	s.MinPauseMS = stats.Min(pauses)
+	s.MaxPauseMS = stats.Max(pauses)
+	if elapsedMS > 0 {
+		s.PercentOfRuntime = 100 * pauseTotal / elapsedMS
+	}
+	if markTotal+sweepTotal > 0 {
+		s.MarkShare = markTotal / (markTotal + sweepTotal)
+	}
+	s.MeanLiveBytes = liveTotal / float64(len(events))
+	// Used-bytes slope via least squares over (time, used).
+	if len(events) >= 2 {
+		var xs, ys []float64
+		for _, e := range events {
+			xs = append(xs, e.AtMS/60000)                     // minutes
+			ys = append(ys, float64(e.UsedBytes)/(1024*1024)) // MB
+		}
+		s.UsedGrowthMBPerMin = slope(xs, ys)
+	}
+	return s
+}
+
+// slope returns the least-squares slope of y over x.
+func slope(x, y []float64) float64 {
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// String renders the summary as the Figure 3 companion table.
+func (s GCSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Collections              %d (+%d compactions)\n", s.Collections, s.Compactions)
+	fmt.Fprintf(&b, "Time Between GC (sec)    %.0f-%.0f (mean %.1f)\n", s.MinIntervalSec, s.MaxIntervalSec, s.MeanIntervalSec)
+	fmt.Fprintf(&b, "GC Time (ms)             %.0f-%.0f (mean %.0f)\n", s.MinPauseMS, s.MaxPauseMS, s.MeanPauseMS)
+	fmt.Fprintf(&b, "Average Percent of Runtime  %.2f%%\n", s.PercentOfRuntime)
+	fmt.Fprintf(&b, "Mark share of GC time    %.0f%%\n", 100*s.MarkShare)
+	fmt.Fprintf(&b, "Mean live heap           %.0f MB\n", s.MeanLiveBytes/(1024*1024))
+	fmt.Fprintf(&b, "Used-heap growth         %.2f MB/min (dark matter)\n", s.UsedGrowthMBPerMin)
+	return b.String()
+}
+
+// FormatVerboseGC renders events in a verbosegc-like line format.
+func FormatVerboseGC(events []GCEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		kind := "GC"
+		if e.Compacted {
+			kind = "compact"
+		}
+		fmt.Fprintf(&b, "<%s(%d) at=%.1fs mark=%.0fms sweep=%.0fms compact=%.0fms free=%dMB live=%dMB dark=%dKB>\n",
+			kind, e.Seq, e.AtMS/1000, e.MarkMS, e.SweepMS, e.CompactMS,
+			e.FreeBytes>>20, e.LiveBytes>>20, e.DarkBytes>>10)
+	}
+	return b.String()
+}

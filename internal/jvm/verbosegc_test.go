@@ -1,0 +1,97 @@
+package jvm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func syntheticEvents() []GCEvent {
+	// 26 s apart, 300 ms pauses (80/20 mark/sweep), used growing 1 MB/min.
+	var evs []GCEvent
+	for i := 0; i < 10; i++ {
+		at := float64(i) * 26000
+		evs = append(evs, GCEvent{
+			Seq:       i + 1,
+			AtMS:      at,
+			MarkMS:    240,
+			SweepMS:   60,
+			LiveBytes: 195 << 20,
+			UsedBytes: uint64(200<<20) + uint64(at/60000*1024*1024),
+		})
+	}
+	return evs
+}
+
+func TestSummarizePaperShape(t *testing.T) {
+	elapsed := 10 * 26000.0
+	s := Summarize(syntheticEvents(), elapsed)
+	if s.Collections != 10 || s.Compactions != 0 {
+		t.Fatalf("counts = %d/%d", s.Collections, s.Compactions)
+	}
+	if math.Abs(s.MeanIntervalSec-26) > 1e-9 {
+		t.Fatalf("interval = %v", s.MeanIntervalSec)
+	}
+	if s.MeanPauseMS != 300 {
+		t.Fatalf("pause = %v", s.MeanPauseMS)
+	}
+	// 300ms per 26s = 1.15% of runtime: the paper's "<2%", table "1.3%".
+	if s.PercentOfRuntime < 1.0 || s.PercentOfRuntime > 1.4 {
+		t.Fatalf("GC%% = %.2f", s.PercentOfRuntime)
+	}
+	if math.Abs(s.MarkShare-0.8) > 1e-9 {
+		t.Fatalf("mark share = %v", s.MarkShare)
+	}
+	if math.Abs(s.UsedGrowthMBPerMin-1.0) > 0.01 {
+		t.Fatalf("growth = %v MB/min", s.UsedGrowthMBPerMin)
+	}
+	if math.Abs(s.MeanLiveBytes-float64(195<<20)) > 1 {
+		t.Fatalf("live = %v", s.MeanLiveBytes)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 1000)
+	if s.Collections != 0 || s.MeanPauseMS != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeCountsCompactions(t *testing.T) {
+	evs := []GCEvent{
+		{Seq: 1, AtMS: 0, MarkMS: 100, SweepMS: 20},
+		{Seq: 2, AtMS: 1000, CompactMS: 500, Compacted: true},
+	}
+	s := Summarize(evs, 2000)
+	if s.Collections != 1 || s.Compactions != 1 {
+		t.Fatalf("counts = %d/%d", s.Collections, s.Compactions)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize(syntheticEvents(), 260000).String()
+	for _, want := range []string{"Time Between GC", "GC Time", "Percent of Runtime", "dark matter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatVerboseGC(t *testing.T) {
+	out := FormatVerboseGC([]GCEvent{
+		{Seq: 1, AtMS: 26000, MarkMS: 240, SweepMS: 60, FreeBytes: 800 << 20, LiveBytes: 195 << 20},
+		{Seq: 2, AtMS: 30000, CompactMS: 400, Compacted: true},
+	})
+	if !strings.Contains(out, "<GC(1)") || !strings.Contains(out, "<compact(2)") {
+		t.Fatalf("verbosegc format wrong:\n%s", out)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	if s := slope([]float64{0, 1, 2}, []float64{5, 7, 9}); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("slope = %v", s)
+	}
+	if s := slope([]float64{1, 1}, []float64{2, 3}); s != 0 {
+		t.Fatalf("degenerate slope = %v", s)
+	}
+}

@@ -1,0 +1,114 @@
+package mem
+
+import "fmt"
+
+// LayoutConfig describes the tunable parts of the SUT address space. The
+// defaults reproduce the paper's configuration: a 1 GB Java heap in 16 MB
+// large pages, everything else (including JIT-compiled code) in 4 KB pages —
+// the paper points out that moving code to large pages is an unexploited
+// optimization (Section 4.2.2).
+type LayoutConfig struct {
+	HeapBytes     uint64   // Java heap size (default 1 GB)
+	HeapPageSize  PageSize // paper default: Page16M
+	CodePageSize  PageSize // page size for JIT code cache (paper: Page4K)
+	JITCodeBytes  uint64   // JIT code cache size (default 64 MB: "multi-megabyte code footprint")
+	DBBufferBytes uint64   // DB2 buffer pool + RAM disk cache (default 2 GB)
+}
+
+// DefaultLayoutConfig returns the paper's configuration.
+func DefaultLayoutConfig() LayoutConfig {
+	return LayoutConfig{
+		HeapBytes:     1 << 30,
+		HeapPageSize:  Page16M,
+		CodePageSize:  Page4K,
+		JITCodeBytes:  64 << 20,
+		DBBufferBytes: 2 << 30,
+	}
+}
+
+// Layout bundles the address space with named handles to the regions the
+// simulators address directly.
+type Layout struct {
+	Space *AddressSpace
+
+	JavaHeap  *Region // object heap (large pages in the tuned system)
+	GCMeta    *Region // GC side structures (mark bits, work queues) — also large pages
+	JITCode   *Region // JIT code cache: I-side working set of JITed Java
+	JVMNative *Region // JVM + JIT compiler native code
+	WASNative *Region // WebSphere/EJS/MQ/DB2-client native code and data
+	WebServer *Region // web server code + data
+	DB2       *Region // database server code
+	DBBuffer  *Region // DB buffer pool (RAM disk resident data)
+	Stacks    *Region // Java + native thread stacks
+	JavaStat  *Region // class metadata, interned strings, statics
+	Kernel    *Region // privileged kernel text/data
+}
+
+const align16M = 16 << 20
+
+func roundUp(v, a uint64) uint64 { return (v + a - 1) / a * a }
+
+// NewLayout builds the standard SUT address space.
+func NewLayout(cfg LayoutConfig) (*Layout, error) {
+	if cfg.HeapBytes == 0 {
+		return nil, fmt.Errorf("mem: zero heap size")
+	}
+	if cfg.JITCodeBytes == 0 {
+		cfg.JITCodeBytes = 64 << 20
+	}
+	if cfg.DBBufferBytes == 0 {
+		cfg.DBBufferBytes = 2 << 30
+	}
+	as := NewAddressSpace()
+	l := &Layout{Space: as}
+
+	// Lay regions out bottom-up with 16 MB alignment everywhere so page-size
+	// choices can vary per experiment without re-planning the map.
+	next := uint64(1) << 32 // start at 4 GB; low memory left to the OS loader
+	add := func(name string, size uint64, ps PageSize, kernel bool) (*Region, error) {
+		size = roundUp(size, ps.Bytes())
+		base := roundUp(next, align16M)
+		r, err := as.AddRegion(name, base, size, ps, kernel)
+		if err != nil {
+			return nil, err
+		}
+		next = base + size
+		return r, nil
+	}
+
+	var err error
+	if l.JavaHeap, err = add("javaheap", cfg.HeapBytes, cfg.HeapPageSize, false); err != nil {
+		return nil, err
+	}
+	if l.GCMeta, err = add("gcmeta", 64<<20, cfg.HeapPageSize, false); err != nil {
+		return nil, err
+	}
+	if l.JITCode, err = add("jitcode", cfg.JITCodeBytes, cfg.CodePageSize, false); err != nil {
+		return nil, err
+	}
+	if l.JVMNative, err = add("jvmnative", 32<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.WASNative, err = add("wasnative", 64<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.WebServer, err = add("webserver", 32<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.DB2, err = add("db2", 48<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.DBBuffer, err = add("dbbuffer", cfg.DBBufferBytes, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.Stacks, err = add("stacks", 256<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.JavaStat, err = add("javastatic", 128<<20, Page4K, false); err != nil {
+		return nil, err
+	}
+	if l.Kernel, err = add("kernel", 128<<20, Page4K, true); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

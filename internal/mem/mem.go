@@ -1,0 +1,164 @@
+// Package mem models the simulated process address space: named regions
+// (Java heap, JIT code cache, native code, DB buffer pool, stacks) backed by
+// 4 KB or 16 MB pages, with deterministic effective-to-real translation.
+//
+// The POWER4 translation structures (ERAT, TLB) in internal/power4 consult
+// this layout to learn page boundaries and sizes; the paper's large-page
+// experiments (Section 4.2.2) toggle the Java heap's page size here.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize enumerates the two AIX page sizes the paper uses.
+type PageSize uint8
+
+const (
+	// Page4K is the default 4 KB page.
+	Page4K PageSize = iota
+	// Page16M is the AIX large page used for the Java heap in the paper.
+	Page16M
+)
+
+// Bytes returns the page size in bytes.
+func (p PageSize) Bytes() uint64 {
+	if p == Page16M {
+		return 16 << 20
+	}
+	return 4 << 10
+}
+
+// Shift returns log2 of the page size.
+func (p PageSize) Shift() uint {
+	if p == Page16M {
+		return 24
+	}
+	return 12
+}
+
+// String names the page size.
+func (p PageSize) String() string {
+	if p == Page16M {
+		return "16MB"
+	}
+	return "4KB"
+}
+
+// Region is a contiguous, page-aligned range of the effective address space.
+type Region struct {
+	Name     string
+	Base     uint64 // effective base address
+	Size     uint64 // bytes
+	PageSize PageSize
+	Kernel   bool // privileged-only region
+
+	realBase uint64 // assigned physical base
+}
+
+// End returns one past the last byte of the region.
+func (r *Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether ea falls inside the region.
+func (r *Region) Contains(ea uint64) bool { return ea >= r.Base && ea < r.End() }
+
+// AddressSpace is an ordered set of non-overlapping regions with a
+// deterministic physical placement (regions are packed into physical memory
+// in creation order).
+type AddressSpace struct {
+	regions  []*Region
+	nextReal uint64
+}
+
+// ErrOverlap is returned when a new region overlaps an existing one.
+var ErrOverlap = errors.New("mem: region overlap")
+
+// NewAddressSpace returns an empty address space. Physical placement starts
+// above the first 256 MB to keep RA 0 reserved.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextReal: 256 << 20}
+}
+
+// AddRegion creates and inserts a region. Base and Size must be aligned to
+// the region's page size.
+func (as *AddressSpace) AddRegion(name string, base, size uint64, ps PageSize, kernel bool) (*Region, error) {
+	pb := ps.Bytes()
+	if base%pb != 0 || size%pb != 0 {
+		return nil, fmt.Errorf("mem: region %q not %s-aligned (base=%#x size=%#x)", name, ps, base, size)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("mem: region %q has zero size", name)
+	}
+	r := &Region{Name: name, Base: base, Size: size, PageSize: ps, Kernel: kernel}
+	for _, ex := range as.regions {
+		if r.Base < ex.End() && ex.Base < r.End() {
+			return nil, fmt.Errorf("%w: %q and %q", ErrOverlap, name, ex.Name)
+		}
+	}
+	r.realBase = as.nextReal
+	as.nextReal += size
+	as.regions = append(as.regions, r)
+	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Base < as.regions[j].Base })
+	return r, nil
+}
+
+// Region returns the region containing ea, or nil.
+func (as *AddressSpace) Region(ea uint64) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].End() > ea })
+	if i < len(as.regions) && as.regions[i].Contains(ea) {
+		return as.regions[i]
+	}
+	return nil
+}
+
+// RegionByName returns the named region, or nil.
+func (as *AddressSpace) RegionByName(name string) *Region {
+	for _, r := range as.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns the regions in address order.
+func (as *AddressSpace) Regions() []*Region { return as.regions }
+
+// Translation is the result of a successful address translation.
+type Translation struct {
+	RA       uint64 // real (physical) address
+	VPN      uint64 // virtual page number (EA >> page shift), ERAT/TLB tag
+	PageSize PageSize
+	Kernel   bool
+}
+
+// ErrUnmapped is returned for addresses outside every region.
+var ErrUnmapped = errors.New("mem: unmapped effective address")
+
+// Translate maps an effective address to its real address and page info.
+func (as *AddressSpace) Translate(ea uint64) (Translation, error) {
+	r := as.Region(ea)
+	if r == nil {
+		return Translation{}, fmt.Errorf("%w: %#x", ErrUnmapped, ea)
+	}
+	return Translation{
+		RA:       r.realBase + (ea - r.Base),
+		VPN:      ea >> r.PageSize.Shift(),
+		PageSize: r.PageSize,
+		Kernel:   r.Kernel,
+	}, nil
+}
+
+// PageCount returns how many pages the region spans.
+func (r *Region) PageCount() uint64 { return r.Size / r.PageSize.Bytes() }
+
+// TotalMapped returns the number of mapped bytes across all regions.
+func (as *AddressSpace) TotalMapped() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Size
+	}
+	return n
+}

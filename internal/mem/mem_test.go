@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSize(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page16M.Bytes() != 16<<20 {
+		t.Fatal("page sizes wrong")
+	}
+	if Page4K.Shift() != 12 || Page16M.Shift() != 24 {
+		t.Fatal("page shifts wrong")
+	}
+	if Page4K.String() != "4KB" || Page16M.String() != "16MB" {
+		t.Fatal("page names wrong")
+	}
+	if uint64(1)<<Page4K.Shift() != Page4K.Bytes() || uint64(1)<<Page16M.Shift() != Page16M.Bytes() {
+		t.Fatal("shift/bytes inconsistent")
+	}
+}
+
+func TestAddRegionAlignment(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddRegion("bad", 100, 4096, Page4K, false); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := as.AddRegion("bad", 4096, 100, Page4K, false); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	if _, err := as.AddRegion("zero", 4096, 0, Page4K, false); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := as.AddRegion("ok", 0x10000, 0x4000, Page4K, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRegionOverlap(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddRegion("a", 0x10000, 0x10000, Page4K, false); err != nil {
+		t.Fatal(err)
+	}
+	_, err := as.AddRegion("b", 0x18000, 0x10000, Page4K, false)
+	if !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	// Adjacent is fine.
+	if _, err := as.AddRegion("c", 0x20000, 0x1000, Page4K, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	as := NewAddressSpace()
+	r1, err := as.AddRegion("heap", 16<<20, 32<<20, Page16M, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as.AddRegion("code", 64<<20, 4<<20, Page4K, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := as.Translate(r1.Base + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PageSize != Page16M {
+		t.Fatalf("page size = %v", tr.PageSize)
+	}
+	if tr.VPN != (r1.Base+12345)>>24 {
+		t.Fatalf("VPN = %#x", tr.VPN)
+	}
+	tr2, err := as.Translate(r2.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.PageSize != Page4K || tr2.Kernel {
+		t.Fatalf("translation = %+v", tr2)
+	}
+	// Physical placement must be disjoint: heap occupies 32 MB starting at
+	// its realBase, code comes after.
+	if tr2.RA < tr.RA+32<<20-12345 {
+		t.Fatalf("physical ranges overlap: %#x vs %#x", tr.RA, tr2.RA)
+	}
+	if _, err := as.Translate(0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("want ErrUnmapped, got %v", err)
+	}
+	if _, err := as.Translate(r2.End()); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("end of region must be unmapped, got %v", err)
+	}
+}
+
+func TestRegionLookup(t *testing.T) {
+	as := NewAddressSpace()
+	// Insert out of order; lookup must still work via sorted search.
+	if _, err := as.AddRegion("hi", 1<<30, 1<<20, Page4K, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.AddRegion("lo", 1<<20, 1<<20, Page4K, false); err != nil {
+		t.Fatal(err)
+	}
+	if r := as.Region(1<<20 + 5); r == nil || r.Name != "lo" {
+		t.Fatalf("Region = %+v", r)
+	}
+	if r := as.Region(1<<30 + 5); r == nil || r.Name != "hi" {
+		t.Fatalf("Region = %+v", r)
+	}
+	if as.Region(0) != nil {
+		t.Fatal("hole lookup should be nil")
+	}
+	if as.RegionByName("lo") == nil || as.RegionByName("nope") != nil {
+		t.Fatal("RegionByName wrong")
+	}
+	if len(as.Regions()) != 2 || as.Regions()[0].Name != "lo" {
+		t.Fatal("Regions not sorted")
+	}
+}
+
+// Property: translation is a bijection within a region — distinct EAs map to
+// distinct RAs and offsets are preserved.
+func TestTranslateOffsetPreserving(t *testing.T) {
+	as := NewAddressSpace()
+	r, err := as.AddRegion("heap", 16<<20, 64<<20, Page16M, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := as.Translate(r.Base)
+	f := func(off uint32) bool {
+		o := uint64(off) % r.Size
+		tr, err := as.Translate(r.Base + o)
+		if err != nil {
+			return false
+		}
+		return tr.RA == base.RA+o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultLayout(t *testing.T) {
+	l, err := NewLayout(DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.JavaHeap.Size != 1<<30 {
+		t.Fatalf("heap size = %d", l.JavaHeap.Size)
+	}
+	if l.JavaHeap.PageSize != Page16M {
+		t.Fatal("heap must default to large pages")
+	}
+	if l.JITCode.PageSize != Page4K {
+		t.Fatal("JIT code must default to 4K pages (the paper's unexploited optimization)")
+	}
+	if !l.Kernel.Kernel {
+		t.Fatal("kernel region must be privileged")
+	}
+	// All named regions resolvable and distinct.
+	names := []string{"javaheap", "gcmeta", "jitcode", "jvmnative", "wasnative",
+		"webserver", "db2", "dbbuffer", "stacks", "javastatic", "kernel"}
+	for _, n := range names {
+		if l.Space.RegionByName(n) == nil {
+			t.Fatalf("missing region %q", n)
+		}
+	}
+	if len(l.Space.Regions()) != len(names) {
+		t.Fatalf("region count = %d, want %d", len(l.Space.Regions()), len(names))
+	}
+	// Heap pages: 1 GB / 16 MB = 64 pages — the reason large pages fit in
+	// the TLB's large-page working set.
+	if l.JavaHeap.PageCount() != 64 {
+		t.Fatalf("heap page count = %d, want 64", l.JavaHeap.PageCount())
+	}
+}
+
+func TestLayoutSmallPagesHeap(t *testing.T) {
+	cfg := DefaultLayoutConfig()
+	cfg.HeapPageSize = Page4K
+	l, err := NewLayout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 GB / 4 KB = 262144 pages: the working set the baseline (non-large-
+	// page) configuration must cover.
+	if l.JavaHeap.PageCount() != 262144 {
+		t.Fatalf("heap page count = %d", l.JavaHeap.PageCount())
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(LayoutConfig{}); err == nil {
+		t.Fatal("zero heap accepted")
+	}
+}
+
+func TestLayoutDefaultsFilled(t *testing.T) {
+	l, err := NewLayout(LayoutConfig{HeapBytes: 256 << 20, HeapPageSize: Page16M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.JITCode.Size == 0 || l.DBBuffer.Size == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestTotalMapped(t *testing.T) {
+	l, err := NewLayout(DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, r := range l.Space.Regions() {
+		want += r.Size
+	}
+	if got := l.Space.TotalMapped(); got != want {
+		t.Fatalf("TotalMapped = %d, want %d", got, want)
+	}
+	if want < 3<<30 {
+		t.Fatalf("layout suspiciously small: %d", want)
+	}
+}

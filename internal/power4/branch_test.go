@@ -1,0 +1,147 @@
+package power4
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCondPredictorLearnsBias(t *testing.T) {
+	p, err := NewCondPredictor(DefaultBranchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An always-taken branch must be predicted almost perfectly.
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x4000, true) {
+			wrong++
+		}
+	}
+	if wrong > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/1000", wrong)
+	}
+}
+
+func TestCondPredictorLearnsPattern(t *testing.T) {
+	p, _ := NewCondPredictor(DefaultBranchConfig())
+	// Alternating T/N is capturable with global history.
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if !p.Predict(0x4000, taken) && i > 200 {
+			wrong++
+		}
+	}
+	if wrong > 20 {
+		t.Fatalf("alternating pattern mispredicted %d after warmup", wrong)
+	}
+}
+
+func TestCondPredictorRandomBranchNearChance(t *testing.T) {
+	p, _ := NewCondPredictor(DefaultBranchConfig())
+	rng := rand.New(rand.NewSource(5))
+	wrong := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !p.Predict(0x8000, rng.Intn(2) == 0) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random branch misprediction = %.3f, want ~0.5", rate)
+	}
+}
+
+func TestCondPredictorCapacityAliasing(t *testing.T) {
+	// Far more branch sites than table entries, each with a fixed but
+	// different bias: aliasing must push mispredictions above the
+	// few-sites case. This is the paper's "large instruction working set"
+	// effect on prediction.
+	run := func(sites int) float64 {
+		p, _ := NewCondPredictor(DefaultBranchConfig())
+		rng := rand.New(rand.NewSource(9))
+		bias := make([]bool, sites)
+		for i := range bias {
+			bias[i] = rng.Intn(2) == 0
+		}
+		wrong, n := 0, 200000
+		for i := 0; i < n; i++ {
+			s := rng.Intn(sites)
+			taken := bias[s]
+			if rng.Float64() < 0.03 { // slight noise
+				taken = !taken
+			}
+			if !p.Predict(uint64(0x10000+s*4), taken) {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(n)
+	}
+	small := run(64)
+	large := run(1 << 20)
+	if large <= small {
+		t.Fatalf("aliasing did not raise misprediction: small=%.4f large=%.4f", small, large)
+	}
+}
+
+func TestTargetPredictorMonomorphic(t *testing.T) {
+	p, err := NewTargetPredictor(DefaultBranchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x4000, 0x9000) {
+			wrong++
+		}
+	}
+	if wrong != 1 { // only the cold miss
+		t.Fatalf("monomorphic site mispredicted %d/1000", wrong)
+	}
+}
+
+func TestTargetPredictorPolymorphic(t *testing.T) {
+	p, _ := NewTargetPredictor(DefaultBranchConfig())
+	rng := rand.New(rand.NewSource(3))
+	targets := []uint64{0x9000, 0xa000, 0xb000}
+	wrong, n := 0, 10000
+	for i := 0; i < n; i++ {
+		if !p.Predict(0x4000, targets[rng.Intn(3)]) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(n)
+	// A last-target predictor on a uniform 3-way polymorphic site is wrong
+	// ~2/3 of the time.
+	if rate < 0.55 || rate > 0.75 {
+		t.Fatalf("polymorphic misprediction = %.3f, want ~0.67", rate)
+	}
+}
+
+func TestTargetPredictorAliasing(t *testing.T) {
+	p, _ := NewTargetPredictor(BranchPredictorConfig{BHTEntries: 16384, HistoryBits: 11, BTBEntries: 16})
+	// Two monomorphic sites that alias into the same entry (stride =
+	// entries*4) keep displacing each other.
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x1000, 0x9000) {
+			wrong++
+		}
+		if !p.Predict(0x1000+16*4, 0xa000) {
+			wrong++
+		}
+	}
+	if wrong < 1900 {
+		t.Fatalf("aliased sites mispredicted only %d/2000", wrong)
+	}
+}
+
+func TestPredictorConfigValidation(t *testing.T) {
+	if _, err := NewCondPredictor(BranchPredictorConfig{BHTEntries: 1000}); err == nil {
+		t.Fatal("non power-of-two BHT accepted")
+	}
+	if _, err := NewTargetPredictor(BranchPredictorConfig{BTBEntries: 0}); err == nil {
+		t.Fatal("zero BTB accepted")
+	}
+}

@@ -1,0 +1,504 @@
+package power4
+
+import (
+	"fmt"
+
+	"jasworkload/internal/isa"
+	"jasworkload/internal/mem"
+)
+
+// Penalties parameterizes the CPI model: cycles charged per
+// microarchitectural event, plus dispatch-side (speculation) costs. The
+// defaults are POWER4-flavoured latencies calibrated so the loaded-system
+// CPI lands near the paper's ~3 while an ideal stream runs near 0.7
+// (the paper's idle CPI).
+type Penalties struct {
+	BaseCPI float64 // issue-limited CPI with no stalls
+
+	CondMispred   float64 // conditional direction misprediction flush
+	TargetMispred float64 // indirect target misprediction flush
+
+	DERATMiss float64 // ERAT reload from TLB (>= 14 cycles on POWER4)
+	TLBWalk   float64 // hardware table walk after a TLB miss
+	SLBWalk   float64 // segment-table walk after an SLB miss
+
+	L2Latency     float64 // L1D miss satisfied by own L2
+	RemoteL2      float64 // cache-to-cache transfer (L2.5/L2.75)
+	L3Latency     float64 // MCM-local L3
+	RemoteL3      float64 // L3.5
+	MemLatency    float64 // DRAM
+	LoadExposure  float64 // fraction of load latency exposed when not in a burst
+	BurstExposure float64 // additional exposed fraction per extra miss in a burst
+	PrefCovered   float64 // exposed fraction when a prefetch stream covers the miss
+	StoreMissCost float64 // store-through cost per L1 store miss (mostly queued)
+
+	IMissL2  float64 // front-end stall: I-fetch from L2
+	IMissL3  float64
+	IMissMem float64
+
+	SyncDrainUser   float64 // SRQ-resident cycles per user SYNC
+	SyncDrainKernel float64 // per kernel SYNC (deeper store queues in privileged paths)
+	StcxCost        float64 // store-conditional completion cost
+
+	// Dispatch-side model (instructions dispatched per completed).
+	// POWER4 cracks many instructions into multiple internal operations
+	// and re-dispatches groups; memory operations crack hardest. Because
+	// the instruction mix is nearly constant window to window, the
+	// speculation rate barely co-varies with CPI — the paper's finding.
+	DispatchALU    float64 // internal ops dispatched per ALU instruction
+	DispatchMem    float64 // per load/store (cracked + reissued)
+	DispatchBranch float64 // per branch
+	// WrongPathDispatch: wrong-path work counted per mispredict. Kept
+	// small: the dispatch counter largely excludes flushed groups, which is
+	// also why the paper sees speculation rate barely co-move with CPI.
+	WrongPathDispatch float64
+	RetryDispatchDiv  float64 // DERAT retry: one redispatch per this many cycles (7 on POWER4)
+	// SpecAheadDispatch: when loads hit and the pipeline flows, the front
+	// end runs further ahead of commit, dispatching more speculative work
+	// per retired instruction. This opposes the mispredict/stall component,
+	// which is why the paper measures almost no net correlation between
+	// speculation rate and CPI.
+	SpecAheadDispatch float64
+}
+
+// DefaultPenalties returns the calibrated POWER4 cost model.
+func DefaultPenalties() Penalties {
+	return Penalties{
+		BaseCPI:           0.58,
+		CondMispred:       13,
+		TargetMispred:     15,
+		DERATMiss:         16,
+		TLBWalk:           110,
+		SLBWalk:           90,
+		L2Latency:         12,
+		RemoteL2:          100,
+		L3Latency:         70,
+		RemoteL3:          150,
+		MemLatency:        330,
+		LoadExposure:      0.19,
+		BurstExposure:     0.16,
+		PrefCovered:       0.08,
+		StoreMissCost:     1.4,
+		IMissL2:           6,
+		IMissL3:           36,
+		IMissMem:          120,
+		SyncDrainUser:     9,
+		SyncDrainKernel:   26,
+		StcxCost:          6,
+		DispatchALU:       1.35,
+		DispatchMem:       2.58,
+		DispatchBranch:    1.85,
+		WrongPathDispatch: 1.5,
+		RetryDispatchDiv:  14,
+		SpecAheadDispatch: 0.9,
+	}
+}
+
+// CoreConfig configures one simulated core.
+type CoreConfig struct {
+	ID        int
+	L1I       CacheConfig
+	L1D       CacheConfig
+	MMU       MMUConfig
+	Branch    BranchPredictorConfig
+	Penalties Penalties
+}
+
+// DefaultCoreConfig returns a POWER4 core: 32 KB 2-way FIFO write-through
+// L1D, 64 KB direct-mapped L1I, both with 128-byte lines.
+func DefaultCoreConfig(id int) CoreConfig {
+	return CoreConfig{
+		ID: id,
+		L1I: CacheConfig{
+			Name: "L1I", SizeBytes: 64 << 10, Ways: 1, LineBytes: 128, Repl: ReplFIFO,
+		},
+		L1D: CacheConfig{
+			Name: "L1D", SizeBytes: 32 << 10, Ways: 2, LineBytes: 128, Repl: ReplFIFO,
+		},
+		MMU:       DefaultMMUConfig(),
+		Branch:    DefaultBranchConfig(),
+		Penalties: DefaultPenalties(),
+	}
+}
+
+// Core is one POWER4 core: private L1s, ERATs, predictors and prefetcher,
+// attached to the shared Hierarchy. It implements isa.Sink.
+type Core struct {
+	cfg    CoreConfig
+	l1i    *Cache
+	l1d    *Cache
+	mmu    *MMU
+	cond   *CondPredictor
+	target *TargetPredictor
+	pref   *Prefetcher
+	hier   *Hierarchy
+	space  *mem.AddressSpace
+
+	ctr Counters
+
+	cycFrac     float64 // fractional cycles not yet flushed into EvCycles
+	compFrac    float64 // fractional completion-cycles
+	dispFrac    float64 // fractional dispatches
+	kcycFrac    float64
+	burst       int    // current consecutive L1D-load-miss burst length
+	lastILine   uint64 // last fetched I-line (sequential prefetch model)
+	returnSeq   uint64 // return counter for the link-stack model
+	sinceMiss   int    // instructions since the last load miss
+	reservation uint64 // LARX reservation line (one per core, as in PowerPC)
+	hasResv     bool
+	unmapped    uint64 // accesses outside every region (trace-generator bugs)
+}
+
+// NewCore wires a core to the shared hierarchy and address space.
+func NewCore(cfg CoreConfig, hier *Hierarchy, space *mem.AddressSpace) (*Core, error) {
+	if hier == nil || space == nil {
+		return nil, fmt.Errorf("power4: core needs hierarchy and address space")
+	}
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	mmu, err := NewMMU(cfg.MMU)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := NewCondPredictor(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := NewTargetPredictor(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg: cfg, l1i: l1i, l1d: l1d, mmu: mmu,
+		cond: cond, target: tgt, pref: &Prefetcher{},
+		hier: hier, space: space,
+	}, nil
+}
+
+// Counters returns a snapshot of the core's counters.
+func (c *Core) Counters() Counters { return c.ctr.Snapshot() }
+
+// CoreID returns the core's id within the system.
+func (c *Core) CoreID() int { return c.cfg.ID }
+
+// UnmappedAccesses reports trace addresses that fell outside every region.
+func (c *Core) UnmappedAccesses() uint64 { return c.unmapped }
+
+// addCycles charges cy cycles, attributing them to completion/stall and
+// kernel accounting.
+func (c *Core) addCycles(cy float64, completing bool, kernel bool) {
+	c.cycFrac += cy
+	if completing {
+		c.compFrac += cy
+	}
+	if kernel {
+		c.kcycFrac += cy
+	}
+	if c.cycFrac >= 1 {
+		n := uint64(c.cycFrac)
+		c.ctr.Add(EvCycles, n)
+		c.cycFrac -= float64(n)
+	}
+	if c.compFrac >= 1 {
+		n := uint64(c.compFrac)
+		c.ctr.Add(EvCycWithCompletion, n)
+		c.compFrac -= float64(n)
+	}
+	if c.kcycFrac >= 1 {
+		n := uint64(c.kcycFrac)
+		c.ctr.Add(EvKernelCycles, n)
+		c.kcycFrac -= float64(n)
+	}
+}
+
+func (c *Core) addDispatch(n float64) {
+	c.dispFrac += n
+	if c.dispFrac >= 1 {
+		k := uint64(c.dispFrac)
+		c.ctr.Add(EvInstDispatched, k)
+		c.dispFrac -= float64(k)
+	}
+}
+
+// Consume processes one instruction through the full model.
+func (c *Core) Consume(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	c.ctr.Inc(EvInstCompleted)
+	if ins.Kernel {
+		c.ctr.Inc(EvKernelInst)
+	}
+	switch {
+	case ins.Class.IsMemory():
+		c.addDispatch(p.DispatchMem)
+	case ins.Class.IsBranch():
+		c.addDispatch(p.DispatchBranch)
+	default:
+		c.addDispatch(p.DispatchALU)
+	}
+	c.addCycles(p.BaseCPI, true, ins.Kernel)
+
+	c.fetch(ins)
+
+	switch ins.Class {
+	case isa.ClassLoad:
+		c.ctr.Inc(EvLoads)
+		c.load(ins)
+	case isa.ClassStore:
+		c.ctr.Inc(EvStores)
+		c.store(ins)
+	case isa.ClassBranchCond:
+		c.ctr.Inc(EvBrCond)
+		if !c.cond.Predict(ins.PC, ins.Taken) {
+			c.ctr.Inc(EvBrCondMispred)
+			c.addCycles(p.CondMispred, false, ins.Kernel)
+			c.addDispatch(p.WrongPathDispatch)
+		}
+	case isa.ClassBranchIndirect:
+		c.ctr.Inc(EvBrIndirect)
+		mispred := false
+		if ins.Return {
+			// Returns are predicted by the link stack; it only fails on
+			// deep call chains that overflow it (~3%).
+			c.returnSeq++
+			mispred = c.returnSeq%32 == 0
+		} else {
+			mispred = !c.target.Predict(ins.PC, ins.Target)
+		}
+		if mispred {
+			c.ctr.Inc(EvBrTargetMispred)
+			c.addCycles(p.TargetMispred, false, ins.Kernel)
+			c.addDispatch(p.WrongPathDispatch)
+		}
+	case isa.ClassLarx:
+		c.ctr.Inc(EvLoads)
+		c.ctr.Inc(EvLarx)
+		c.load(ins)
+		c.reservation = ins.EA >> 7
+		c.hasResv = true
+	case isa.ClassSync:
+		c.ctr.Inc(EvSyncCount)
+		drain := p.SyncDrainUser
+		if ins.Kernel {
+			drain = p.SyncDrainKernel
+			c.ctr.Add(EvKernelSyncSRQCycles, uint64(drain))
+		}
+		c.ctr.Add(EvSyncSRQCycles, uint64(drain))
+		c.addCycles(drain, false, ins.Kernel)
+	case isa.ClassStcx:
+		// The STCX paired with a preceding LARX by the lock model.
+		c.stcx(ins)
+	}
+}
+
+// stcx executes a store-conditional to ins.EA.
+func (c *Core) stcx(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	c.ctr.Inc(EvStores)
+	c.ctr.Inc(EvStcx)
+	ok := c.hasResv && c.reservation == ins.EA>>7
+	if ok {
+		// Cross-chip interference is tracked at real-address granularity.
+		if tr, err := c.space.Translate(ins.EA); err == nil {
+			ok = !c.hier.ReservationLost(c.cfg.ID, tr.RA>>7)
+		}
+	}
+	if !ok {
+		c.ctr.Inc(EvStcxFail)
+	}
+	c.hasResv = false
+	c.store(ins)
+	c.addCycles(p.StcxCost, false, ins.Kernel)
+}
+
+// fetch runs the I-side: IERAT/ITLB, then L1I and deeper levels.
+func (c *Core) fetch(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	tr, err := c.space.Translate(ins.PC)
+	if err != nil {
+		c.unmapped++
+		return
+	}
+	res := c.mmu.Inst(tr)
+	if res.ERATMiss {
+		c.ctr.Inc(EvIERATMiss)
+		c.addCycles(p.DERATMiss, false, ins.Kernel)
+	}
+	if res.TLBMiss {
+		c.ctr.Inc(EvITLBMiss)
+		c.addCycles(p.TLBWalk, false, ins.Kernel)
+	}
+	if res.SLBMiss {
+		c.ctr.Inc(EvSLBMiss)
+		c.addCycles(p.SLBWalk, false, ins.Kernel)
+	}
+	line := tr.RA >> 7
+	if c.l1i.Lookup(tr.RA) {
+		c.ctr.Inc(EvIFetchL1)
+		c.lastILine = line
+		return
+	}
+	c.ctr.Inc(EvL1IMiss)
+	// The front end prefetches sequential lines; a fall-through miss is
+	// mostly hidden, a taken-branch miss to a new line is exposed.
+	hide := 1.0
+	if line == c.lastILine+1 {
+		hide = 0.2
+	}
+	c.lastILine = line
+	src := c.hier.FetchInst(c.cfg.ID, tr.RA)
+	c.l1i.Insert(tr.RA)
+	switch src {
+	case SrcL2:
+		c.ctr.Inc(EvIFetchL2)
+		c.addCycles(p.IMissL2*hide, false, ins.Kernel)
+	case SrcL3:
+		c.ctr.Inc(EvIFetchL3)
+		c.addCycles(p.IMissL3*hide, false, ins.Kernel)
+	default:
+		c.ctr.Inc(EvIFetchMem)
+		c.addCycles(p.IMissMem*hide, false, ins.Kernel)
+	}
+}
+
+// load runs the D-side read path.
+func (c *Core) load(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	tr, err := c.space.Translate(ins.EA)
+	if err != nil {
+		c.unmapped++
+		return
+	}
+	res := c.mmu.Data(tr)
+	if res.ERATMiss {
+		c.ctr.Inc(EvDERATMiss)
+		c.addCycles(p.DERATMiss, false, ins.Kernel)
+		// Retried dispatches every RetryDispatchDiv cycles until translated.
+		c.addDispatch(p.DERATMiss / p.RetryDispatchDiv)
+	}
+	if res.TLBMiss {
+		c.ctr.Inc(EvDTLBMiss)
+		c.addCycles(p.TLBWalk, false, ins.Kernel)
+	}
+	if res.SLBMiss {
+		c.ctr.Inc(EvSLBMiss)
+		c.addCycles(p.SLBWalk, false, ins.Kernel)
+	}
+	line := tr.RA >> 7
+	if c.l1d.Lookup(tr.RA) {
+		c.addDispatch(p.SpecAheadDispatch)
+		c.pref.OnAccess(line, false)
+		c.drainPrefetch(tr.RA)
+		c.sinceMiss++
+		if c.sinceMiss > 12 {
+			c.burst = 0
+		}
+		return
+	}
+	c.ctr.Inc(EvL1DLoadMiss)
+	if c.sinceMiss <= 12 {
+		c.burst++
+	} else {
+		c.burst = 1
+	}
+	c.sinceMiss = 0
+	pres := c.pref.OnAccess(line, true)
+	if pres.Allocated {
+		c.ctr.Inc(EvPrefStreamAlloc)
+	}
+	c.drainPrefetch(tr.RA)
+	src := c.hier.Load(c.cfg.ID, tr.RA)
+	c.l1d.Insert(tr.RA)
+	var lat float64
+	switch src {
+	case SrcL2:
+		c.ctr.Inc(EvDataFromL2)
+		lat = p.L2Latency
+	case SrcL25Shr:
+		c.ctr.Inc(EvDataFromL25Shr)
+		lat = p.RemoteL2
+	case SrcL25Mod:
+		c.ctr.Inc(EvDataFromL25Shr) // same bucket; our topology never produces it
+		lat = p.RemoteL2
+	case SrcL275Shr:
+		c.ctr.Inc(EvDataFromL275Shr)
+		lat = p.RemoteL2
+	case SrcL275Mod:
+		c.ctr.Inc(EvDataFromL275Mod)
+		lat = p.RemoteL2
+	case SrcL3:
+		c.ctr.Inc(EvDataFromL3)
+		lat = p.L3Latency
+	case SrcL35:
+		c.ctr.Inc(EvDataFromL35)
+		lat = p.RemoteL3
+	default:
+		c.ctr.Inc(EvDataFromMem)
+		lat = p.MemLatency
+	}
+	// Exposure: a lone L1 miss is mostly hidden by out-of-order execution
+	// (POWER4 keeps ~100 instructions in flight); bursts expose more of the
+	// latency; a covering prefetch stream hides nearly all of it.
+	exposure := p.LoadExposure + p.BurstExposure*float64(c.burst-1)
+	if exposure > 1 {
+		exposure = 1
+	}
+	if pres.Covered {
+		exposure = p.PrefCovered
+	}
+	c.addCycles(lat*exposure, false, ins.Kernel)
+}
+
+// store runs the D-side write path: write-through, no-allocate L1.
+func (c *Core) store(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	tr, err := c.space.Translate(ins.EA)
+	if err != nil {
+		c.unmapped++
+		return
+	}
+	res := c.mmu.Data(tr)
+	if res.ERATMiss {
+		c.ctr.Inc(EvDERATMiss)
+		c.addCycles(p.DERATMiss, false, ins.Kernel)
+		c.addDispatch(p.DERATMiss / p.RetryDispatchDiv)
+	}
+	if res.TLBMiss {
+		c.ctr.Inc(EvDTLBMiss)
+		c.addCycles(p.TLBWalk, false, ins.Kernel)
+	}
+	if res.SLBMiss {
+		c.ctr.Inc(EvSLBMiss)
+		c.addCycles(p.SLBWalk, false, ins.Kernel)
+	}
+	if !c.l1d.Probe(tr.RA) {
+		// L1 store miss: the line is NOT allocated in L1 (stores write to
+		// the L2 through the store queue), so useful L1 data is preserved.
+		c.ctr.Inc(EvL1DStoreMiss)
+		c.addCycles(p.StoreMissCost, false, ins.Kernel)
+	}
+	c.hier.Store(c.cfg.ID, tr.RA)
+}
+
+// drainPrefetch converts pending prefetcher work into counters and cache
+// fills ahead of the current access.
+func (c *Core) drainPrefetch(ra uint64) {
+	l1, l2, _ := c.pref.Take()
+	if l1 == 0 && l2 == 0 {
+		return
+	}
+	c.ctr.Add(EvL1DPrefetch, l1)
+	c.ctr.Add(EvL2Prefetch, l2)
+	// Install the next sequential lines.
+	for i := uint64(1); i <= l1; i++ {
+		c.l1d.Insert(ra + i*128)
+	}
+	for i := uint64(1); i <= l2; i++ {
+		c.hier.PrefetchFill(c.cfg.ID, ra+i*128, i > 2)
+	}
+}

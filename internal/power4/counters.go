@@ -1,0 +1,216 @@
+// Package power4 models the microarchitectural structures of the POWER4
+// processor that the paper's hardware-performance-monitor study observes:
+// the L1/L2/L3 cache hierarchy with its MCM topology and data-source
+// labeling, the ERAT/TLB address-translation structures with 4 KB and 16 MB
+// pages, conditional and indirect branch prediction, the sequential stream
+// prefetcher, SYNC/SRQ ordering cost, LARX/STCX reservations, and a
+// penalty-based CPI model with dispatch/complete (speculation) accounting.
+//
+// The model is trace-driven: workload generators produce isa.Instr streams
+// with real effective addresses from the simulated address space, and the
+// core consumes them while incrementing the same events a POWER4 HPM group
+// would count.
+package power4
+
+import "fmt"
+
+// Event identifies one hardware counter. Names follow the POWER4 HPM
+// conventions loosely (PM_*), with the subset needed for Figures 5-10.
+type Event int
+
+// Hardware events.
+const (
+	EvCycles Event = iota
+	EvInstCompleted
+	EvInstDispatched
+	EvCycWithCompletion // cycles in which >= 1 instruction completed
+
+	EvLoads
+	EvStores
+	EvL1DLoadMiss
+	EvL1DStoreMiss
+	EvL1DPrefetch     // lines prefetched into L1D
+	EvL2Prefetch      // lines prefetched into L2
+	EvPrefStreamAlloc // prefetch streams allocated
+
+	EvBrCond
+	EvBrCondMispred
+	EvBrIndirect
+	EvBrTargetMispred
+
+	EvDERATMiss
+	EvIERATMiss
+	EvDTLBMiss
+	EvITLBMiss
+	EvSLBMiss
+
+	EvL1IMiss
+	EvIFetchL1 // instructions fetched from the L1 I-cache
+	EvIFetchL2
+	EvIFetchL3
+	EvIFetchMem
+
+	EvDataFromL2
+	EvDataFromL25Shr
+	EvDataFromL275Shr
+	EvDataFromL275Mod
+	EvDataFromL3
+	EvDataFromL35
+	EvDataFromMem
+
+	EvSyncCount
+	EvSyncSRQCycles // cycles with a SYNC request sitting in the store reorder queue
+	EvLarx
+	EvStcx
+	EvStcxFail
+
+	EvKernelInst
+	EvKernelCycles
+	EvKernelSyncSRQCycles
+
+	numEvents
+)
+
+// NumEvents is the number of defined events.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	EvCycles:              "PM_CYC",
+	EvInstCompleted:       "PM_INST_CMPL",
+	EvInstDispatched:      "PM_INST_DISP",
+	EvCycWithCompletion:   "PM_1PLUS_PPC_CMPL",
+	EvLoads:               "PM_LD_REF_L1",
+	EvStores:              "PM_ST_REF_L1",
+	EvL1DLoadMiss:         "PM_LD_MISS_L1",
+	EvL1DStoreMiss:        "PM_ST_MISS_L1",
+	EvL1DPrefetch:         "PM_L1_PREF",
+	EvL2Prefetch:          "PM_L2_PREF",
+	EvPrefStreamAlloc:     "PM_STREAM_ALLOC",
+	EvBrCond:              "PM_BR_CMPL",
+	EvBrCondMispred:       "PM_BR_MPRED_CR",
+	EvBrIndirect:          "PM_BR_IND",
+	EvBrTargetMispred:     "PM_BR_MPRED_TA",
+	EvDERATMiss:           "PM_DERAT_MISS",
+	EvIERATMiss:           "PM_IERAT_MISS",
+	EvDTLBMiss:            "PM_DTLB_MISS",
+	EvITLBMiss:            "PM_ITLB_MISS",
+	EvSLBMiss:             "PM_SLB_MISS",
+	EvL1IMiss:             "PM_L1I_MISS",
+	EvIFetchL1:            "PM_INST_FROM_L1",
+	EvIFetchL2:            "PM_INST_FROM_L2",
+	EvIFetchL3:            "PM_INST_FROM_L3",
+	EvIFetchMem:           "PM_INST_FROM_MEM",
+	EvDataFromL2:          "PM_DATA_FROM_L2",
+	EvDataFromL25Shr:      "PM_DATA_FROM_L25_SHR",
+	EvDataFromL275Shr:     "PM_DATA_FROM_L275_SHR",
+	EvDataFromL275Mod:     "PM_DATA_FROM_L275_MOD",
+	EvDataFromL3:          "PM_DATA_FROM_L3",
+	EvDataFromL35:         "PM_DATA_FROM_L35",
+	EvDataFromMem:         "PM_DATA_FROM_MEM",
+	EvSyncCount:           "PM_SYNC",
+	EvSyncSRQCycles:       "PM_SYNC_IN_SRQ_CYC",
+	EvLarx:                "PM_LARX",
+	EvStcx:                "PM_STCX",
+	EvStcxFail:            "PM_STCX_FAIL",
+	EvKernelInst:          "PM_INST_CMPL_KERNEL",
+	EvKernelCycles:        "PM_CYC_KERNEL",
+	EvKernelSyncSRQCycles: "PM_SYNC_IN_SRQ_CYC_KERNEL",
+}
+
+// String returns the HPM-style mnemonic for the event.
+func (e Event) String() string {
+	if e >= 0 && int(e) < len(eventNames) && eventNames[e] != "" {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("PM_UNKNOWN_%d", int(e))
+}
+
+// EventByName resolves a mnemonic back to its Event; ok is false if the
+// name is unknown.
+func EventByName(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// AllEvents returns every defined event in declaration order.
+func AllEvents() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// Counters is a full set of event counts. The zero value is ready to use.
+type Counters struct {
+	v [numEvents]uint64
+}
+
+// Add increments event e by n.
+func (c *Counters) Add(e Event, n uint64) { c.v[e] += n }
+
+// Inc increments event e by one.
+func (c *Counters) Inc(e Event) { c.v[e]++ }
+
+// Get returns the count for e.
+func (c Counters) Get(e Event) uint64 { return c.v[e] }
+
+// Snapshot returns a copy of the counters.
+func (c Counters) Snapshot() Counters { return c }
+
+// Sub returns c - prev element-wise; used to compute per-window deltas the
+// way hpmstat samples do.
+func (c Counters) Sub(prev *Counters) Counters {
+	var out Counters
+	for i := range c.v {
+		out.v[i] = c.v[i] - prev.v[i]
+	}
+	return out
+}
+
+// AddAll accumulates other into c.
+func (c *Counters) AddAll(other *Counters) {
+	for i := range c.v {
+		c.v[i] += other.v[i]
+	}
+}
+
+// CPI returns cycles per completed instruction (0 when no completions).
+func (c Counters) CPI() float64 {
+	inst := c.v[EvInstCompleted]
+	if inst == 0 {
+		return 0
+	}
+	return float64(c.v[EvCycles]) / float64(inst)
+}
+
+// SpeculationRate returns dispatched / completed instructions.
+func (c Counters) SpeculationRate() float64 {
+	inst := c.v[EvInstCompleted]
+	if inst == 0 {
+		return 0
+	}
+	return float64(c.v[EvInstDispatched]) / float64(inst)
+}
+
+// Rate returns event e per completed instruction.
+func (c Counters) Rate(e Event) float64 {
+	inst := c.v[EvInstCompleted]
+	if inst == 0 {
+		return 0
+	}
+	return float64(c.v[e]) / float64(inst)
+}
+
+// Ratio returns num/den counts, 0 when den is 0.
+func (c Counters) Ratio(num, den Event) float64 {
+	d := c.v[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(c.v[num]) / float64(d)
+}

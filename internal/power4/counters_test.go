@@ -1,0 +1,96 @@
+package power4
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventNamesComplete(t *testing.T) {
+	for _, e := range AllEvents() {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "PM_UNKNOWN") {
+			t.Errorf("event %d has no name", int(e))
+		}
+	}
+	if Event(9999).String() != "PM_UNKNOWN_9999" {
+		t.Fatal("unknown event name wrong")
+	}
+}
+
+func TestEventByName(t *testing.T) {
+	e, ok := EventByName("PM_CYC")
+	if !ok || e != EvCycles {
+		t.Fatalf("EventByName(PM_CYC) = %v, %v", e, ok)
+	}
+	if _, ok := EventByName("PM_NOPE"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	// Round-trip every event.
+	for _, e := range AllEvents() {
+		got, ok := EventByName(e.String())
+		if !ok || got != e {
+			t.Fatalf("round trip failed for %v", e)
+		}
+	}
+}
+
+func TestEventNamesUnique(t *testing.T) {
+	seen := map[string]Event{}
+	for _, e := range AllEvents() {
+		n := e.String()
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("duplicate event name %q for %v and %v", n, prev, e)
+		}
+		seen[n] = e
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	var c Counters
+	c.Add(EvCycles, 300)
+	c.Inc(EvInstCompleted)
+	c.Add(EvInstCompleted, 99)
+	if c.Get(EvCycles) != 300 || c.Get(EvInstCompleted) != 100 {
+		t.Fatal("add/inc wrong")
+	}
+	if c.CPI() != 3 {
+		t.Fatalf("CPI = %v", c.CPI())
+	}
+	c.Add(EvInstDispatched, 240)
+	if c.SpeculationRate() != 2.4 {
+		t.Fatalf("spec rate = %v", c.SpeculationRate())
+	}
+	snap := c.Snapshot()
+	c.Add(EvCycles, 100)
+	if snap.Get(EvCycles) != 300 {
+		t.Fatal("snapshot aliased live counters")
+	}
+	delta := c.Sub(&snap)
+	if delta.Get(EvCycles) != 100 || delta.Get(EvInstCompleted) != 0 {
+		t.Fatal("Sub wrong")
+	}
+	var sum Counters
+	sum.AddAll(&snap)
+	sum.AddAll(&delta)
+	if sum.Get(EvCycles) != c.Get(EvCycles) {
+		t.Fatal("AddAll wrong")
+	}
+}
+
+func TestCountersRates(t *testing.T) {
+	var c Counters
+	if c.CPI() != 0 || c.SpeculationRate() != 0 || c.Rate(EvLoads) != 0 {
+		t.Fatal("zero counters must yield zero rates")
+	}
+	c.Add(EvInstCompleted, 1000)
+	c.Add(EvLoads, 320)
+	if got := c.Rate(EvLoads); got != 0.32 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if got := c.Ratio(EvLoads, EvInstCompleted); got != 0.32 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if c.Ratio(EvLoads, EvStores) != 0 {
+		t.Fatal("zero denominator must yield 0")
+	}
+}

@@ -1,0 +1,135 @@
+package power4
+
+// Prefetcher models the POWER4 hardware sequential prefetcher: eight
+// streams, allocated when consecutive cache-line misses show an ascending
+// sequential pattern, each ramping up to prefetch several lines ahead into
+// L1 and deeper lines into L2.
+//
+// The paper leans on this structure for the correlation analysis: "more
+// prefetching requests are generated and new prefetching streams are
+// allocated as a result of a sequence of L1 misses (a burst of misses)",
+// which is why stream allocations correlate with CPI even though isolated
+// L1 misses do not.
+type Prefetcher struct {
+	streams   [8]pstream
+	tick      uint64
+	lastMiss  [4]uint64 // recent miss lines, for stream detection
+	lastValid [4]bool
+	lmPtr     int
+
+	// Counters accumulated since the last Take call.
+	l1Prefetches uint64
+	l2Prefetches uint64
+	allocs       uint64
+}
+
+type pstream struct {
+	valid bool
+	next  uint64 // next expected line number
+	depth int    // ramp: how many lines ahead are being prefetched
+	used  uint64 // LRU tick
+}
+
+// PrefetchResult reports what the prefetcher did for one access.
+type PrefetchResult struct {
+	Covered      bool // the line was already being prefetched (miss largely hidden)
+	L1Prefetches int  // new prefetches issued toward L1
+	L2Prefetches int  // new prefetches issued toward L2
+	Allocated    bool // a new stream was allocated
+}
+
+const maxRampDepth = 5
+
+// OnAccess informs the prefetcher of a demand access to the given cache
+// line number; miss says whether it missed L1D. Returns what the prefetcher
+// did in response.
+func (p *Prefetcher) OnAccess(line uint64, miss bool) PrefetchResult {
+	p.tick++
+	var res PrefetchResult
+
+	// Does the access continue an existing stream?
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		if line == s.next || line == s.next-1 {
+			// Advance the stream and issue the next prefetches.
+			if line == s.next {
+				s.next++
+			}
+			s.used = p.tick
+			if s.depth < maxRampDepth {
+				s.depth++
+			}
+			// One line toward L1, deeper lines toward L2 as the ramp grows.
+			res.Covered = true
+			res.L1Prefetches = 1
+			res.L2Prefetches = s.depth / 2
+			p.l1Prefetches += uint64(res.L1Prefetches)
+			p.l2Prefetches += uint64(res.L2Prefetches)
+			return res
+		}
+	}
+
+	if !miss {
+		return res
+	}
+
+	// A miss: does it extend a recent miss sequentially (line-1 seen)?
+	sequential := false
+	for i, v := range p.lastValid {
+		if v && p.lastMiss[i]+1 == line {
+			sequential = true
+			break
+		}
+	}
+	p.lastMiss[p.lmPtr] = line
+	p.lastValid[p.lmPtr] = true
+	p.lmPtr = (p.lmPtr + 1) % len(p.lastMiss)
+
+	if !sequential {
+		return res
+	}
+
+	// Allocate a stream (LRU replacement among the 8).
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if p.streams[i].used < oldest {
+			oldest = p.streams[i].used
+			victim = i
+		}
+	}
+	p.streams[victim] = pstream{valid: true, next: line + 1, depth: 1, used: p.tick}
+	p.allocs++
+	res.Allocated = true
+	res.L1Prefetches = 1
+	res.L2Prefetches = 1
+	p.l1Prefetches++
+	p.l2Prefetches++
+	return res
+}
+
+// ActiveStreams returns how many streams are currently valid.
+func (p *Prefetcher) ActiveStreams() int {
+	n := 0
+	for i := range p.streams {
+		if p.streams[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Take returns and clears the accumulated prefetch counters.
+func (p *Prefetcher) Take() (l1, l2, allocs uint64) {
+	l1, l2, allocs = p.l1Prefetches, p.l2Prefetches, p.allocs
+	p.l1Prefetches, p.l2Prefetches, p.allocs = 0, 0, 0
+	return
+}

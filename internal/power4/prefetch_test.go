@@ -1,0 +1,102 @@
+package power4
+
+import "testing"
+
+func TestPrefetcherAllocatesOnSequentialMisses(t *testing.T) {
+	var p Prefetcher
+	r := p.OnAccess(100, true)
+	if r.Allocated {
+		t.Fatal("allocated on first miss")
+	}
+	r = p.OnAccess(101, true)
+	if !r.Allocated {
+		t.Fatal("no allocation on second sequential miss")
+	}
+	if p.ActiveStreams() != 1 {
+		t.Fatalf("streams = %d", p.ActiveStreams())
+	}
+}
+
+func TestPrefetcherDoesNotAllocateOnRandomMisses(t *testing.T) {
+	var p Prefetcher
+	for _, l := range []uint64{10, 500, 90, 7000, 42, 12345} {
+		if r := p.OnAccess(l, true); r.Allocated {
+			t.Fatalf("allocated on non-sequential miss at %d", l)
+		}
+	}
+}
+
+func TestPrefetcherStreamCoverage(t *testing.T) {
+	var p Prefetcher
+	p.OnAccess(100, true)
+	p.OnAccess(101, true) // allocate, next=102
+	covered := 0
+	for l := uint64(102); l < 120; l++ {
+		r := p.OnAccess(l, true)
+		if r.Covered {
+			covered++
+		}
+	}
+	if covered != 18 {
+		t.Fatalf("stream covered %d/18 sequential accesses", covered)
+	}
+}
+
+func TestPrefetcherRampDepth(t *testing.T) {
+	var p Prefetcher
+	p.OnAccess(100, true)
+	p.OnAccess(101, true)
+	var lastL2 int
+	for l := uint64(102); l < 115; l++ {
+		r := p.OnAccess(l, true)
+		lastL2 = r.L2Prefetches
+	}
+	// Fully ramped: depth 5 => 2 L2 prefetches per advance.
+	if lastL2 != maxRampDepth/2 {
+		t.Fatalf("ramped L2 prefetches = %d, want %d", lastL2, maxRampDepth/2)
+	}
+}
+
+func TestPrefetcherLRUStreamReplacement(t *testing.T) {
+	var p Prefetcher
+	// Allocate 9 streams; the 9th must evict the oldest, keeping 8.
+	for s := 0; s < 9; s++ {
+		base := uint64(1000 * (s + 1))
+		p.OnAccess(base, true)
+		p.OnAccess(base+1, true)
+	}
+	if p.ActiveStreams() != 8 {
+		t.Fatalf("streams = %d, want 8", p.ActiveStreams())
+	}
+	// The first stream (next=1002) must be gone: accessing it is uncovered.
+	if r := p.OnAccess(1002, true); r.Covered {
+		t.Fatal("evicted stream still covering")
+	}
+}
+
+func TestPrefetcherTake(t *testing.T) {
+	var p Prefetcher
+	p.OnAccess(5, true)
+	p.OnAccess(6, true)
+	p.OnAccess(7, true)
+	l1, l2, allocs := p.Take()
+	if l1 == 0 || l2 == 0 || allocs != 1 {
+		t.Fatalf("take = %d/%d/%d", l1, l2, allocs)
+	}
+	l1, l2, allocs = p.Take()
+	if l1 != 0 || l2 != 0 || allocs != 0 {
+		t.Fatal("take did not clear")
+	}
+}
+
+func TestPrefetcherHitsDoNotAllocate(t *testing.T) {
+	var p Prefetcher
+	for l := uint64(0); l < 20; l++ {
+		if r := p.OnAccess(l, false); r.Allocated {
+			t.Fatal("allocated on hits")
+		}
+	}
+	if p.ActiveStreams() != 0 {
+		t.Fatal("streams allocated from hits")
+	}
+}

@@ -1,0 +1,318 @@
+package power4
+
+import "fmt"
+
+// DataSource labels where a load that missed the L1 D-cache was satisfied
+// from, following the POWER4 naming the paper uses in Figure 9:
+//
+//   - L2:      the requesting core's own on-chip L2
+//   - L2.5:    an off-chip L2 on the same MCM
+//   - L2.75:   an L2 on a different MCM (Shared or Modified MESI state)
+//   - L3:      the MCM-local L3
+//   - L3.5:    an L3 attached to a different MCM
+//   - Memory:  DRAM
+type DataSource int
+
+// Data sources in increasing latency order.
+const (
+	SrcL1 DataSource = iota
+	SrcL2
+	SrcL25Shr
+	SrcL25Mod
+	SrcL275Shr
+	SrcL275Mod
+	SrcL3
+	SrcL35
+	SrcMem
+	numSources
+)
+
+// NumSources is the number of data source labels.
+const NumSources = int(numSources)
+
+var sourceNames = [...]string{
+	SrcL1:      "L1",
+	SrcL2:      "L2",
+	SrcL25Shr:  "L2.5 Shared",
+	SrcL25Mod:  "L2.5 Modified",
+	SrcL275Shr: "L2.75 Shared",
+	SrcL275Mod: "L2.75 Modified",
+	SrcL3:      "L3",
+	SrcL35:     "L3.5",
+	SrcMem:     "Memory",
+}
+
+// String names the source as in Figure 9.
+func (s DataSource) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("src(%d)", int(s))
+}
+
+// TopologyConfig describes the multi-chip layout. The paper's SUT: 4 cores
+// as 2 MCMs, each MCM holding one live 2-core chip with a shared L2, and
+// one L3 per MCM (hence no L2.5 traffic is ever observed).
+type TopologyConfig struct {
+	Chips        int // live chips
+	CoresPerChip int
+	ChipsPerMCM  int // live chips per MCM
+	L2           CacheConfig
+	L3           CacheConfig
+}
+
+// DefaultTopologyConfig returns the paper's 4-core / 2-MCM system with
+// POWER4 cache geometry (1.5 MB 8-way L2 per chip, 32 MB 8-way L3 per MCM).
+func DefaultTopologyConfig() TopologyConfig {
+	return TopologyConfig{
+		Chips:        2,
+		CoresPerChip: 2,
+		ChipsPerMCM:  1,
+		L2: CacheConfig{
+			Name: "L2", SizeBytes: 1536 << 10, Ways: 12, LineBytes: 128, Repl: ReplLRU,
+		},
+		L3: CacheConfig{
+			Name: "L3", SizeBytes: 32 << 20, Ways: 8, LineBytes: 512, Repl: ReplLRU,
+		},
+	}
+}
+
+// lineState is the directory entry for a line resident in >= 1 L2.
+type lineState struct {
+	sharers uint8 // bitmask over chips
+	owner   int8  // modified owner chip, -1 if clean
+}
+
+// Hierarchy is the shared (cross-core) part of the memory system: per-chip
+// L2s, per-MCM L3s, and a MESI-flavoured directory that produces the
+// Figure 9 data-source labels.
+type Hierarchy struct {
+	cfg  TopologyConfig
+	l2   []*Cache // per chip
+	l3   []*Cache // per MCM
+	dir  map[uint64]*lineState
+	mcms int
+
+	recentStores map[uint64]uint8 // lines recently stored to, per chip (reservation tracking)
+	storeRing    []uint64         // FIFO of tracked lines (deterministic eviction)
+	storeRingPos int
+
+	// OnSource, when non-nil, observes every serviced L1 load miss with its
+	// source label (debug/ablation hook).
+	OnSource func(ra uint64, src DataSource)
+	// OnStore, when non-nil, observes every store reaching the coherence
+	// point with the storing chip (debug/ablation hook).
+	OnStore func(ra uint64, chip int)
+}
+
+// NewHierarchy builds the shared cache levels.
+func NewHierarchy(cfg TopologyConfig) (*Hierarchy, error) {
+	if cfg.Chips <= 0 || cfg.CoresPerChip <= 0 || cfg.ChipsPerMCM <= 0 {
+		return nil, fmt.Errorf("power4: bad topology %+v", cfg)
+	}
+	mcms := (cfg.Chips + cfg.ChipsPerMCM - 1) / cfg.ChipsPerMCM
+	h := &Hierarchy{cfg: cfg, dir: make(map[uint64]*lineState), mcms: mcms}
+	for i := 0; i < cfg.Chips; i++ {
+		c, err := NewCache(cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		h.l2 = append(h.l2, c)
+	}
+	for i := 0; i < mcms; i++ {
+		c, err := NewCache(cfg.L3)
+		if err != nil {
+			return nil, err
+		}
+		h.l3 = append(h.l3, c)
+	}
+	return h, nil
+}
+
+// Cores returns the total number of cores.
+func (h *Hierarchy) Cores() int { return h.cfg.Chips * h.cfg.CoresPerChip }
+
+// ChipOf maps a core id to its chip.
+func (h *Hierarchy) ChipOf(core int) int { return core / h.cfg.CoresPerChip }
+
+// MCMOf maps a chip id to its MCM.
+func (h *Hierarchy) MCMOf(chip int) int { return chip / h.cfg.ChipsPerMCM }
+
+func (h *Hierarchy) lineOf(ra uint64) uint64 { return ra >> 7 } // 128-byte coherence granule
+
+// Load services a load that missed the requesting core's L1, returning the
+// data source label. ra is the real address.
+func (h *Hierarchy) Load(core int, ra uint64) DataSource {
+	src := h.load(core, ra)
+	if h.OnSource != nil {
+		h.OnSource(ra, src)
+	}
+	return src
+}
+
+func (h *Hierarchy) load(core int, ra uint64) DataSource {
+	chip := h.ChipOf(core)
+	mcm := h.MCMOf(chip)
+	line := h.lineOf(ra)
+
+	if h.l2[chip].Lookup(ra) {
+		h.noteSharer(line, chip)
+		return SrcL2
+	}
+
+	// Remote L2s (cache-to-cache transfer).
+	for c := 0; c < h.cfg.Chips; c++ {
+		if c == chip || !h.l2[c].Probe(ra) {
+			continue
+		}
+		st := h.dir[line]
+		modified := st != nil && st.owner == int8(c)
+		sameMCM := h.MCMOf(c) == mcm
+		// The transfer downgrades a modified line to shared and installs a
+		// copy in the requester's L2.
+		if st != nil {
+			st.owner = -1
+		}
+		h.installL2(chip, ra, line)
+		switch {
+		case sameMCM && modified:
+			return SrcL25Mod
+		case sameMCM:
+			return SrcL25Shr
+		case modified:
+			return SrcL275Mod
+		default:
+			return SrcL275Shr
+		}
+	}
+
+	// MCM-local L3.
+	if h.l3[mcm].Lookup(ra) {
+		h.installL2(chip, ra, line)
+		return SrcL3
+	}
+	// Remote L3s.
+	for m := 0; m < h.mcms; m++ {
+		if m == mcm {
+			continue
+		}
+		if h.l3[m].Probe(ra) {
+			h.installL2(chip, ra, line)
+			return SrcL35
+		}
+	}
+	// Memory: fill L3 and L2 on the way in.
+	h.insertL3(mcm, ra)
+	h.installL2(chip, ra, line)
+	return SrcMem
+}
+
+// Store services a store from core to real address ra: the line is brought
+// to the owning chip's L2 in Modified state and all other copies are
+// invalidated (the L1 is write-through/no-allocate, so every store reaches
+// the L2 — the coherence point of the system).
+// It reports whether the store missed the chip's L2.
+func (h *Hierarchy) Store(core int, ra uint64) (l2Miss bool) {
+	chip := h.ChipOf(core)
+	if h.OnStore != nil {
+		h.OnStore(ra, chip)
+	}
+	line := h.lineOf(ra)
+	hit := h.l2[chip].Lookup(ra)
+	if !hit {
+		h.installL2(chip, ra, line)
+	}
+	st := h.dir[line]
+	if st == nil {
+		st = &lineState{owner: -1}
+		h.dir[line] = st
+	}
+	// Invalidate every other chip's copy.
+	for c := 0; c < h.cfg.Chips; c++ {
+		if c == chip {
+			continue
+		}
+		if st.sharers&(1<<uint(c)) != 0 {
+			h.l2[c].Invalidate(ra)
+			st.sharers &^= 1 << uint(c)
+		}
+	}
+	st.sharers |= 1 << uint(chip)
+	st.owner = int8(chip)
+	h.noteRemoteStore(chip, line)
+	return !hit
+}
+
+// FetchInst services an instruction fetch that missed the core's L1 I-cache
+// and returns the level it was satisfied from, collapsed to the L2/L3/MEM
+// buckets the instruction-source HPM events distinguish.
+func (h *Hierarchy) FetchInst(core int, ra uint64) DataSource {
+	src := h.Load(core, ra)
+	switch src {
+	case SrcL25Shr, SrcL25Mod, SrcL275Shr, SrcL275Mod:
+		return SrcL2 // remote-L2 fills count as L2-class for the I-side events
+	case SrcL35:
+		return SrcL3
+	default:
+		return src
+	}
+}
+
+// PrefetchFill installs a prefetched line into the chip's L2 (and L3 for
+// deep prefetches) without demand-access accounting.
+func (h *Hierarchy) PrefetchFill(core int, ra uint64, deep bool) {
+	chip := h.ChipOf(core)
+	h.installL2(chip, ra, h.lineOf(ra))
+	if deep {
+		h.insertL3(h.MCMOf(chip), ra)
+	}
+}
+
+func (h *Hierarchy) noteSharer(line uint64, chip int) {
+	if st := h.dir[line]; st != nil {
+		st.sharers |= 1 << uint(chip)
+	}
+}
+
+func (h *Hierarchy) installL2(chip int, ra, line uint64) {
+	evicted, had := h.l2[chip].Insert(ra)
+	st := h.dir[line]
+	if st == nil {
+		st = &lineState{owner: -1}
+		h.dir[line] = st
+	}
+	st.sharers |= 1 << uint(chip)
+	if had {
+		h.onL2Evict(chip, evicted)
+	}
+}
+
+// onL2Evict maintains the directory and spills the victim into the L3
+// (victim-cache style, as on POWER4 where the L3 holds L2 castouts).
+func (h *Hierarchy) onL2Evict(chip int, evictedAddr uint64) {
+	line := h.lineOf(evictedAddr)
+	if st, ok := h.dir[line]; ok {
+		st.sharers &^= 1 << uint(chip)
+		if st.owner == int8(chip) {
+			st.owner = -1
+		}
+		if st.sharers == 0 {
+			delete(h.dir, line)
+		}
+	}
+	h.insertL3(h.MCMOf(chip), evictedAddr)
+}
+
+func (h *Hierarchy) insertL3(mcm int, ra uint64) {
+	h.l3[mcm].Insert(ra)
+}
+
+// DirectorySize returns the number of tracked lines (bounded by total L2
+// capacity; used by invariant tests).
+func (h *Hierarchy) DirectorySize() int { return len(h.dir) }
+
+// L2 exposes a chip's L2 cache for tests.
+func (h *Hierarchy) L2(chip int) *Cache { return h.l2[chip] }
+
+// L3 exposes an MCM's L3 cache for tests.
+func (h *Hierarchy) L3(mcm int) *Cache { return h.l3[mcm] }

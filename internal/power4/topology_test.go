@@ -1,0 +1,192 @@
+package power4
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newHier(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(DefaultTopologyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTopologyMapping(t *testing.T) {
+	h := newHier(t)
+	if h.Cores() != 4 {
+		t.Fatalf("cores = %d", h.Cores())
+	}
+	// Cores 0,1 on chip 0 (MCM 0); cores 2,3 on chip 1 (MCM 1).
+	if h.ChipOf(0) != 0 || h.ChipOf(1) != 0 || h.ChipOf(2) != 1 || h.ChipOf(3) != 1 {
+		t.Fatal("core->chip mapping wrong")
+	}
+	if h.MCMOf(0) != 0 || h.MCMOf(1) != 1 {
+		t.Fatal("chip->MCM mapping wrong")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewHierarchy(TopologyConfig{}); err == nil {
+		t.Fatal("zero topology accepted")
+	}
+}
+
+func TestLoadFromMemoryThenL2(t *testing.T) {
+	h := newHier(t)
+	const a = 0x100000
+	if src := h.Load(0, a); src != SrcMem {
+		t.Fatalf("cold load source = %v, want Memory", src)
+	}
+	if src := h.Load(0, a); src != SrcL2 {
+		t.Fatalf("warm load source = %v, want L2", src)
+	}
+	// Sibling core on the same chip shares the L2.
+	if src := h.Load(1, a); src != SrcL2 {
+		t.Fatalf("sibling load source = %v, want L2", src)
+	}
+}
+
+func TestCrossMCMSharedTransfer(t *testing.T) {
+	h := newHier(t)
+	const a = 0x200000
+	h.Load(0, a) // chip 0 now holds the line clean
+	if src := h.Load(2, a); src != SrcL275Shr {
+		t.Fatalf("cross-MCM load source = %v, want L2.75 Shared", src)
+	}
+}
+
+func TestCrossMCMModifiedTransfer(t *testing.T) {
+	h := newHier(t)
+	const a = 0x300000
+	h.Store(0, a) // chip 0 holds the line modified
+	if src := h.Load(2, a); src != SrcL275Mod {
+		t.Fatalf("cross-MCM load source = %v, want L2.75 Modified", src)
+	}
+	// The transfer downgraded the line: a further remote read is Shared.
+	h.Load(2, a) // now in chip 1's L2 too
+	if src := h.Load(0, a); src != SrcL2 {
+		t.Fatalf("owner reload source = %v, want L2", src)
+	}
+}
+
+func TestNoL25TrafficInPaperTopology(t *testing.T) {
+	// With one live chip per MCM there is no same-MCM remote L2, exactly
+	// as the paper's footnote says.
+	h := newHier(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		core := rng.Intn(4)
+		addr := uint64(rng.Intn(1 << 24))
+		if rng.Intn(3) == 0 {
+			h.Store(core, addr)
+		} else {
+			src := h.Load(core, addr)
+			if src == SrcL25Shr || src == SrcL25Mod {
+				t.Fatalf("impossible L2.5 traffic at %#x", addr)
+			}
+		}
+	}
+}
+
+func TestStoreInvalidatesRemoteCopies(t *testing.T) {
+	h := newHier(t)
+	const a = 0x400000
+	h.Load(0, a)
+	h.Load(2, a) // both chips share the line
+	h.Store(0, a)
+	if h.L2(1).Probe(a) {
+		t.Fatal("remote copy survived an invalidating store")
+	}
+}
+
+func TestL3VictimPath(t *testing.T) {
+	h := newHier(t)
+	// Fill far beyond L2 capacity (1.5 MB) but within L3 (32 MB): evicted
+	// lines must be findable in the MCM-local L3.
+	for a := uint64(0); a < 8<<20; a += 128 {
+		h.Load(0, a)
+	}
+	var fromL3, fromMem int
+	for a := uint64(0); a < 8<<20; a += 4096 {
+		switch h.Load(0, a) {
+		case SrcL3:
+			fromL3++
+		case SrcMem:
+			fromMem++
+		}
+	}
+	if fromL3 == 0 {
+		t.Fatal("no L3 hits after L2 overflow")
+	}
+	if fromL3 < fromMem {
+		t.Fatalf("L3 victim path weak: L3=%d mem=%d", fromL3, fromMem)
+	}
+}
+
+func TestL35Source(t *testing.T) {
+	h := newHier(t)
+	const a = 0x500000
+	h.Load(2, a) // MCM 1's L3 + chip 1's L2 hold it
+	// Push it out of chip 1's L2 only.
+	for x := uint64(1 << 26); x < 1<<26+4<<20; x += 128 {
+		h.Load(2, x)
+	}
+	if h.L2(1).Probe(a) {
+		t.Skip("line unexpectedly survived L2 pressure")
+	}
+	if src := h.Load(0, a); src != SrcL35 {
+		t.Fatalf("source = %v, want L3.5", src)
+	}
+}
+
+func TestDirectoryBounded(t *testing.T) {
+	h := newHier(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200000; i++ {
+		h.Load(rng.Intn(4), uint64(rng.Intn(1<<28))&^127)
+	}
+	// Directory only tracks L2-resident lines: total L2 lines = 2 chips *
+	// 1.5MB / 128B = 24576.
+	if h.DirectorySize() > 24576 {
+		t.Fatalf("directory grew unbounded: %d", h.DirectorySize())
+	}
+}
+
+func TestReservationLost(t *testing.T) {
+	h := newHier(t)
+	const line = uint64(0x600000 >> 7)
+	// Core 0 (chip 0) reserves; core 2 (chip 1) stores to the line.
+	h.Store(2, 0x600000)
+	if !h.ReservationLost(0, line) {
+		t.Fatal("reservation survived a remote store")
+	}
+	// Consumed: asking again reports no loss.
+	if h.ReservationLost(0, line) {
+		t.Fatal("reservation loss not consumed")
+	}
+	// A store by the same chip does not kill its own reservation.
+	h.Store(1, 0x700000) // core 1 is chip 0
+	if h.ReservationLost(0, 0x700000>>7) {
+		t.Fatal("same-chip store killed the reservation")
+	}
+}
+
+func TestFetchInstBuckets(t *testing.T) {
+	h := newHier(t)
+	const a = 0x800000
+	if src := h.FetchInst(0, a); src != SrcMem {
+		t.Fatalf("cold fetch = %v", src)
+	}
+	h.Load(2, a+4096) // prime remote chip
+	h.Load(2, a)
+	// Remote-L2 sourced fetch collapses to the L2 bucket.
+	// First evict from own L2? It was installed by FetchInst. Use a fresh line:
+	const b = 0x900000
+	h.Load(2, b)
+	if src := h.FetchInst(0, b); src != SrcL2 {
+		t.Fatalf("remote fetch bucket = %v, want L2", src)
+	}
+}

@@ -1,0 +1,174 @@
+package power4
+
+import (
+	"testing"
+
+	"jasworkload/internal/mem"
+)
+
+func tr4k(vpn uint64) mem.Translation {
+	return mem.Translation{VPN: vpn, PageSize: mem.Page4K}
+}
+
+func tr16m(vpn uint64) mem.Translation {
+	return mem.Translation{VPN: vpn, PageSize: mem.Page16M}
+}
+
+func TestTransCacheGeometry(t *testing.T) {
+	if _, err := NewTransCache("x", 0, 4); err == nil {
+		t.Fatal("zero sets accepted")
+	}
+	if _, err := NewTransCache("x", 3, 4); err == nil {
+		t.Fatal("non power-of-two sets accepted")
+	}
+	if _, err := NewTransCache("x", 4, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	tc, err := NewTransCache("x", 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Entries() != 128 {
+		t.Fatalf("Entries = %d", tc.Entries())
+	}
+}
+
+func TestTransCacheHitMiss(t *testing.T) {
+	tc, _ := NewTransCache("x", 4, 2)
+	if tc.Lookup(tr4k(10)) {
+		t.Fatal("cold hit")
+	}
+	tc.Insert(tr4k(10))
+	if !tc.Lookup(tr4k(10)) {
+		t.Fatal("miss after insert")
+	}
+	// Page size distinguishes entries with the same VPN.
+	if tc.Lookup(tr16m(10)) {
+		t.Fatal("page-size aliasing: 16M hit on 4K entry")
+	}
+}
+
+func TestTransCacheLRU(t *testing.T) {
+	tc, _ := NewTransCache("x", 1, 2) // single set, 2 ways
+	tc.Insert(tr4k(1))
+	tc.Insert(tr4k(2))
+	tc.Lookup(tr4k(1)) // refresh 1
+	tc.Insert(tr4k(3)) // evicts 2
+	if !tc.Lookup(tr4k(1)) {
+		t.Fatal("LRU evicted the refreshed entry")
+	}
+	if tc.Lookup(tr4k(2)) {
+		t.Fatal("LRU kept the stale entry")
+	}
+}
+
+func TestTransCacheFlush(t *testing.T) {
+	tc, _ := NewTransCache("x", 4, 2)
+	tc.Insert(tr4k(7))
+	tc.Flush()
+	if tc.Lookup(tr4k(7)) {
+		t.Fatal("entry survived flush")
+	}
+}
+
+func TestTransCacheInsertIdempotent(t *testing.T) {
+	tc, _ := NewTransCache("x", 1, 2)
+	tc.Insert(tr4k(1))
+	tc.Insert(tr4k(1)) // must not consume the second way
+	tc.Insert(tr4k(2))
+	if !tc.Lookup(tr4k(1)) || !tc.Lookup(tr4k(2)) {
+		t.Fatal("duplicate insert consumed a way")
+	}
+}
+
+func TestMMUHierarchy(t *testing.T) {
+	m, err := NewMMU(DefaultMMUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First data access: ERAT miss + TLB miss.
+	r := m.Data(tr4k(100))
+	if !r.ERATMiss || !r.TLBMiss {
+		t.Fatalf("cold access = %+v, want both misses", r)
+	}
+	// Second access: both hit.
+	r = m.Data(tr4k(100))
+	if r.ERATMiss || r.TLBMiss {
+		t.Fatalf("warm access = %+v, want hits", r)
+	}
+	// The unified TLB is shared across I and D sides: an I-side access to
+	// the same page should miss the IERAT but hit the TLB.
+	r = m.Inst(tr4k(100))
+	if !r.ERATMiss {
+		t.Fatal("IERAT should miss on first I-side access")
+	}
+	if r.TLBMiss {
+		t.Fatal("unified TLB should already hold the page")
+	}
+}
+
+// The ERAT cannot hold a working set bigger than its capacity, but the TLB
+// can: then a DERAT miss is satisfied by the TLB — the paper's "upon a
+// DERAT miss, the TLB is able to satisfy requests in 75% of cases".
+func TestERATMissTLBHitRegime(t *testing.T) {
+	m, err := NewMMU(DefaultMMUConfig()) // 128-entry ERAT, 1024-entry TLB
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 512 // > ERAT, < TLB
+	// Warm everything.
+	for round := 0; round < 2; round++ {
+		for p := uint64(0); p < pages; p++ {
+			m.Data(tr4k(p))
+		}
+	}
+	var eratMiss, tlbMiss int
+	for p := uint64(0); p < pages; p++ {
+		r := m.Data(tr4k(p))
+		if r.ERATMiss {
+			eratMiss++
+		}
+		if r.TLBMiss {
+			tlbMiss++
+		}
+	}
+	if eratMiss == 0 {
+		t.Fatal("ERAT held a working set 4x its size")
+	}
+	if tlbMiss != 0 {
+		t.Fatalf("TLB missed %d times on a fitting working set", tlbMiss)
+	}
+}
+
+// Large pages collapse the heap's translation working set: 1 GB is 64 large
+// pages (fits any ERAT) versus 262144 small pages (fits nothing). This is
+// the mechanism behind the paper's +25% DTLB hit rate with large pages.
+func TestLargePagesShrinkTranslationWorkingSet(t *testing.T) {
+	missRate := func(ps mem.PageSize, heap uint64, accesses int) float64 {
+		m, err := NewMMU(DefaultMMUConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := ps.Shift()
+		stride := uint64(4096)
+		var miss int
+		addr := uint64(0)
+		for i := 0; i < accesses; i++ {
+			addr = (addr + stride*7919) % heap // pseudo-random walk
+			r := m.Data(mem.Translation{VPN: addr >> shift, PageSize: ps})
+			if r.ERATMiss {
+				miss++
+			}
+		}
+		return float64(miss) / float64(accesses)
+	}
+	const heap = 1 << 30
+	large := missRate(mem.Page16M, heap, 50000)
+	small := missRate(mem.Page4K, heap, 50000)
+	if large > 0.01 {
+		t.Fatalf("large-page DERAT miss rate = %.4f, want ~0", large)
+	}
+	if small < 0.5 {
+		t.Fatalf("small-page DERAT miss rate = %.4f, want high", small)
+	}
+}

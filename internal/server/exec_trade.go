@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+
+	"jasworkload/internal/db"
+)
+
+// Trade6-like transaction scripts. The class indices reuse RequestType:
+// 0=Buy, 1=Sell, 2=Quote, 3=Portfolio (see Trade6App).
+
+// runTradeDBScript performs a trading request's database transaction.
+func (s *Server) runTradeDBScript(rt RequestType) error {
+	switch rt {
+	case 0:
+		return s.dbBuy()
+	case 1:
+		return s.dbSell()
+	case 2:
+		return s.dbQuote()
+	case 3:
+		return s.dbPortfolio()
+	default:
+		return fmt.Errorf("server: unknown trade request type %d", rt)
+	}
+}
+
+func (s *Server) tradeSizes() db.TradeSizes { return db.TradeSizesFor(s.cfg.IR) }
+
+func (s *Server) dbBuy() error {
+	sz := s.tradeSizes()
+	tx := s.dbase.Begin()
+	acct := db.Value(s.rng.Intn(sz.Accounts))
+	if _, err := tx.Get(db.TAccounts, acct); err != nil {
+		return abortWith(tx, err)
+	}
+	sym := db.Value(s.rng.Intn(sz.Quotes))
+	if _, err := tx.Get(db.TQuotes, sym); err != nil {
+		return abortWith(tx, err)
+	}
+	s.tradeOrderSeq++
+	if err := tx.Insert(db.TTradeOrders, db.Row{s.tradeOrderSeq, acct, sym, 0}); err != nil {
+		return abortWith(tx, err)
+	}
+	s.holdingSeq++
+	hk := db.Value(sz.Holdings) + s.holdingSeq
+	if err := tx.Insert(db.THoldings, db.Row{hk, acct, sym, db.Value(1 + s.rng.Intn(100))}); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(db.TAccounts, acct, 1, db.Value(s.rng.Intn(90000))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func (s *Server) dbSell() error {
+	sz := s.tradeSizes()
+	tx := s.dbase.Begin()
+	acct := db.Value(s.rng.Intn(sz.Accounts))
+	if _, err := tx.Get(db.TAccounts, acct); err != nil {
+		return abortWith(tx, err)
+	}
+	lo := db.Value(s.rng.Intn(sz.Holdings))
+	rows, err := s.dbase.Scan(db.THoldings, lo, lo+40, 5)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	if len(rows) > 0 {
+		if err := tx.Delete(db.THoldings, rows[0][0]); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	s.tradeOrderSeq++
+	if err := tx.Insert(db.TTradeOrders, db.Row{s.tradeOrderSeq, acct, db.Value(s.rng.Intn(sz.Quotes)), 1}); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(db.TAccounts, acct, 1, db.Value(s.rng.Intn(90000))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func (s *Server) dbQuote() error {
+	sz := s.tradeSizes()
+	for i := 0; i < 3; i++ {
+		if _, err := s.dbase.Get(db.TQuotes, db.Value(s.rng.Intn(sz.Quotes))); err != nil {
+			return err
+		}
+	}
+	lo := db.Value(s.rng.Intn(sz.Quotes))
+	_, err := s.dbase.Scan(db.TQuotes, lo, lo+8, 5)
+	return err
+}
+
+func (s *Server) dbPortfolio() error {
+	sz := s.tradeSizes()
+	acct := db.Value(s.rng.Intn(sz.Accounts))
+	if _, err := s.dbase.Get(db.TAccounts, acct); err != nil {
+		return err
+	}
+	lo := db.Value(s.rng.Intn(sz.Holdings))
+	if _, err := s.dbase.Scan(db.THoldings, lo, lo+60, 10); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.dbase.Get(db.TQuotes, db.Value(s.rng.Intn(sz.Quotes))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/mem"
+	"jasworkload/internal/stats"
+)
+
+// Segment classifies CPU time by software component, the buckets of the
+// paper's Figure 4 profile breakdown.
+type Segment uint8
+
+// Profile segments.
+const (
+	SegWASJit    Segment = iota // JIT-compiled Java in the WAS process
+	SegWASNative                // WAS process outside JITed code: JVM, JIT, MQ/DB2 client libs
+	SegWebServer                // the web server process
+	SegDB2                      // the database server process
+	SegKernel                   // operating system
+	numSegments
+)
+
+// NumSegments is the number of profile segments.
+const NumSegments = int(numSegments)
+
+var segmentNames = [...]string{
+	SegWASJit:    "WAS JITed",
+	SegWASNative: "WAS non JITed",
+	SegWebServer: "Web Server",
+	SegDB2:       "DB2",
+	SegKernel:    "Kernel",
+}
+
+// String names the segment as in Figure 4.
+func (s Segment) String() string {
+	if int(s) < len(segmentNames) {
+		return segmentNames[s]
+	}
+	return fmt.Sprintf("segment(%d)", uint8(s))
+}
+
+// Config sizes the application server.
+type Config struct {
+	IR                 int    // injection rate: controls DB size and load
+	Threads            int    // web/EJB container thread pool
+	Connections        int    // DB connection pool
+	BaselineCacheBytes uint64 // long-lived in-heap caches (EJB pools, prepared statements, metadata)
+	SessionTTLMS       float64
+	Seed               int64
+	// App selects the deployed application (nil = jas2004).
+	App *App
+	// CPUFactor scales per-request CPU cost; JVM variants differ here (the
+	// paper's footnote: Sovereign shows higher CPU utilization than J9 at
+	// the same injection rate). 0 means 1.0.
+	CPUFactor float64
+}
+
+// DefaultConfig returns a tuned configuration for the given IR.
+func DefaultConfig(ir int) Config {
+	return Config{
+		IR:                 ir,
+		Threads:            50,
+		Connections:        30,
+		BaselineCacheBytes: 188 << 20,
+		SessionTTLMS:       20 * 60 * 1000,
+		Seed:               1,
+	}
+}
+
+// Result is the request-level outcome of one executed transaction.
+type Result struct {
+	Type         RequestType
+	Instructions uint64
+	Segments     [NumSegments]uint64
+	AllocBytes   uint64
+	DBOps        int
+	LockAcquires int
+}
+
+// session is one simulated user's conversational state.
+type session struct {
+	obj       jvm.ObjID
+	expiresAt float64
+}
+
+// Server is the SUT software stack above the hardware: WebSphere-like
+// containers bound to the JVM heap, the JIT's method universe, and the
+// database.
+type Server struct {
+	cfg    Config
+	layout *mem.Layout
+	jit    *jvm.JIT
+	heap   *jvm.Heap
+	dbase  *db.Database
+	rng    *rand.Rand
+
+	samplers  [NumRequestTypes]*stats.Alias
+	methodIdx [NumRequestTypes][]jvm.MethodID
+
+	cacheRoot  jvm.ObjID
+	cacheObjs  []jvm.ObjID
+	sessRoot   jvm.ObjID
+	sessions   map[int]*session
+	sessionIDs []int // session uids in registration order (deterministic expiry scans)
+	sessScan   int
+
+	lockWords []uint64
+	dbAddrs   []uint64 // addresses reported by the DB tracer, consumed by the trace emitter
+
+	threadsBusy, connsBusy int
+	threadWaits, connWaits uint64
+
+	app       *App
+	cpuFactor float64
+
+	orderSeq, workOrderSeq    db.Value
+	holdingSeq, tradeOrderSeq db.Value
+
+	executed [NumRequestTypes]uint64
+	emitter  *traceEmitter
+}
+
+// New builds the server over its substrates. The database must already be
+// loaded (db.Load); the JIT should be constructed over the method universe.
+func New(cfg Config, layout *mem.Layout, jit *jvm.JIT, heap *jvm.Heap, database *db.Database) (*Server, error) {
+	if layout == nil || jit == nil || heap == nil || database == nil {
+		return nil, errors.New("server: nil substrate")
+	}
+	if cfg.IR <= 0 || cfg.Threads <= 0 || cfg.Connections <= 0 {
+		return nil, fmt.Errorf("server: bad config %+v", cfg)
+	}
+	app := cfg.App
+	if app == nil {
+		app = Jas2004App()
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	cpu := cfg.CPUFactor
+	if cpu == 0 {
+		cpu = 1.0
+	}
+	s := &Server{
+		cfg:       cfg,
+		app:       app,
+		cpuFactor: cpu,
+		layout:    layout,
+		jit:       jit,
+		heap:      heap,
+		dbase:     database,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		sessions:  map[int]*session{},
+	}
+	database.SetTracer(func(addr uint64, write bool) {
+		// Keep a short queue of recent DB buffer addresses for the trace:
+		// the rows the current transactions actually touch.
+		if len(s.dbAddrs) >= 256 {
+			s.dbAddrs = s.dbAddrs[1:]
+		}
+		s.dbAddrs = append(s.dbAddrs, addr)
+	})
+	if err := s.buildSamplers(); err != nil {
+		return nil, err
+	}
+	if err := s.buildHeapBaseline(); err != nil {
+		return nil, err
+	}
+	s.emitter = newTraceEmitter(s)
+	return s, nil
+}
+
+// buildSamplers creates per-request-type method samplers: each type biases
+// toward a different slice of the universe (Browse leans on web/Java
+// library conversion code, CreateVehicle on the EJB container), while all
+// share the same warm core — that is what keeps the aggregate profile flat.
+func (s *Server) buildSamplers() error {
+	methods := s.jit.Methods()
+	bias := func(rt RequestType, comp jvm.Component) float64 {
+		switch {
+		case rt == ReqBrowse && comp == jvm.CompJavaLib:
+			return 1.5
+		case rt == ReqPurchase && comp == jvm.CompWebSphere:
+			return 1.3
+		case rt == ReqManage && comp == jvm.CompOther:
+			return 1.3
+		case rt == ReqCreateVehicle && comp == jvm.CompEJS:
+			return 1.8
+		default:
+			return 1.0
+		}
+	}
+	for rt := RequestType(0); rt < numRequestTypes; rt++ {
+		weights := make([]float64, len(methods))
+		ids := make([]jvm.MethodID, len(methods))
+		for i, m := range methods {
+			weights[i] = m.Weight * bias(rt, m.Component)
+			ids[i] = m.ID
+		}
+		a, err := stats.NewAlias(weights)
+		if err != nil {
+			return err
+		}
+		s.samplers[rt] = a
+		s.methodIdx[rt] = ids
+	}
+	return nil
+}
+
+// buildHeapBaseline allocates the long-lived in-heap state: container
+// caches, prepared statements, class metadata mirrors. This is the bulk of
+// the ~195 MB reachable set the paper measures.
+func (s *Server) buildHeapBaseline() error {
+	root, err := s.heap.Alloc(1024)
+	if err != nil {
+		return fmt.Errorf("server: baseline root: %w", err)
+	}
+	s.cacheRoot = root
+	s.heap.AddRoot(root)
+	const objSize = 4096
+	n := int(s.cfg.BaselineCacheBytes / objSize)
+	s.cacheObjs = make([]jvm.ObjID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := s.heap.Alloc(objSize)
+		if err != nil {
+			return fmt.Errorf("server: baseline cache exceeds heap at %d objects: %w", i, err)
+		}
+		s.heap.AddRef(root, id)
+		s.cacheObjs = append(s.cacheObjs, id)
+	}
+	sessRoot, err := s.heap.Alloc(512)
+	if err != nil {
+		return err
+	}
+	s.sessRoot = sessRoot
+	s.heap.AddRoot(sessRoot)
+
+	// Hot lock words: container monitors, pool latches, logger locks.
+	for i := 0; i < 32; i++ {
+		id, err := s.heap.Alloc(64)
+		if err != nil {
+			return err
+		}
+		s.heap.AddRef(root, id)
+		s.lockWords = append(s.lockWords, s.heap.Addr(id))
+	}
+	return nil
+}
+
+// Heap exposes the JVM heap (the engine drives collections).
+func (s *Server) Heap() *jvm.Heap { return s.heap }
+
+// JIT exposes the JIT (for warmup and profiling).
+func (s *Server) JIT() *jvm.JIT { return s.jit }
+
+// DB exposes the database.
+func (s *Server) DB() *db.Database { return s.dbase }
+
+// Layout exposes the address-space layout.
+func (s *Server) Layout() *mem.Layout { return s.layout }
+
+// Executed returns per-type executed request counts.
+func (s *Server) Executed() [NumRequestTypes]uint64 { return s.executed }
+
+// PoolWaits returns (thread pool waits, connection pool waits) — the
+// contention the paper estimates through pthread_mutex_lock time.
+func (s *Server) PoolWaits() (uint64, uint64) { return s.threadWaits, s.connWaits }
+
+// ActiveSessions returns the live session count.
+func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+// App returns the deployed application.
+func (s *Server) App() *App { return s.app }

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"testing"
+
+	"jasworkload/internal/isa"
+)
+
+// coreIDSink tags the stream with a core id (like power4.Core) and records
+// everything.
+type coreIDSink struct {
+	id  int
+	ins []isa.Instr
+}
+
+func (c *coreIDSink) CoreID() int { return c.id }
+
+func (c *coreIDSink) Consume(ins *isa.Instr) { c.ins = append(c.ins, *ins) }
+
+func TestTracePerCoreDataSlabsDisjoint(t *testing.T) {
+	s := rig(t, 5)
+	collect := func(id int) map[uint64]bool {
+		sink := &coreIDSink{id: id}
+		for i := 0; i < 8; i++ {
+			if _, err := s.Execute(float64(i), ReqPurchase, sink, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pages := map[uint64]bool{}
+		kern := s.Layout().Kernel
+		for _, ins := range sink.ins {
+			if ins.Class.IsStore() && kern.Contains(ins.EA) {
+				pages[ins.EA>>12] = true
+			}
+		}
+		return pages
+	}
+	p0 := collect(0)
+	p2 := collect(2)
+	if len(p0) == 0 || len(p2) == 0 {
+		t.Fatal("no kernel stores observed")
+	}
+	for pg := range p0 {
+		if p2[pg] {
+			t.Fatalf("kernel store page %#x shared across chips", pg)
+		}
+	}
+}
+
+func TestTraceReadModifyWriteStores(t *testing.T) {
+	s := rig(t, 5)
+	var loads map[uint64]bool
+	var rmwHits, stores int
+	sink := isa.SinkFunc(func(ins *isa.Instr) {
+		switch {
+		case ins.Class.IsLoad():
+			loads[ins.EA>>6] = true
+		case ins.Class == isa.ClassStore:
+			stores++
+			if loads[ins.EA>>6] {
+				rmwHits++
+			}
+		}
+	})
+	loads = map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Execute(float64(i), ReqManage, sink, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stores == 0 {
+		t.Fatal("no stores")
+	}
+	// Most stores land on previously loaded lines (the paper's 1-in-5
+	// store miss rate depends on this).
+	if frac := float64(rmwHits) / float64(stores); frac < 0.5 {
+		t.Fatalf("only %.2f of stores hit loaded lines", frac)
+	}
+}
+
+func TestTraceLarxStcxPairing(t *testing.T) {
+	s := rig(t, 5)
+	var last isa.Class
+	var lastEA uint64
+	violations := 0
+	sink := isa.SinkFunc(func(ins *isa.Instr) {
+		if last == isa.ClassLarx {
+			if ins.Class != isa.ClassStcx || ins.EA != lastEA {
+				violations++
+			}
+		}
+		last = ins.Class
+		lastEA = ins.EA
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := s.Execute(float64(i), ReqPurchase, sink, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("%d LARX not immediately followed by a same-address STCX", violations)
+	}
+}
+
+func TestTraceReturnsMarked(t *testing.T) {
+	s := rig(t, 5)
+	var indirect, returns int
+	sink := isa.SinkFunc(func(ins *isa.Instr) {
+		if ins.Class == isa.ClassBranchIndirect {
+			indirect++
+			if ins.Return {
+				returns++
+			}
+		}
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := s.Execute(float64(i), ReqBrowse, sink, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if indirect == 0 {
+		t.Fatal("no indirect branches")
+	}
+	frac := float64(returns) / float64(indirect)
+	if frac < 0.45 || frac > 0.75 {
+		t.Fatalf("return fraction = %.2f, want ~0.6", frac)
+	}
+}
+
+func TestTracePhaseModulatesColdness(t *testing.T) {
+	s := rig(t, 5)
+	coldShare := func(nowMS float64) float64 {
+		var cache, total int
+		heap := s.Layout().JavaHeap
+		sink := isa.SinkFunc(func(ins *isa.Instr) {
+			if ins.Class != isa.ClassLoad {
+				return
+			}
+			total++
+			// Cache objects live in the heap above the baseline root; the
+			// long-lived cache span is the first big chunk of the heap.
+			if heap.Contains(ins.EA) && ins.EA < heap.Base+s.cfg.BaselineCacheBytes {
+				cache++
+			}
+		})
+		for i := 0; i < 30; i++ {
+			if _, err := s.Execute(nowMS, ReqPurchase, sink, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(cache) / float64(total)
+	}
+	// phaseAt peaks near t≈12s and troughs near t≈30s of each 37s cycle.
+	hot := coldShare(29_500)
+	cold := coldShare(11_500)
+	if cold <= hot {
+		t.Fatalf("cold-phase cache share %.3f not above warm-phase %.3f", cold, hot)
+	}
+}
+
+func TestPhaseAtBounded(t *testing.T) {
+	for ms := 0.0; ms < 200_000; ms += 97 {
+		p := phaseAt(ms)
+		if p < 0.5 || p > 1.5 {
+			t.Fatalf("phase %v out of range at %vms", p, ms)
+		}
+	}
+}
+
+func TestBlockWalkerStaysInFootprint(t *testing.T) {
+	s := rig(t, 5)
+	var outside int
+	reg := s.Layout().DB2
+	sink := isa.SinkFunc(func(ins *isa.Instr) {
+		if !ins.Class.IsMemory() && !reg.Contains(ins.PC) {
+			// Non-memory instructions in the DB2 segment carry DB2 PCs;
+			// other segments use other regions, so only count PCs that fall
+			// in NO region at all.
+			if s.Layout().Space.Region(ins.PC) == nil {
+				outside++
+			}
+		}
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Execute(float64(i), ReqCreateVehicle, sink, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if outside != 0 {
+		t.Fatalf("%d PCs outside every region", outside)
+	}
+}

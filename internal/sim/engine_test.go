@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"testing"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/mem"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/server"
+	"jasworkload/internal/stats"
+)
+
+// smallSUT builds a reduced-scale SUT that keeps tests fast: IR 8, 256 MB
+// heap, 850-method universe.
+func smallSUT(t *testing.T, ir int) *SUT {
+	t.Helper()
+	cfg := DefaultSUTConfig(ir)
+	cfg.HeapBytes = 256 << 20
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sut
+}
+
+func shortEngine(t *testing.T, sut *SUT, durMS, rampMS float64, detail float64) *Engine {
+	t.Helper()
+	ecfg := DefaultEngineConfig()
+	ecfg.DurationMS = durMS
+	ecfg.RampMS = rampMS
+	ecfg.DetailFrac = detail
+	e, err := NewEngine(ecfg, sut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildSUTValidation(t *testing.T) {
+	if _, err := BuildSUT(SUTConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestBuildSUTDefaults(t *testing.T) {
+	sut := smallSUT(t, 4)
+	if len(sut.Cores) != 4 {
+		t.Fatalf("cores = %d", len(sut.Cores))
+	}
+	if sut.Layout.JavaHeap.PageSize != mem.Page16M {
+		t.Fatal("default heap pages not large")
+	}
+	if sut.Pool.Storage().Name() != "ramdisk" {
+		t.Fatal("default storage not ram disk")
+	}
+	// Baseline cache auto-scaled below the heap.
+	if sut.Heap.UsedBytes() >= sut.Heap.Size() {
+		t.Fatal("baseline filled the heap")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	sut := smallSUT(t, 4)
+	if _, err := NewEngine(EngineConfig{}, sut); err == nil {
+		t.Fatal("zero engine config accepted")
+	}
+	bad := DefaultEngineConfig()
+	bad.RampMS = bad.DurationMS
+	if _, err := NewEngine(bad, sut); err == nil {
+		t.Fatal("ramp >= duration accepted")
+	}
+	if _, err := NewEngine(DefaultEngineConfig(), nil); err == nil {
+		t.Fatal("nil SUT accepted")
+	}
+}
+
+func TestEngineRunStable(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 60_000, 20_000, 0)
+	ws, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 60 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	// Completions flow every window after ramp.
+	var tput []float64
+	for _, w := range ws[20:] {
+		var n int
+		for _, c := range w.Completions {
+			n += c
+		}
+		tput = append(tput, float64(n))
+	}
+	if stats.Mean(tput) < 8 {
+		t.Fatalf("throughput = %.1f req/s, want ~12.8 at IR8", stats.Mean(tput))
+	}
+	// Steady state: coefficient of variation is modest.
+	if cv := stats.CoefficientOfVariation(tput); cv > 0.5 {
+		t.Fatalf("throughput CV = %.2f, not steady", cv)
+	}
+	// Audit passes at this modest load.
+	audits, pass := e.Tracker().Audit()
+	if !pass {
+		t.Fatalf("audit failed: %+v", audits)
+	}
+	// JOPS ~ 1.6 * IR.
+	jops := e.Tracker().JOPS()
+	if jops < 10 || jops > 16 {
+		t.Fatalf("JOPS = %.1f, want ~12.8", jops)
+	}
+}
+
+func TestEngineGCOccursAndIsSmallShare(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 120_000, 10_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := sut.Heap.Events()
+	if len(evs) == 0 {
+		t.Fatal("no collections in 2 minutes")
+	}
+	var pause float64
+	for _, ev := range evs {
+		pause += ev.PauseMS()
+	}
+	share := pause / 120000
+	if share <= 0 || share > 0.08 {
+		t.Fatalf("GC share of runtime = %.3f", share)
+	}
+	// No compactions on a tuned system.
+	for _, ev := range evs {
+		if ev.Compacted {
+			t.Fatal("tuned system compacted")
+		}
+	}
+}
+
+func TestEngineUtilizationScalesWithIR(t *testing.T) {
+	low := smallSUT(t, 4)
+	el := shortEngine(t, low, 40_000, 10_000, 0)
+	if _, err := el.Run(); err != nil {
+		t.Fatal(err)
+	}
+	high := smallSUT(t, 16)
+	eh := shortEngine(t, high, 40_000, 10_000, 0)
+	if _, err := eh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ul, uh := el.MeanUtilization(), eh.MeanUtilization()
+	if uh <= ul {
+		t.Fatalf("utilization did not scale: IR4=%.2f IR16=%.2f", ul, uh)
+	}
+	if ul <= 0 || uh > 1 {
+		t.Fatalf("utilization out of range: %v %v", ul, uh)
+	}
+}
+
+func TestEngineDetailModeCounters(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 30_000, 5_000, 0.02)
+	mon, err := hpm.NewMonitor(e.Source(), mustGroup(t, "cpi"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachMonitor(mon)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ctr := sut.AggregateCounters()
+	if ctr.Get(power4.EvInstCompleted) == 0 {
+		t.Fatal("no instructions reached the cores")
+	}
+	cpiSteady := 0.0
+	n := 0
+	for _, w := range e.Windows()[20:] {
+		if w.CPI > 0 {
+			cpiSteady += w.CPI
+			n++
+		}
+	}
+	cpiSteady /= float64(n)
+	if cpiSteady < 1.2 || cpiSteady > 5.5 {
+		t.Fatalf("steady loaded CPI = %.2f, want ~3", cpiSteady)
+	}
+	if ctr.CPI() < 1 {
+		t.Fatalf("aggregate CPI = %.2f implausible", ctr.CPI())
+	}
+	// Monitor ticked every window.
+	if len(mon.Samples()) != 30 {
+		t.Fatalf("monitor samples = %d", len(mon.Samples()))
+	}
+	cpiSeries, err := mon.CPISeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpiSeries.Len() != 30 {
+		t.Fatal("cpi series wrong length")
+	}
+	// Steady windows have nonzero CPI.
+	if cpiSeries.At(20) == 0 {
+		t.Fatal("zero CPI in steady window")
+	}
+	// Unmapped addresses would mean trace bugs.
+	for i, c := range sut.Cores {
+		if c.UnmappedAccesses() > 0 {
+			t.Fatalf("core %d: %d unmapped accesses", i, c.UnmappedAccesses())
+		}
+	}
+}
+
+func mustGroup(t *testing.T, name string) hpm.Group {
+	t.Helper()
+	g, ok := hpm.GroupByName(hpm.StandardGroups(), name)
+	if !ok {
+		t.Fatalf("no group %q", name)
+	}
+	return g
+}
+
+func TestEngineDiskBackedIOWait(t *testing.T) {
+	cfg := DefaultSUTConfig(8)
+	cfg.HeapBytes = 256 << 20
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	cfg.Storage = db.DefaultDiskModel()
+	// A buffer pool far smaller than the data forces page I/O.
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := shortEngine(t, sut, 30_000, 5_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var io float64
+	for _, w := range e.Windows() {
+		io += w.UtilIOWait
+	}
+	if io == 0 {
+		t.Fatal("disk-backed run shows no I/O wait")
+	}
+}
+
+func TestEngineSegmentTotals(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 20_000, 5_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	segs := e.SegmentTotals()
+	var sum uint64
+	for _, v := range segs {
+		sum += v
+	}
+	if sum == 0 || e.InstrTotal() == 0 {
+		t.Fatal("no instruction accounting")
+	}
+	if float64(sum) < 0.9*float64(e.InstrTotal()) {
+		t.Fatal("segments do not cover instructions")
+	}
+	was := segs[server.SegWASJit] + segs[server.SegWASNative]
+	other := segs[server.SegWebServer] + segs[server.SegDB2]
+	ratio := float64(was) / float64(other)
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("WAS/(web+db2) = %.2f", ratio)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() ([]WindowStats, power4.Counters) {
+		sut := smallSUT(t, 6)
+		e := shortEngine(t, sut, 15_000, 5_000, 0.02)
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Windows(), sut.AggregateCounters()
+	}
+	w1, c1 := run()
+	w2, c2 := run()
+	if len(w1) != len(w2) {
+		t.Fatal("window counts differ")
+	}
+	for i := range w1 {
+		if w1[i].Completions != w2[i].Completions || w1[i].GCs != w2[i].GCs {
+			t.Fatalf("window %d differs", i)
+		}
+	}
+	for _, ev := range power4.AllEvents() {
+		if c1.Get(ev) != c2.Get(ev) {
+			t.Fatalf("counter %v differs: %d vs %d", ev, c1.Get(ev), c2.Get(ev))
+		}
+	}
+}
+
+func TestEngineOverloadFailsAudit(t *testing.T) {
+	// An IR far beyond capacity must blow response times and fail.
+	cfg := DefaultSUTConfig(64)
+	cfg.HeapBytes = 512 << 20
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := shortEngine(t, sut, 40_000, 5_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, pass := e.Tracker().Audit(); pass {
+		t.Fatalf("overloaded run passed the audit (util=%.2f)", e.MeanUtilization())
+	}
+	if e.MeanUtilization() < 0.95 {
+		t.Fatalf("overload utilization = %.2f, want saturation", e.MeanUtilization())
+	}
+}
+
+// The queue must carry overload into later windows instead of executing
+// work the cores cannot absorb (capacity coupling).
+func TestEngineQueueCarryOver(t *testing.T) {
+	cfg := DefaultSUTConfig(64) // far beyond 4-core capacity
+	cfg.HeapBytes = 512 << 20
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := shortEngine(t, sut, 30_000, 5_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.queue) == 0 {
+		t.Fatal("overloaded run ended with an empty queue")
+	}
+	// Per-window completions are capped near capacity, not at the arrival
+	// rate.
+	var tput []float64
+	for _, w := range e.Windows()[10:] {
+		var n int
+		for _, c := range w.Completions {
+			n += c
+		}
+		tput = append(tput, float64(n))
+	}
+	arrivalRate := 64 * 1.6
+	if stats.Mean(tput) > arrivalRate*0.85 {
+		t.Fatalf("completions %.1f/s track arrivals (%.1f/s) despite overload",
+			stats.Mean(tput), arrivalRate)
+	}
+}
+
+// Synchronous page I/O queues on the simulated disk array; with enough
+// pressure the response-time audit fails — the paper's Section 4.1
+// observation with two physical disks.
+func TestEngineDiskQueueing(t *testing.T) {
+	cfg := DefaultSUTConfig(40)
+	cfg.HeapBytes = 256 << 20
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	cfg.Storage = db.DefaultDiskModel()
+	cfg.DBBufferBytes = 64 << 10 // 16 frames: most touches go to the 2 spindles
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := shortEngine(t, sut, 40_000, 10_000, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var io []float64
+	for _, w := range e.Windows()[10:] {
+		io = append(io, w.UtilIOWait)
+	}
+	if stats.Mean(io) < 0.05 {
+		t.Fatalf("iowait = %.3f, want substantial under a thrashing pool", stats.Mean(io))
+	}
+	if _, pass := e.Tracker().Audit(); pass {
+		t.Fatal("disk-thrashing run passed its response-time audit")
+	}
+}
+
+// When the heap is exhausted by live data, the engine's retry ladder runs
+// a collection and then a compaction before giving up; both must be
+// attempted and the failure must surface rather than hang.
+func TestEngineCompactionFallback(t *testing.T) {
+	sut := smallSUT(t, 6)
+	e := shortEngine(t, sut, 30_000, 10_000, 0)
+	// Exhaust the heap with rooted (uncollectable) objects, down to
+	// sub-allocatable slivers.
+	for _, sz := range []uint32{1 << 20, 4096, 64} {
+		for {
+			id, err := sut.Heap.Alloc(sz)
+			if err != nil {
+				break
+			}
+			sut.Heap.AddRoot(id)
+		}
+	}
+	err := e.Step()
+	if err == nil {
+		t.Fatal("step succeeded on an exhausted heap")
+	}
+	var sawCollect, sawCompact bool
+	for _, ev := range sut.Heap.Events() {
+		if ev.Compacted {
+			sawCompact = true
+		} else {
+			sawCollect = true
+		}
+	}
+	if !sawCollect || !sawCompact {
+		t.Fatalf("retry ladder incomplete: collect=%v compact=%v", sawCollect, sawCompact)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	cfg := DefaultSUTConfig(8)
+	cfg.HeapBytes = 128 << 20 // small heap: collections happen within the run
+	cfg.Profile.NumMethods = 850
+	cfg.Profile.WarmSet = 60
+	sut, err := BuildSUT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := shortEngine(t, sut, 30_000, 5_000, 0.02)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.GCInstrSim() == 0 {
+		t.Fatal("GC instruction accounting empty despite collections")
+	}
+	if JVMJ9.String() == "" || JVMSovereign.String() == "" {
+		t.Fatal("unnamed JVM variants")
+	}
+	if JVMJ9.String() == JVMSovereign.String() {
+		t.Fatal("variants share a name")
+	}
+}

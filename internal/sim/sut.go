@@ -1,0 +1,211 @@
+// Package sim assembles the full system under test — address space, JVM
+// (heap + JIT), database, application server, POWER4 cores — and runs the
+// windowed whole-system simulation that every experiment drives: Poisson
+// arrivals at a fixed injection rate, multi-core queueing, stop-the-world
+// garbage collections, sampled instruction-level detail through the
+// processor model, and HPM monitors ticking once per window.
+package sim
+
+import (
+	"fmt"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/mem"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/server"
+)
+
+// SUTConfig selects the hardware and software configuration of the system
+// under test. The default is the paper's tuned setup: a 1 GB flat heap in
+// 16 MB large pages, 4 KB pages for code, a RAM-disk database, 4 POWER4
+// cores on 2 MCMs.
+type SUTConfig struct {
+	IR int
+
+	HeapBytes    uint64
+	HeapPageSize mem.PageSize
+	CodePageSize mem.PageSize
+
+	Storage       db.Storage
+	DBBufferBytes uint64 // buffer pool size (0 = layout default)
+	// App selects the deployed application (nil = the paper's jas2004).
+	App *server.App
+	// JVM selects the virtual machine variant (Section 3.1: J9 is the
+	// paper's focus; Sovereign was cross-checked and shows the same trends
+	// at a somewhat higher CPU cost).
+	JVM      JVMVariant
+	Profile  jvm.ProfileConfig
+	JIT      jvm.JITConfig
+	GC       jvm.GCConfig
+	Topology power4.TopologyConfig
+	Core     power4.CoreConfig // template; ID is assigned per core
+
+	BaselineCacheBytes uint64 // 0 = auto (min(188MB, heap/5*... ))
+	Seed               int64
+}
+
+// JVMVariant selects the simulated JVM.
+type JVMVariant int
+
+// JVM variants.
+const (
+	// JVMJ9 is the paper's primary JVM (J9 1.4.2).
+	JVMJ9 JVMVariant = iota
+	// JVMSovereign is the cross-check JVM (Sovereign 1.4.1): same flat-heap
+	// mark-sweep-compact design, slightly slower collector phases, slower
+	// compilation ramp, and ~12% more CPU per request (the footnote's
+	// "higher CPU utilization at the same IR").
+	JVMSovereign
+)
+
+// String names the variant.
+func (v JVMVariant) String() string {
+	if v == JVMSovereign {
+		return "Sovereign 1.4.1"
+	}
+	return "J9 1.4.2"
+}
+
+// DefaultSUTConfig returns the paper's configuration at the given IR.
+func DefaultSUTConfig(ir int) SUTConfig {
+	return SUTConfig{
+		IR:           ir,
+		HeapBytes:    1 << 30,
+		HeapPageSize: mem.Page16M,
+		CodePageSize: mem.Page4K,
+		Storage:      db.RAMDisk{},
+		Profile:      jvm.DefaultProfileConfig(),
+		JIT:          jvm.DefaultJITConfig(),
+		GC:           jvm.DefaultGCConfig(),
+		Topology:     power4.DefaultTopologyConfig(),
+		Core:         power4.DefaultCoreConfig(0),
+		Seed:         1,
+	}
+}
+
+// SUT is the assembled system under test.
+type SUT struct {
+	Config SUTConfig
+	Layout *mem.Layout
+	Heap   *jvm.Heap
+	JIT    *jvm.JIT
+	DB     *db.Database
+	Pool   *db.BufferPool
+	Server *server.Server
+	Hier   *power4.Hierarchy
+	Cores  []*power4.Core
+}
+
+// BuildSUT assembles all substrates.
+func BuildSUT(cfg SUTConfig) (*SUT, error) {
+	if cfg.IR <= 0 {
+		return nil, fmt.Errorf("sim: bad IR %d", cfg.IR)
+	}
+	if cfg.Storage == nil {
+		cfg.Storage = db.RAMDisk{}
+	}
+	// JVM variant adjustments (Section 3.1 / footnote 2).
+	gcCfg := cfg.GC
+	jitCfg := cfg.JIT
+	cpuFactor := 1.0
+	if cfg.JVM == JVMSovereign {
+		gcCfg.MarkNsPerObj *= 1.15
+		gcCfg.MarkNsPerByte *= 1.12
+		gcCfg.SweepNsPerByte *= 1.10
+		jitCfg.CompileThreshold *= 3
+		cpuFactor = 1.12
+	}
+	lcfg := mem.DefaultLayoutConfig()
+	lcfg.HeapBytes = cfg.HeapBytes
+	lcfg.HeapPageSize = cfg.HeapPageSize
+	lcfg.CodePageSize = cfg.CodePageSize
+	if cfg.DBBufferBytes != 0 {
+		lcfg.DBBufferBytes = cfg.DBBufferBytes
+	}
+	layout, err := mem.NewLayout(lcfg)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := jvm.GenerateMethods(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	jit, err := jvm.NewJIT(jitCfg, methods, layout.JITCode)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := jvm.NewHeap(gcCfg, layout.JavaHeap)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := db.NewBufferPool(layout.DBBuffer, 4096, cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	database, err := db.NewDatabase(pool)
+	if err != nil {
+		return nil, err
+	}
+	app := cfg.App
+	if app == nil {
+		app = server.Jas2004App()
+	}
+	// Load before enabling the WAL: the initial population is the
+	// checkpointed base image, not logged traffic.
+	if err := app.LoadDB(database, cfg.IR, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := database.EnableWAL(8); err != nil {
+		return nil, err
+	}
+	scfg := server.DefaultConfig(cfg.IR)
+	scfg.App = app
+	scfg.CPUFactor = cpuFactor
+	scfg.Seed = cfg.Seed
+	if cfg.BaselineCacheBytes != 0 {
+		scfg.BaselineCacheBytes = cfg.BaselineCacheBytes
+	} else if auto := cfg.HeapBytes / 5; auto < scfg.BaselineCacheBytes {
+		scfg.BaselineCacheBytes = auto
+	}
+	srv, err := server.New(scfg, layout, jit, heap, database)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := power4.NewHierarchy(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	sut := &SUT{
+		Config: cfg, Layout: layout, Heap: heap, JIT: jit,
+		DB: database, Pool: pool, Server: srv, Hier: hier,
+	}
+	for i := 0; i < hier.Cores(); i++ {
+		cc := cfg.Core
+		cc.ID = i
+		core, err := power4.NewCore(cc, hier, layout.Space)
+		if err != nil {
+			return nil, err
+		}
+		sut.Cores = append(sut.Cores, core)
+	}
+	return sut, nil
+}
+
+// AggregateCounters sums the per-core counters; it implements
+// hpm.CounterSource for system-wide sampling the way the paper's hpmstat
+// collected user-level data across all processors.
+func (s *SUT) AggregateCounters() power4.Counters {
+	var sum power4.Counters
+	for _, c := range s.Cores {
+		ctr := c.Counters()
+		sum.AddAll(&ctr)
+	}
+	return sum
+}
+
+// counterSource adapts SUT to hpm.CounterSource.
+type counterSource struct{ s *SUT }
+
+// Counters implements hpm.CounterSource.
+func (cs counterSource) Counters() power4.Counters { return cs.s.AggregateCounters() }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Alias is a Walker alias sampler: O(1) draws from a fixed discrete
+// distribution. The workload uses it to draw methods from the 8,500-entry
+// flat profile on every simulated invocation.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds a sampler over the given non-negative weights (they need
+// not be normalized).
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("stats: empty weight vector")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("stats: negative weight")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, errors.New("stats: all-zero weights")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Draw samples one index using rng.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }

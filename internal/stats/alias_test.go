@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAliasValidation(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 4 {
+		t.Fatalf("N = %d", a.N())
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("index %d freq = %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		if d := a.Draw(rng); d == 0 || d == 2 {
+			t.Fatalf("drew zero-weight index %d", d)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if a.Draw(rng) != 0 {
+			t.Fatal("single-outcome sampler drew nonzero")
+		}
+	}
+}
+
+func TestAliasSkewedDistribution(t *testing.T) {
+	// Flat-profile-like: 8500 outcomes, heavy head.
+	weights := make([]float64, 8500)
+	for i := range weights {
+		weights[i] = 1 / float64(i+8)
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, len(weights))
+	const n = 1000000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(rng)]++
+	}
+	// Head outcome frequency within 10% relative of expectation.
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	want := weights[0] / sum
+	got := float64(counts[0]) / n
+	if math.Abs(got-want) > want*0.1 {
+		t.Fatalf("head freq %.5f, want %.5f", got, want)
+	}
+}

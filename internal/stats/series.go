@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named, uniformly sampled time series. Time is carried as the
+// window index times the window length, matching how the HPM facility
+// timestamps its samples.
+type Series struct {
+	Name     string
+	WindowMS int // sampling window length in milliseconds
+	Values   []float64
+}
+
+// NewSeries creates an empty series with the given name and window length.
+func NewSeries(name string, windowMS int) *Series {
+	return &Series{Name: name, WindowMS: windowMS}
+}
+
+// Append adds one sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) float64 { return s.Values[i] }
+
+// TimeSeconds returns the timestamp, in seconds, of sample i.
+func (s *Series) TimeSeconds(i int) float64 {
+	return float64(i) * float64(s.WindowMS) / 1000.0
+}
+
+// Summary returns descriptive statistics of the series values.
+func (s *Series) Summary() Summary { return Summarize(s.Values) }
+
+// Slice returns a sub-series covering samples [lo, hi).
+func (s *Series) Slice(lo, hi int) *Series {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Series{Name: s.Name, WindowMS: s.WindowMS, Values: s.Values[lo:hi]}
+}
+
+// RatioSeries builds an element-wise ratio num/den as a new series.
+// Windows where den is zero yield zero.
+func RatioSeries(name string, num, den *Series) (*Series, error) {
+	if len(num.Values) != len(den.Values) {
+		return nil, ErrLengthMismatch
+	}
+	out := &Series{Name: name, WindowMS: num.WindowMS, Values: make([]float64, len(num.Values))}
+	for i := range num.Values {
+		if den.Values[i] != 0 {
+			out.Values[i] = num.Values[i] / den.Values[i]
+		}
+	}
+	return out, nil
+}
+
+// BezierSmooth returns a smoothed copy of xs evaluated at n points along a
+// Bezier curve whose control points are the samples. The paper applies
+// Bezier smoothing to Figure 7 ("the graph has been fitted using Bezier
+// smoothing"); gnuplot's `smooth bezier` is exactly this construction.
+// For long series the binomial weights are computed in log space to avoid
+// overflow. n must be >= 2.
+func BezierSmooth(xs []float64, n int) ([]float64, error) {
+	if len(xs) < 2 {
+		return nil, ErrTooShort
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("stats: bezier needs n >= 2, got %d", n)
+	}
+	deg := len(xs) - 1
+	// log C(deg, i) table.
+	logC := make([]float64, len(xs))
+	for i := 1; i <= deg; i++ {
+		logC[i] = logC[i-1] + math.Log(float64(deg-i+1)) - math.Log(float64(i))
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := float64(k) / float64(n-1)
+		switch t {
+		case 0:
+			out[k] = xs[0]
+			continue
+		case 1:
+			out[k] = xs[deg]
+			continue
+		}
+		lt, l1t := math.Log(t), math.Log(1-t)
+		var sum float64
+		for i := 0; i <= deg; i++ {
+			w := math.Exp(logC[i] + float64(i)*lt + float64(deg-i)*l1t)
+			sum += w * xs[i]
+		}
+		out[k] = sum
+	}
+	return out, nil
+}
+
+// MovingAverage returns the k-point centered moving average of xs (edges use
+// the available neighbors). k must be odd and >= 1.
+func MovingAverage(xs []float64, k int) ([]float64, error) {
+	if k < 1 || k%2 == 0 {
+		return nil, fmt.Errorf("stats: moving average window must be odd and >= 1, got %d", k)
+	}
+	half := k / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out, nil
+}
+
+// ASCIIPlot renders a compact ASCII chart of the series, width x height
+// characters, for terminal figure output. It is intentionally simple: one
+// character column per bucket of samples, '*' marks.
+func (s *Series) ASCIIPlot(width, height int) string {
+	if len(s.Values) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	lo, hi := Min(s.Values), Max(s.Values)
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		// Average the samples that land in this column.
+		a := c * len(s.Values) / width
+		b := (c + 1) * len(s.Values) / width
+		if b <= a {
+			b = a + 1
+		}
+		if b > len(s.Values) {
+			b = len(s.Values)
+		}
+		v := Mean(s.Values[a:b])
+		row := int((v - lo) / (hi - lo) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[height-1-row][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min=%.4g max=%.4g mean=%.4g]\n", s.Name, lo, hi, Mean(s.Values))
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

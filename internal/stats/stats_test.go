@@ -1,0 +1,337 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Correlation(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4}
+	r, err := Correlation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("constant-series r = %v, want 0", r)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err != ErrTooShort {
+		t.Fatalf("want ErrTooShort, got %v", err)
+	}
+}
+
+// Property: correlation is invariant under positive affine transforms and
+// bounded by [-1, 1].
+func TestCorrelationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		n := 8 + r1.Intn(64)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r1.NormFloat64()
+			y[i] = r1.NormFloat64()
+		}
+		r, err := Correlation(x, y)
+		if err != nil || r < -1 || r > 1 {
+			return false
+		}
+		// Affine transform y' = a*y + b with a > 0 preserves r.
+		a := 0.5 + rng.Float64()*10
+		b := rng.NormFloat64() * 100
+		y2 := make([]float64, n)
+		for i := range y {
+			y2[i] = a*y[i] + b
+		}
+		r2, err := Correlation(x, y2)
+		if err != nil {
+			return false
+		}
+		return almostEqual(r, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelationSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		n := 4 + r1.Intn(32)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r1.Float64() * 100
+			y[i] = r1.Float64() * 100
+		}
+		a, _ := Correlation(x, y)
+		b, _ := Correlation(y, x)
+		return almostEqual(a, b, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.9, 9.1},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("want error on q out of range")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{5, 5, 5}); cv != 0 {
+		t.Fatalf("constant cv = %v, want 0", cv)
+	}
+	if cv := CoefficientOfVariation([]float64{0, 0}); cv != 0 {
+		t.Fatalf("zero-mean cv = %v, want 0", cv)
+	}
+	cv := CoefficientOfVariation([]float64{9, 11})
+	if !almostEqual(cv, 0.1, 1e-12) {
+		t.Fatalf("cv = %v, want 0.1", cv)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("cpi", 100)
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.At(3) != 3 {
+		t.Fatalf("At(3) = %v", s.At(3))
+	}
+	if got := s.TimeSeconds(5); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("TimeSeconds(5) = %v, want 0.5", got)
+	}
+	sub := s.Slice(2, 5)
+	if sub.Len() != 3 || sub.At(0) != 2 {
+		t.Fatalf("Slice = %+v", sub.Values)
+	}
+	// Out-of-range slicing clamps.
+	if s.Slice(-1, 100).Len() != 10 {
+		t.Fatal("clamped slice wrong")
+	}
+	if s.Slice(7, 3).Len() != 0 {
+		t.Fatal("inverted slice should be empty")
+	}
+}
+
+func TestRatioSeries(t *testing.T) {
+	num := &Series{Name: "miss", WindowMS: 100, Values: []float64{1, 2, 0}}
+	den := &Series{Name: "ld", WindowMS: 100, Values: []float64{4, 0, 8}}
+	r, err := RatioSeries("rate", num, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0, 0}
+	for i, w := range want {
+		if r.Values[i] != w {
+			t.Fatalf("ratio[%d] = %v, want %v", i, r.Values[i], w)
+		}
+	}
+	den.Values = den.Values[:2]
+	if _, err := RatioSeries("rate", num, den); err != ErrLengthMismatch {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestBezierSmoothEndpointsAndRange(t *testing.T) {
+	xs := []float64{0, 10, 0, 10, 0, 10, 0, 10}
+	out, err := BezierSmooth(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != xs[0] || out[49] != xs[len(xs)-1] {
+		t.Fatalf("endpoints not interpolated: %v %v", out[0], out[49])
+	}
+	for _, v := range out {
+		if v < -1e-9 || v > 10+1e-9 {
+			t.Fatalf("bezier escaped convex hull: %v", v)
+		}
+	}
+}
+
+func TestBezierSmoothLongSeriesNoOverflow(t *testing.T) {
+	xs := make([]float64, 2000) // C(1999, k) overflows float64 badly if naive
+	for i := range xs {
+		xs[i] = math.Sin(float64(i) / 50)
+	}
+	out, err := BezierSmooth(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite smooth value %v", v)
+		}
+	}
+}
+
+func TestBezierSmoothErrors(t *testing.T) {
+	if _, err := BezierSmooth([]float64{1}, 10); err != ErrTooShort {
+		t.Fatalf("want ErrTooShort, got %v", err)
+	}
+	if _, err := BezierSmooth([]float64{1, 2}, 1); err == nil {
+		t.Fatal("want error for n < 2")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	out, err := MovingAverage([]float64{1, 2, 3, 4, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("ma[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := MovingAverage(nil, 2); err == nil {
+		t.Fatal("want error for even window")
+	}
+}
+
+// Property: a k=1 moving average is the identity.
+func TestMovingAverageIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		out, err := MovingAverage(xs, 1)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if xs[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := &Series{Name: "x", WindowMS: 100, Values: []float64{0, 1, 2, 3, 4, 5, 6, 7}}
+	out := s.ASCIIPlot(8, 4)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if (&Series{}).ASCIIPlot(8, 4) != "" {
+		t.Fatal("empty series should yield empty plot")
+	}
+	// Constant series should not panic (degenerate range).
+	c := &Series{Name: "c", Values: []float64{5, 5, 5, 5}}
+	if c.ASCIIPlot(4, 3) == "" {
+		t.Fatal("constant series plot empty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}

@@ -1,0 +1,131 @@
+// Package tools renders the views the paper's measurement utilities
+// produced: tprof-style function/component profiles (Figure 4), vmstat-style
+// CPU utilization lines, and hpmstat-style counter-group dumps.
+package tools
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/server"
+	"jasworkload/internal/sim"
+)
+
+// TProfReport is the function-level profile view.
+type TProfReport struct {
+	// SegmentShare is the Figure 4 breakdown: fraction of CPU cycles per
+	// software component.
+	SegmentShare map[server.Segment]float64
+	// TopMethods are the hottest JITed methods with their share of JITed
+	// time.
+	TopMethods []MethodShare
+	// MethodsFor50Pct is how many of the hottest methods cover half the
+	// JITed time (the paper: 224 of 8500).
+	MethodsFor50Pct int
+	// TotalMethods is the universe size.
+	TotalMethods int
+	// HottestOverallShare is the hottest method's share of TOTAL cpu time
+	// (the paper: <1%).
+	HottestOverallShare float64
+}
+
+// MethodShare pairs a method with its JITed-time share.
+type MethodShare struct {
+	Name      string
+	Component jvm.Component
+	Share     float64
+}
+
+// TProf builds the profile report from the engine's segment accounting and
+// the JIT's method universe.
+func TProf(segTotals [server.NumSegments]uint64, methods []*jvm.Method, topN int) TProfReport {
+	var total uint64
+	for _, v := range segTotals {
+		total += v
+	}
+	rep := TProfReport{SegmentShare: map[server.Segment]float64{}, TotalMethods: len(methods)}
+	if total == 0 {
+		return rep
+	}
+	for seg := server.Segment(0); seg < server.Segment(server.NumSegments); seg++ {
+		rep.SegmentShare[seg] = float64(segTotals[seg]) / float64(total)
+	}
+	sorted := append([]*jvm.Method(nil), methods...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+	var cum float64
+	for i, m := range sorted {
+		if i < topN {
+			rep.TopMethods = append(rep.TopMethods, MethodShare{Name: m.Name, Component: m.Component, Share: m.Weight})
+		}
+		if cum < 0.5 {
+			cum += m.Weight
+			if cum >= 0.5 {
+				rep.MethodsFor50Pct = i + 1
+			}
+		}
+	}
+	if len(sorted) > 0 {
+		rep.HottestOverallShare = sorted[0].Weight * rep.SegmentShare[server.SegWASJit]
+	}
+	return rep
+}
+
+// String renders the report.
+func (r TProfReport) String() string {
+	var b strings.Builder
+	b.WriteString("Profile Breakdown - % of Runtime (Figure 4)\n")
+	for seg := server.Segment(0); seg < server.Segment(server.NumSegments); seg++ {
+		fmt.Fprintf(&b, "  %-14s %5.1f%%\n", seg, 100*r.SegmentShare[seg])
+	}
+	fmt.Fprintf(&b, "Flat profile: %d of %d methods cover 50%% of JITed time\n",
+		r.MethodsFor50Pct, r.TotalMethods)
+	fmt.Fprintf(&b, "Hottest method: %.2f%% of overall CPU\n", 100*r.HottestOverallShare)
+	for _, m := range r.TopMethods {
+		fmt.Fprintf(&b, "  %6.2f%%  %-10s %s\n", 100*m.Share, m.Component, m.Name)
+	}
+	return b.String()
+}
+
+// VMStat renders per-window utilization lines like `vmstat`.
+func VMStat(ws []sim.WindowStats) string {
+	var b strings.Builder
+	b.WriteString(" t(s)   us  sy  id  wa   gc(ms) req/s\n")
+	for _, w := range ws {
+		var req int
+		for _, c := range w.Completions {
+			req += c
+		}
+		fmt.Fprintf(&b, "%5.0f  %3.0f %3.0f %3.0f %3.0f  %6.0f %5d\n",
+			w.StartMS/1000, 100*w.UtilUser, 100*w.UtilSys, 100*w.UtilIdle,
+			100*w.UtilIOWait, w.GCPauseMS, req)
+	}
+	return b.String()
+}
+
+// HPMStat renders a monitor's samples the way hpmstat prints a counter
+// group: one column per event, one row per window.
+func HPMStat(m *hpm.Monitor, maxRows int) string {
+	var b strings.Builder
+	g := m.Group()
+	fmt.Fprintf(&b, "hpmstat group %q (window %d ms)\n", g.Name, m.WindowMS())
+	fmt.Fprintf(&b, "%8s", "win")
+	for _, ev := range g.Events {
+		fmt.Fprintf(&b, " %22s", ev)
+	}
+	b.WriteByte('\n')
+	samples := m.Samples()
+	if maxRows > 0 && len(samples) > maxRows {
+		samples = samples[len(samples)-maxRows:]
+	}
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%8d", s.Window)
+		for _, ev := range g.Events {
+			fmt.Fprintf(&b, " %22d", s.Values[ev])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

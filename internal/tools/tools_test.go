@@ -1,0 +1,118 @@
+package tools
+
+import (
+	"strings"
+	"testing"
+
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/server"
+	"jasworkload/internal/sim"
+)
+
+func sampleMethods(t *testing.T) []*jvm.Method {
+	t.Helper()
+	cfg := jvm.DefaultProfileConfig()
+	cfg.NumMethods = 200
+	cfg.WarmSet = 20
+	ms, err := jvm.GenerateMethods(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestTProfShares(t *testing.T) {
+	var segs [server.NumSegments]uint64
+	segs[server.SegWASJit] = 300
+	segs[server.SegWASNative] = 300
+	segs[server.SegWebServer] = 100
+	segs[server.SegDB2] = 200
+	segs[server.SegKernel] = 100
+	rep := TProf(segs, sampleMethods(t), 5)
+	var sum float64
+	for _, v := range rep.SegmentShare {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if rep.SegmentShare[server.SegWASJit] != 0.3 {
+		t.Fatalf("WASJit share = %v", rep.SegmentShare[server.SegWASJit])
+	}
+	if len(rep.TopMethods) != 5 {
+		t.Fatalf("top methods = %d", len(rep.TopMethods))
+	}
+	// Top methods sorted descending.
+	for i := 1; i < len(rep.TopMethods); i++ {
+		if rep.TopMethods[i].Share > rep.TopMethods[i-1].Share {
+			t.Fatal("top methods not sorted")
+		}
+	}
+	if rep.MethodsFor50Pct <= 0 || rep.MethodsFor50Pct > 200 {
+		t.Fatalf("MethodsFor50Pct = %d", rep.MethodsFor50Pct)
+	}
+	if rep.HottestOverallShare <= 0 || rep.HottestOverallShare > rep.TopMethods[0].Share {
+		t.Fatalf("hottest overall = %v", rep.HottestOverallShare)
+	}
+	out := rep.String()
+	for _, want := range []string{"WAS JITed", "DB2", "Flat profile", "Hottest"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTProfEmpty(t *testing.T) {
+	var segs [server.NumSegments]uint64
+	rep := TProf(segs, nil, 5)
+	if len(rep.TopMethods) != 0 || rep.MethodsFor50Pct != 0 {
+		t.Fatalf("empty profile produced data: %+v", rep)
+	}
+}
+
+func TestVMStat(t *testing.T) {
+	ws := []sim.WindowStats{
+		{StartMS: 0, UtilUser: 0.7, UtilSys: 0.2, UtilIdle: 0.1, GCPauseMS: 120},
+		{StartMS: 1000, UtilUser: 0.8, UtilSys: 0.1, UtilIdle: 0.1},
+	}
+	ws[0].Completions[0] = 5
+	out := VMStat(ws)
+	if !strings.Contains(out, "us  sy  id") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("row count wrong:\n%s", out)
+	}
+}
+
+type fakeSrc struct{ ctr power4.Counters }
+
+func (f *fakeSrc) Counters() power4.Counters { return f.ctr }
+
+func TestHPMStat(t *testing.T) {
+	src := &fakeSrc{}
+	g, _ := hpm.GroupByName(hpm.StandardGroups(), "cpi")
+	m, err := hpm.NewMonitor(src, g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		src.ctr.Add(power4.EvCycles, 1000)
+		src.ctr.Add(power4.EvInstCompleted, 300)
+		m.Tick()
+	}
+	out := HPMStat(m, 3)
+	if !strings.Contains(out, "PM_CYC") {
+		t.Fatalf("event header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + 3 rows
+	if len(lines) != 5 {
+		t.Fatalf("want 3 rows, got:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "1000") {
+		t.Fatalf("sample values missing:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+package jasworkload
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade smoke test: the public API runs the full characterization at
+// quick scale and most paper observations hold. Figure-level assertions
+// live in internal/core; this guards the exported surface.
+func TestCharacterizeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization skipped in -short mode")
+	}
+	cfg := DefaultConfig(ScaleQuick)
+	rep, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 40 {
+		t.Fatalf("report has only %d rows", len(rep.Rows))
+	}
+	pass := 0
+	for _, row := range rep.Rows {
+		if row.Holds {
+			pass++
+		}
+	}
+	if frac := float64(pass) / float64(len(rep.Rows)); frac < 0.9 {
+		t.Fatalf("only %d/%d paper observations hold:\n%s", pass, len(rep.Rows), rep.String())
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "| ID |") {
+		t.Fatal("markdown rendering broken")
+	}
+}
+
+func TestPublicEntryPoints(t *testing.T) {
+	cfg := DefaultConfig(ScaleQuick)
+	cfg.DurationMS = 40_000
+	cfg.RampMS = 10_000
+
+	run, err := RunRequestLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Fig2().JOPS <= 0 {
+		t.Fatal("no throughput via facade")
+	}
+
+	d, err := RunDetail(cfg, "cpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := d.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.MeanCPI <= 0 {
+		t.Fatal("no CPI via facade")
+	}
+
+	if cpi := IdleCPI(cfg); cpi <= 0 || cpi > 1.5 {
+		t.Fatalf("idle CPI via facade = %v", cpi)
+	}
+}
+
+func TestConfigPageSizes(t *testing.T) {
+	cfg := DefaultConfig(ScaleQuick)
+	if cfg.HeapPageSize != Page16M {
+		t.Fatal("default heap pages must be large (the paper's tuned setup)")
+	}
+	cfg.HeapPageSize = Page4K // the ablation baseline must be expressible
+	if cfg.HeapPageSize != Page4K {
+		t.Fatal("page size not settable")
+	}
+}
