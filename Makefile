@@ -1,0 +1,37 @@
+# Tier-1 is what the roadmap requires green: build + tests.
+# `make ci` is the tier-1+ gate: formatting, vet, build, the full test
+# suite under the race detector (exercising the parallel experiment
+# scheduler), and a one-shot benchmark smoke of the Figure 2 pipeline.
+
+GO ?= go
+
+.PHONY: all build test ci fmt vet race bench-smoke report
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig2' -benchtime 1x .
+
+ci: fmt vet build race bench-smoke
+
+# Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
+report:
+	$(GO) run ./cmd/jasrun -markdown

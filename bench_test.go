@@ -1,7 +1,12 @@
 // Benchmarks regenerating every table and figure of the paper. Each
-// benchmark runs the corresponding experiment end to end at the quick scale
-// and reports the headline quantity the paper's artifact shows, so
+// benchmark reports the headline quantity the paper's artifact shows, so
 // `go test -bench=. -benchmem` doubles as the reproduction harness.
+//
+// The figure benchmarks are views over the shared run-artifact layer: the
+// first benchmark to need a fidelity pays for its simulation, and every
+// later iteration (and benchmark) reuses the cached run, so these measure
+// view-derivation cost. BenchmarkBuildReport flushes the cache each
+// iteration and therefore measures the true end-to-end pipeline.
 //
 // For paper-scale dimensions (IR 40, 1 GB heap, 8,500 methods) run
 // `go run ./cmd/jasrun -scale standard`.
@@ -16,7 +21,8 @@ import (
 
 func quickCfg() Config { return DefaultConfig(ScaleQuick) }
 
-// requestLevel runs the shared request-level experiment once per iteration.
+// requestLevel fetches the cached request-level run (simulating on the
+// first call only).
 func requestLevel(b *testing.B) *core.RequestLevelRun {
 	b.Helper()
 	run, err := RunRequestLevel(quickCfg())
@@ -26,7 +32,8 @@ func requestLevel(b *testing.B) *core.RequestLevelRun {
 	return run
 }
 
-// detail runs the shared instruction-detail experiment once per iteration.
+// detail fetches the cached instruction-detail run (simulating on the
+// first call only).
 func detail(b *testing.B) *core.DetailRun {
 	b.Helper()
 	d, err := RunDetail(quickCfg())
@@ -266,6 +273,23 @@ func BenchmarkAblationCoreScaling(b *testing.B) {
 		}
 		b.ReportMetric(pts[0].Extra, "JOPS@2cores")
 		b.ReportMetric(pts[1].Extra, "JOPS@4cores")
+	}
+}
+
+// BenchmarkBuildReport regenerates the complete paper-vs-measured report
+// from a cold cache every iteration — one request-level run, one detail
+// run, and the two cross-check variant runs, scheduled concurrently.
+func BenchmarkBuildReport(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	for i := 0; i < b.N; i++ {
+		FlushRuns()
+		rep, err := Characterize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rep.Rows)), "rows")
 	}
 }
 

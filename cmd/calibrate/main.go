@@ -33,7 +33,9 @@ func main() {
 	cfg := core.DefaultRunConfig(sc)
 	cfg.Seed = *seed
 
-	d, err := core.RunDetail(cfg, "cpi", "branch", "translation", "dsource", "prefetch", "ifetch", "sync", "kernel")
+	// One detail run from the shared artifact layer carries every standard
+	// HPM group, so no group list is needed here.
+	d, err := core.ForConfig(cfg).Detail()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)

@@ -30,7 +30,7 @@ func main() {
 	if *ir > 0 {
 		cfg.IR = *ir
 	}
-	d, err := core.RunDetail(cfg)
+	d, err := core.ForConfig(cfg).Detail()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "correlate:", err)
 		os.Exit(1)

@@ -2,15 +2,26 @@
 // SPECjAppServer2004 SUT under HPM sampling — and prints every figure and
 // table of the paper plus the paper-vs-measured report.
 //
+// The report and the figures share one run artifact: each fidelity
+// (request-level, instruction-detail) simulates exactly once, the
+// independent runs (cross-check variants, the disk-starved comparison, the
+// 4 KB-page ablation leg) execute concurrently on the experiment
+// scheduler, and every figure is a pure view over the cached runs.
+// Per-phase wall-clock timings go to stderr so perf changes have a
+// baseline to cite.
+//
 // Usage:
 //
-//	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-figures] [-markdown]
+//	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-parallel N]
+//	       [-figures] [-markdown]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"time"
 
 	"jasworkload/internal/core"
 )
@@ -19,6 +30,7 @@ func main() {
 	scale := flag.String("scale", "quick", "run scale: quick, standard, or full")
 	ir := flag.Int("ir", 0, "override the injection rate (0 = scale default)")
 	seed := flag.Int64("seed", 1, "deterministic run seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
 	markdown := flag.Bool("markdown", false, "emit the report as a markdown table (EXPERIMENTS.md format)")
 	flag.Parse()
@@ -40,18 +52,63 @@ func main() {
 	if *ir > 0 {
 		cfg.IR = *ir
 	}
+	if *parallel > 0 {
+		core.SetParallelism(*parallel)
+	}
+
+	timing := log.New(os.Stderr, "jasrun: ", 0)
+	start := time.Now()
+
+	// Warm the shared artifact: the three simulation phases are
+	// independent, so they run concurrently on the scheduler. Phase times
+	// overlap; the wall clock is the longest phase, not their sum.
+	art := core.ForConfig(cfg)
+	g := core.NewGroup(core.Parallelism())
+	phase := func(name string, fn func() error) {
+		g.Go(func() error {
+			t := time.Now()
+			if err := fn(); err != nil {
+				return err
+			}
+			timing.Printf("phase %-22s %8.2fs", name, time.Since(t).Seconds())
+			return nil
+		})
+	}
+	phase("request-level run", func() error {
+		_, err := art.RequestLevel()
+		return err
+	})
+	phase("detail run", func() error {
+		_, err := art.Detail()
+		return err
+	})
+	phase("cross-check variants", func() error {
+		_, err := art.CrossChecks()
+		return err
+	})
+	if err := g.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "jasrun:", err)
+		os.Exit(1)
+	}
 
 	if *figures {
-		if err := printFigures(cfg); err != nil {
+		t := time.Now()
+		if err := printFigures(art); err != nil {
 			fmt.Fprintln(os.Stderr, "jasrun:", err)
 			os.Exit(1)
 		}
+		timing.Printf("phase %-22s %8.2fs", "figure rendering", time.Since(t).Seconds())
 	}
+
+	t := time.Now()
 	rep, err := core.BuildReport(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jasrun:", err)
 		os.Exit(1)
 	}
+	timing.Printf("phase %-22s %8.2fs", "report assembly", time.Since(t).Seconds())
+	timing.Printf("total %31.2fs (parallelism %d)", time.Since(start).Seconds(), core.Parallelism())
+
 	if *markdown {
 		fmt.Print(rep.Markdown())
 		return
@@ -59,8 +116,11 @@ func main() {
 	fmt.Print(rep.String())
 }
 
-func printFigures(cfg core.RunConfig) error {
-	rl, err := core.RunRequestLevel(cfg)
+// printFigures renders every figure from the shared artifact. Only the
+// studies that need differently-configured systems (large-page 4 KB leg,
+// disk-starved run) simulate anything here; everything else is a view.
+func printFigures(art *core.Artifact) error {
+	rl, err := art.RequestLevel()
 	if err != nil {
 		return err
 	}
@@ -68,7 +128,7 @@ func printFigures(cfg core.RunConfig) error {
 	fmt.Println(rl.Fig3())
 	fmt.Println(rl.Fig4())
 
-	d, err := core.RunDetail(cfg)
+	d, err := art.Detail()
 	if err != nil {
 		return err
 	}
@@ -87,7 +147,7 @@ func printFigures(cfg core.RunConfig) error {
 		return err
 	}
 	fmt.Println(f7)
-	abl, err := core.RunLargePageAblation(cfg)
+	abl, err := art.LargePages()
 	if err != nil {
 		return err
 	}
@@ -112,12 +172,12 @@ func printFigures(cfg core.RunConfig) error {
 		return err
 	}
 	fmt.Println(f10)
-	sc, err := core.RunScalars(cfg)
+	sc, err := art.Scalars()
 	if err != nil {
 		return err
 	}
 	fmt.Println(sc)
-	cc, err := core.RunCrossChecks(cfg)
+	cc, err := art.CrossChecks()
 	if err != nil {
 		return err
 	}

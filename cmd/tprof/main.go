@@ -31,7 +31,7 @@ func main() {
 	cfg.DurationMS = float64(*seconds) * 1000
 	cfg.RampMS = cfg.DurationMS / 5
 
-	run, err := core.RunRequestLevel(cfg)
+	run, err := core.ForConfig(cfg).RequestLevel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tprof:", err)
 		os.Exit(1)

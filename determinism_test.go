@@ -1,0 +1,77 @@
+package jasworkload
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestReportDeterminism is the regression guard for the parallel
+// experiment scheduler: the full report must be byte-identical run over
+// run for the same seed, regardless of how many OS threads or concurrent
+// simulations are allowed. Each simulation owns its seeded RNGs and SUT,
+// so scheduling order can never leak into results.
+func TestReportDeterminism(t *testing.T) {
+	cfg := DefaultConfig(ScaleQuick)
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+
+	build := func() string {
+		FlushRuns()
+		rep, err := Characterize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Markdown()
+	}
+
+	baseline := build()
+	if baseline == "" {
+		t.Fatal("empty report")
+	}
+
+	// Same process, cold cache: identical.
+	if again := build(); again != baseline {
+		t.Fatalf("report changed across cold-cache rebuilds:\n--- first ---\n%s\n--- second ---\n%s", baseline, again)
+	}
+
+	// Serial execution (parallelism 1) must match.
+	prev := SetParallelism(1)
+	serial := build()
+	SetParallelism(prev)
+	if serial != baseline {
+		t.Fatal("report differs between parallel and serial scheduling")
+	}
+
+	// More OS threads than the default must not change anything either.
+	oldProcs := runtime.GOMAXPROCS(2 * runtime.NumCPU())
+	SetParallelism(2 * runtime.NumCPU())
+	wide := build()
+	runtime.GOMAXPROCS(oldProcs)
+	SetParallelism(prev)
+	if wide != baseline {
+		t.Fatal("report differs under a different GOMAXPROCS")
+	}
+}
+
+// TestSeedChangesReport is the converse guard: a different seed must
+// actually produce different measurements, proving the determinism test
+// is not vacuously comparing constants.
+func TestSeedChangesReport(t *testing.T) {
+	cfg := DefaultConfig(ScaleQuick)
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+
+	FlushRuns()
+	a, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	b, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() == b.Markdown() {
+		t.Fatal("different seeds produced byte-identical reports")
+	}
+}

@@ -4,6 +4,10 @@
 // sweeps the heap size at a fixed load and shows GC share, pause times and
 // compaction activity growing as the heap shrinks — and the response-time
 // audit failing once collections dominate.
+//
+// The sweep points are independent simulations, so they run concurrently
+// on the experiment scheduler; rows are collected by index and printed in
+// sweep order, identical at any parallelism.
 package main
 
 import (
@@ -11,24 +15,37 @@ import (
 	"log"
 
 	"jasworkload"
+	"jasworkload/internal/core"
 )
 
 func main() {
 	fmt.Println("heap sweep at fixed load (IR 30), live set held at ~100 MB:")
 	fmt.Println("  heap(MB)  gc-every(s)  pause(ms)  gc%runtime  compactions  audit")
-	for _, mb := range []uint64{768, 512, 384, 256, 192, 144, 128} {
-		cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
-		cfg.HeapBytes = mb << 20
-		cfg.BaselineCacheBytes = 96 << 20
-		run, err := jasworkload.RunRequestLevel(cfg)
-		if err != nil {
-			log.Fatalf("heap %d MB: %v", mb, err)
-		}
-		f3 := run.Fig3()
-		_, pass := run.Audit()
-		fmt.Printf("  %8d  %11.1f  %9.0f  %9.2f%%  %11d  %v\n",
-			mb, f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS,
-			f3.Summary.PercentOfRuntime, f3.Summary.Compactions, pass)
+	sizesMB := []uint64{768, 512, 384, 256, 192, 144, 128}
+	rows := make([]string, len(sizesMB))
+	g := core.NewGroup(jasworkload.Parallelism())
+	for i, mb := range sizesMB {
+		g.Go(func() error {
+			cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
+			cfg.HeapBytes = mb << 20
+			cfg.BaselineCacheBytes = 96 << 20
+			run, err := jasworkload.RunRequestLevel(cfg)
+			if err != nil {
+				return fmt.Errorf("heap %d MB: %w", mb, err)
+			}
+			f3 := run.Fig3()
+			_, pass := run.Audit()
+			rows[i] = fmt.Sprintf("  %8d  %11.1f  %9.0f  %9.2f%%  %11d  %v",
+				mb, f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS,
+				f3.Summary.PercentOfRuntime, f3.Summary.Compactions, pass)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 	fmt.Println("\nA generously sized heap keeps GC below 2% of runtime (the paper's")
 	fmt.Println("observation, and why earlier small-heap studies measured GC as")

@@ -26,6 +26,7 @@ type WhatIfPoint struct {
 // whatIfCPI builds a SUT with the mutator applied and measures steady CPI
 // (plus the L2 share of L1 misses as the secondary metric).
 func whatIfCPI(cfg RunConfig, mutate func(*sim.SUTConfig)) (float64, float64, error) {
+	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes
@@ -66,42 +67,54 @@ func whatIfCPI(cfg RunConfig, mutate func(*sim.SUTConfig)) (float64, float64, er
 
 // L2SizeStudy sweeps the per-chip L2 capacity; the paper: "Increasing the
 // size of the L2 cache can improve performance". Extra is the L2 share of
-// L1 misses.
+// L1 misses. Sweep points are independent simulations and run concurrently.
 func L2SizeStudy(cfg RunConfig, sizesKB []int) ([]WhatIfPoint, error) {
 	if len(sizesKB) == 0 {
 		sizesKB = []int{768, 1536, 3072, 6144}
 	}
-	var out []WhatIfPoint
-	for _, kb := range sizesKB {
-		kb := kb
-		cpi, l2, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
-			sc.Topology.L2.SizeBytes = uint64(kb) << 10
+	out := make([]WhatIfPoint, len(sizesKB))
+	g := NewGroup(Parallelism())
+	for i, kb := range sizesKB {
+		g.Go(func() error {
+			cpi, l2, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
+				sc.Topology.L2.SizeBytes = uint64(kb) << 10
+			})
+			if err != nil {
+				return fmt.Errorf("L2 %d KB: %w", kb, err)
+			}
+			out[i] = WhatIfPoint{Label: fmt.Sprintf("L2=%dKB", kb), CPI: cpi, Extra: l2}
+			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("L2 %d KB: %w", kb, err)
-		}
-		out = append(out, WhatIfPoint{Label: fmt.Sprintf("L2=%dKB", kb), CPI: cpi, Extra: l2})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // L3LatencyStudy sweeps the L3 access latency; the paper: "a lower latency
 // to L3 could also deliver sizeable performance benefits". Extra repeats
-// the latency for rendering.
+// the latency for rendering. Sweep points run concurrently.
 func L3LatencyStudy(cfg RunConfig, latencies []float64) ([]WhatIfPoint, error) {
 	if len(latencies) == 0 {
 		latencies = []float64{110, 70, 40, 25}
 	}
-	var out []WhatIfPoint
-	for _, lat := range latencies {
-		lat := lat
-		cpi, _, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
-			sc.Core.Penalties.L3Latency = lat
+	out := make([]WhatIfPoint, len(latencies))
+	g := NewGroup(Parallelism())
+	for i, lat := range latencies {
+		g.Go(func() error {
+			cpi, _, err := whatIfCPI(cfg, func(sc *sim.SUTConfig) {
+				sc.Core.Penalties.L3Latency = lat
+			})
+			if err != nil {
+				return fmt.Errorf("L3 latency %.0f: %w", lat, err)
+			}
+			out[i] = WhatIfPoint{Label: fmt.Sprintf("L3=%.0fcyc", lat), CPI: cpi, Extra: lat}
+			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("L3 latency %.0f: %w", lat, err)
-		}
-		out = append(out, WhatIfPoint{Label: fmt.Sprintf("L3=%.0fcyc", lat), CPI: cpi, Extra: lat})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -112,59 +125,73 @@ func L3LatencyStudy(cfg RunConfig, latencies []float64) ([]WhatIfPoint, error) {
 // stack will lead to additional performance improvements"). Extra is ITLB
 // misses per instruction.
 func CodeLargePagesStudy(cfg RunConfig) ([]WhatIfPoint, error) {
-	var out []WhatIfPoint
-	for _, ps := range []mem.PageSize{mem.Page4K, mem.Page16M} {
-		ps := ps
-		scfg := cfg
-		d, err := func() (*DetailRun, error) {
-			scfgSim := sim.DefaultSUTConfig(scfg.IR)
-			scfgSim.Seed = scfg.Seed
-			scfgSim.HeapBytes = scfg.HeapBytes
-			scfgSim.HeapPageSize = scfg.HeapPageSize
-			scfgSim.CodePageSize = ps
-			if scfg.Scale == ScaleQuick {
-				scfgSim.Profile.NumMethods = 850
-				scfgSim.Profile.WarmSet = 60
-			}
-			sut, err := sim.BuildSUT(scfgSim)
+	pageSizes := []mem.PageSize{mem.Page4K, mem.Page16M}
+	out := make([]WhatIfPoint, len(pageSizes))
+	g := NewGroup(Parallelism())
+	for i, ps := range pageSizes {
+		g.Go(func() error {
+			d, err := runCodePageVariant(cfg, ps)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("code pages %s: %w", ps, err)
 			}
-			eng, err := scfg.newEngine(sut, scfg.detail())
+			itlb, err := d.steadyRatio("translation", power4.EvITLBMiss, power4.EvInstCompleted)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m, err := newStdMonitor(eng, "translation")
-			if err != nil {
-				return nil, err
+			var cpi float64
+			n := 0
+			for _, w := range d.Engine.Windows()[steadyStart(cfg):] {
+				if w.CPI > 0 {
+					cpi += w.CPI
+					n++
+				}
 			}
-			if _, err := eng.Run(); err != nil {
-				return nil, err
+			if n == 0 {
+				return fmt.Errorf("code pages %s: no CPI windows measured", ps)
 			}
-			return &DetailRun{Cfg: scfg, SUT: sut, Engine: eng, Monitors: m}, nil
-		}()
-		if err != nil {
-			return nil, err
-		}
-		itlb, err := d.steadyRatio("translation", power4.EvITLBMiss, power4.EvInstCompleted)
-		if err != nil {
-			return nil, err
-		}
-		var cpi float64
-		n := 0
-		for _, w := range d.Engine.Windows()[steadyStart(cfg):] {
-			if w.CPI > 0 {
-				cpi += w.CPI
-				n++
+			out[i] = WhatIfPoint{
+				Label: fmt.Sprintf("code pages=%s", ps),
+				CPI:   cpi / float64(n),
+				Extra: itlb,
 			}
-		}
-		out = append(out, WhatIfPoint{
-			Label: fmt.Sprintf("code pages=%s", ps),
-			CPI:   cpi / float64(n),
-			Extra: itlb,
+			return nil
 		})
 	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// runCodePageVariant executes one detail run with the JIT code cache on the
+// given page size.
+func runCodePageVariant(cfg RunConfig, ps mem.PageSize) (*DetailRun, error) {
+	noteSim("variant")
+	scfg := sim.DefaultSUTConfig(cfg.IR)
+	scfg.Seed = cfg.Seed
+	scfg.HeapBytes = cfg.HeapBytes
+	scfg.HeapPageSize = cfg.HeapPageSize
+	scfg.CodePageSize = ps
+	if cfg.Scale == ScaleQuick {
+		scfg.Profile.NumMethods = 850
+		scfg.Profile.WarmSet = 60
+	}
+	sut, err := sim.BuildSUT(scfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cfg.newEngine(sut, cfg.detail())
+	if err != nil {
+		return nil, err
+	}
+	m, err := newStdMonitor(eng, "translation")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return &DetailRun{Cfg: cfg, SUT: sut, Engine: eng, Monitors: m}, nil
 }
 
 // CoreScalingStudy is the Section 7 future-work experiment: scale the
@@ -176,48 +203,55 @@ func CoreScalingStudy(cfg RunConfig, chipCounts []int) ([]WhatIfPoint, error) {
 		chipCounts = []int{1, 2, 4}
 	}
 	base := cfg.IR
-	var out []WhatIfPoint
-	for _, chips := range chipCounts {
-		chips := chips
-		scfg := sim.DefaultSUTConfig(base * chips / 2)
-		scfg.Seed = cfg.Seed
-		scfg.HeapBytes = cfg.HeapBytes
-		scfg.HeapPageSize = cfg.HeapPageSize
-		scfg.Topology.Chips = chips
-		scfg.Topology.ChipsPerMCM = 1
-		if cfg.Scale == ScaleQuick {
-			scfg.Profile.NumMethods = 850
-			scfg.Profile.WarmSet = 60
-		}
-		sut, err := sim.BuildSUT(scfg)
-		if err != nil {
-			return nil, err
-		}
-		runCfg := cfg
-		runCfg.IR = scfg.IR
-		eng, err := runCfg.newEngine(sut, cfg.detail())
-		if err != nil {
-			return nil, err
-		}
-		if _, err := eng.Run(); err != nil {
-			return nil, err
-		}
-		var cpi float64
-		n := 0
-		for _, w := range eng.Windows()[steadyStart(cfg):] {
-			if w.CPI > 0 {
-				cpi += w.CPI
-				n++
+	out := make([]WhatIfPoint, len(chipCounts))
+	g := NewGroup(Parallelism())
+	for i, chips := range chipCounts {
+		g.Go(func() error {
+			noteSim("variant")
+			scfg := sim.DefaultSUTConfig(base * chips / 2)
+			scfg.Seed = cfg.Seed
+			scfg.HeapBytes = cfg.HeapBytes
+			scfg.HeapPageSize = cfg.HeapPageSize
+			scfg.Topology.Chips = chips
+			scfg.Topology.ChipsPerMCM = 1
+			if cfg.Scale == ScaleQuick {
+				scfg.Profile.NumMethods = 850
+				scfg.Profile.WarmSet = 60
 			}
-		}
-		if n == 0 {
-			return nil, fmt.Errorf("core scaling: no windows at %d chips", chips)
-		}
-		out = append(out, WhatIfPoint{
-			Label: fmt.Sprintf("%d cores (IR %d)", chips*2, scfg.IR),
-			CPI:   cpi / float64(n),
-			Extra: eng.Tracker().JOPS(),
+			sut, err := sim.BuildSUT(scfg)
+			if err != nil {
+				return err
+			}
+			runCfg := cfg
+			runCfg.IR = scfg.IR
+			eng, err := runCfg.newEngine(sut, cfg.detail())
+			if err != nil {
+				return err
+			}
+			if _, err := eng.Run(); err != nil {
+				return err
+			}
+			var cpi float64
+			n := 0
+			for _, w := range eng.Windows()[steadyStart(cfg):] {
+				if w.CPI > 0 {
+					cpi += w.CPI
+					n++
+				}
+			}
+			if n == 0 {
+				return fmt.Errorf("core scaling: no windows at %d chips", chips)
+			}
+			out[i] = WhatIfPoint{
+				Label: fmt.Sprintf("%d cores (IR %d)", chips*2, scfg.IR),
+				CPI:   cpi / float64(n),
+				Extra: eng.Tracker().JOPS(),
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

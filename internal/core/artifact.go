@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"jasworkload/internal/hpm"
+)
+
+// This file is the run-artifact layer. An Artifact is the set of completed
+// simulations for one canonical RunConfig: at most one request-level run
+// and one instruction-detail run are ever executed per config, no matter
+// how many figures, tables, reports, or benchmarks ask for them. All
+// figure/table constructors are pure (memoized) views over the artifact,
+// so regenerating the paper costs one pass over each fidelity instead of
+// re-simulating per consumer.
+
+// memo is a concurrency-safe, error-preserving once-cell.
+type memo[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+// do computes the cell on first use; later calls (including concurrent
+// ones, which block until the first completes) return the same result.
+func (m *memo[T]) do(fn func() (T, error)) (T, error) {
+	m.once.Do(func() { m.v, m.err = fn() })
+	return m.v, m.err
+}
+
+// Artifact caches the runs for one canonical configuration.
+type Artifact struct {
+	// Cfg is the canonicalized configuration: per-scale defaults for
+	// duration, ramp, and detail fraction are resolved so that two configs
+	// describing the same experiment share one artifact.
+	Cfg RunConfig
+
+	rl  memo[*RequestLevelRun]
+	det memo[*DetailRun]
+	cc  memo[CrossChecks]
+	sc  memo[ScalarsResult]
+	lp  memo[LargePageAblation]
+}
+
+// canonical resolves per-scale defaults into explicit fields so the value
+// can key the run store.
+func (c RunConfig) canonical() RunConfig {
+	c.DurationMS, c.RampMS = c.durations()
+	c.DetailFrac = c.detail()
+	return c
+}
+
+// runStore maps canonical configs to their artifacts.
+var runStore = struct {
+	mu   sync.Mutex
+	arts map[RunConfig]*Artifact
+}{arts: map[RunConfig]*Artifact{}}
+
+// ForConfig returns the shared artifact for cfg, creating it (without
+// running anything yet) on first use.
+func ForConfig(cfg RunConfig) *Artifact {
+	key := cfg.canonical()
+	runStore.mu.Lock()
+	defer runStore.mu.Unlock()
+	if a, ok := runStore.arts[key]; ok {
+		return a
+	}
+	a := &Artifact{Cfg: key}
+	runStore.arts[key] = a
+	return a
+}
+
+// Flush drops every cached artifact. Long sweeps over many configurations
+// can call it to bound memory; the next request for any config re-runs the
+// simulation.
+func Flush() {
+	runStore.mu.Lock()
+	defer runStore.mu.Unlock()
+	runStore.arts = map[RunConfig]*Artifact{}
+}
+
+// simStats counts simulations actually executed, by kind. The artifact
+// cache tests use it to prove that views never trigger fresh runs.
+var simStats = struct {
+	mu     sync.Mutex
+	counts map[string]int
+}{counts: map[string]int{}}
+
+// noteSim records one executed simulation of the given kind.
+func noteSim(kind string) {
+	simStats.mu.Lock()
+	simStats.counts[kind]++
+	simStats.mu.Unlock()
+}
+
+// simCount returns how many simulations of the given kind ran since the
+// last reset.
+func simCount(kind string) int {
+	simStats.mu.Lock()
+	defer simStats.mu.Unlock()
+	return simStats.counts[kind]
+}
+
+// resetSimStats zeroes the counters (test hook).
+func resetSimStats() {
+	simStats.mu.Lock()
+	simStats.counts = map[string]int{}
+	simStats.mu.Unlock()
+}
+
+// RequestLevel returns the artifact's request-level run, executing it on
+// first use. Figures 2-4 and the whole-system scalars are views of it.
+func (a *Artifact) RequestLevel() (*RequestLevelRun, error) {
+	return a.rl.do(func() (*RequestLevelRun, error) {
+		noteSim("request-level")
+		return runRequestLevel(a.Cfg)
+	})
+}
+
+// Detail returns the artifact's instruction-detail run, executing it on
+// first use. The run always collects every standard HPM group — monitors
+// are pure observers, so one detail execution serves any group subset; the
+// groups argument only validates that the caller's names exist.
+func (a *Artifact) Detail(groups ...string) (*DetailRun, error) {
+	for _, name := range groups {
+		if _, ok := hpm.GroupByName(hpm.StandardGroups(), name); !ok {
+			return nil, fmt.Errorf("core: unknown HPM group %q", name)
+		}
+	}
+	return a.det.do(func() (*DetailRun, error) {
+		noteSim("detail")
+		return runDetail(a.Cfg, standardGroupNames()...)
+	})
+}
+
+// standardGroupNames lists every standard HPM group name.
+func standardGroupNames() []string {
+	gs := hpm.StandardGroups()
+	names := make([]string, len(gs))
+	for i, g := range gs {
+		names[i] = g.Name
+	}
+	return names
+}

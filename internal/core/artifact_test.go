@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+// artifactCfg is a reduced quick config for the cache tests. It differs
+// from testCfg's canonical durations, so these tests never collide with the
+// figure tests' shared runs.
+func artifactCfg() RunConfig {
+	cfg := DefaultRunConfig(ScaleQuick)
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	return cfg
+}
+
+// TestArtifactSharesRequestLevelRun: two experiments needing the same
+// config's request-level fidelity trigger exactly one simulation.
+func TestArtifactSharesRequestLevelRun(t *testing.T) {
+	Flush()
+	resetSimStats()
+	cfg := artifactCfg()
+
+	r1, err := RunRequestLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ForConfig(cfg).RequestLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("same config returned distinct request-level runs")
+	}
+	// Views over the run don't re-simulate either.
+	_ = r2.Fig2()
+	_ = r2.Fig4()
+	if n := simCount("request-level"); n != 1 {
+		t.Fatalf("request-level simulations = %d, want 1", n)
+	}
+}
+
+// TestArtifactSharesDetailRun: any mix of HPM group subsets is served by a
+// single detail simulation carrying all standard groups.
+func TestArtifactSharesDetailRun(t *testing.T) {
+	Flush()
+	resetSimStats()
+	cfg := artifactCfg()
+
+	d1, err := RunDetail(cfg, "cpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := RunDetail(cfg, "branch", "translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("same config returned distinct detail runs")
+	}
+	for _, g := range standardGroupNames() {
+		if d1.Monitors[g] == nil {
+			t.Fatalf("shared detail run lacks standard group %q", g)
+		}
+	}
+	if n := simCount("detail"); n != 1 {
+		t.Fatalf("detail simulations = %d, want 1", n)
+	}
+}
+
+// TestArtifactDistinctConfigs: a different seed or scale is a different
+// artifact and must re-simulate.
+func TestArtifactDistinctConfigs(t *testing.T) {
+	Flush()
+	resetSimStats()
+	cfg := artifactCfg()
+
+	if _, err := RunRequestLevel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	seeded := cfg
+	seeded.Seed = cfg.Seed + 1
+	if _, err := RunRequestLevel(seeded); err != nil {
+		t.Fatal(err)
+	}
+	if ForConfig(cfg) == ForConfig(seeded) {
+		t.Fatal("different seeds share an artifact")
+	}
+	if n := simCount("request-level"); n != 2 {
+		t.Fatalf("request-level simulations = %d, want 2 (distinct seeds)", n)
+	}
+}
+
+// TestBuildReportSimulationBudget: the full report costs exactly one
+// request-level run, one detail run, and the two cross-check variants.
+func TestBuildReportSimulationBudget(t *testing.T) {
+	Flush()
+	resetSimStats()
+	cfg := artifactCfg()
+
+	if _, err := BuildReport(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := simCount("request-level"); n != 1 {
+		t.Errorf("request-level simulations = %d, want 1", n)
+	}
+	if n := simCount("detail"); n != 1 {
+		t.Errorf("detail simulations = %d, want 1", n)
+	}
+	if n := simCount("variant"); n != 2 {
+		t.Errorf("variant simulations = %d, want 2 (Trade6, Sovereign)", n)
+	}
+
+	// A second report over the same config is free.
+	if _, err := BuildReport(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := simCount("request-level") + simCount("detail") + simCount("variant"); n != 4 {
+		t.Errorf("cached report re-simulated: total sims = %d, want 4", n)
+	}
+}

@@ -72,7 +72,12 @@ var fig10Events = []struct {
 // the CPI derived from the same group's samples — the method the paper
 // uses, since cycles and completed instructions are in every group while
 // events from different groups cannot be co-sampled.
+// The result is computed once and cached on the run.
 func (d *DetailRun) Fig10() (Fig10Result, error) {
+	return d.fig10.do(d.computeFig10)
+}
+
+func (d *DetailRun) computeFig10() (Fig10Result, error) {
 	var res Fig10Result
 	cpiOf := map[string][]float64{}
 	for name, m := range d.Monitors {

@@ -29,6 +29,7 @@ type CrossChecks struct {
 
 // runVariant executes a request-level run with the given app and JVM.
 func runVariant(cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
+	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes
@@ -55,18 +56,51 @@ func runVariant(cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util
 	return sum.PercentOfRuntime, eng.MeanUtilization(), eng.Tracker().JOPS(), nil
 }
 
-// RunCrossChecks executes all three variant runs.
+// RunCrossChecks executes the variant runs, cached on cfg's artifact.
 func RunCrossChecks(cfg RunConfig) (CrossChecks, error) {
+	return ForConfig(cfg).CrossChecks()
+}
+
+// CrossChecks returns the variant comparisons for this artifact's
+// configuration. The jas2004/J9 baseline is a view of the shared
+// request-level run (it is the identical simulation), so only the Trade6
+// and Sovereign variants execute — and they run concurrently.
+func (a *Artifact) CrossChecks() (CrossChecks, error) {
+	return a.cc.do(a.runCrossChecks)
+}
+
+func (a *Artifact) runCrossChecks() (CrossChecks, error) {
 	var res CrossChecks
-	var err error
-	if res.Jas2004GCShare, res.J9Util, res.J9JOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMJ9); err != nil {
-		return res, fmt.Errorf("jas2004/J9: %w", err)
-	}
-	if res.Trade6GCShare, _, _, err = runVariant(cfg, server.Trade6App(), sim.JVMJ9); err != nil {
-		return res, fmt.Errorf("trade6/J9: %w", err)
-	}
-	if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
-		return res, fmt.Errorf("jas2004/Sovereign: %w", err)
+	cfg := a.Cfg
+	g := NewGroup(Parallelism())
+	g.Go(func() error {
+		rl, err := a.RequestLevel()
+		if err != nil {
+			return fmt.Errorf("jas2004/J9: %w", err)
+		}
+		dur, _ := cfg.durations()
+		sum := jvm.Summarize(rl.SUT.Heap.Events(), dur)
+		res.Jas2004GCShare = sum.PercentOfRuntime
+		res.J9Util = rl.Engine.MeanUtilization()
+		res.J9JOPS = rl.Engine.Tracker().JOPS()
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.Trade6GCShare, _, _, err = runVariant(cfg, server.Trade6App(), sim.JVMJ9); err != nil {
+			return fmt.Errorf("trade6/J9: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
+			return fmt.Errorf("jas2004/Sovereign: %w", err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

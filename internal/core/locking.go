@@ -33,8 +33,13 @@ type LockingResult struct {
 // about 20 additional lock-acquisition instructions.
 const lockAcquireOverhead = 20
 
-// Locking computes the Section 4.2.4 table from a detail run.
+// Locking computes the Section 4.2.4 table from a detail run. The result
+// is computed once and cached on the run.
 func (d *DetailRun) Locking() (LockingResult, error) {
+	return d.locking.do(d.computeLocking)
+}
+
+func (d *DetailRun) computeLocking() (LockingResult, error) {
 	var res LockingResult
 	larxRate, err := d.steadyRatio("sync", power4.EvLarx, power4.EvInstCompleted)
 	if err != nil {

@@ -10,24 +10,41 @@ import (
 	"jasworkload/internal/stats"
 )
 
-// DetailRun is one instruction-detail execution with a set of HPM monitors
-// attached; Figures 5-9 and the locking table are views of it.
+// DetailRun is one instruction-detail execution with every standard HPM
+// group attached; Figures 5-10 and the locking table are memoized views of
+// it.
 type DetailRun struct {
 	Cfg      RunConfig
 	SUT      *sim.SUT
 	Engine   *sim.Engine
 	Monitors map[string]*hpm.Monitor
+
+	fig5    memo[Fig5Result]
+	fig6    memo[Fig6Result]
+	fig7    memo[Fig7Result]
+	fig8    memo[Fig8Result]
+	fig9    memo[Fig9Result]
+	fig10   memo[Fig10Result]
+	locking memo[LockingResult]
 }
 
-// RunDetail executes the workload at instruction-level (sampled) fidelity
-// with the given HPM groups collected.
+// RunDetail executes the workload at instruction-level (sampled) fidelity.
+// Results are cached in the run store: repeated calls with an equivalent
+// config return the same completed run without re-simulating. Monitors are
+// pure observers, so the run always collects every standard HPM group; the
+// groups argument only validates that the requested names exist.
 func RunDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
-	if len(groups) == 0 {
-		groups = []string{"cpi", "branch", "translation", "dsource", "prefetch", "ifetch", "sync", "kernel"}
-	}
+	return ForConfig(cfg).Detail(groups...)
+}
+
+// runDetail executes the simulation (cache miss path).
+func runDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
 	sut, eng, mons, err := cfg.detailRun(groups...)
 	if err != nil {
 		return nil, err
+	}
+	if !eng.Finished() {
+		return nil, fmt.Errorf("core: detail engine did not finish")
 	}
 	return &DetailRun{Cfg: cfg, SUT: sut, Engine: eng, Monitors: mons}, nil
 }
@@ -111,8 +128,14 @@ type Fig5Result struct {
 	CPIvsGC float64
 }
 
-// Fig5 regenerates the CPI figure from a detail run.
+// Fig5 regenerates the CPI figure from a detail run. The result (including
+// the idle-CPI probe, which builds a scratch SUT) is computed once and
+// cached on the run.
 func (d *DetailRun) Fig5() (Fig5Result, error) {
+	return d.fig5.do(d.computeFig5)
+}
+
+func (d *DetailRun) computeFig5() (Fig5Result, error) {
 	var res Fig5Result
 	cyc, err := d.steadySeries("cpi", power4.EvCycles)
 	if err != nil {
@@ -217,8 +240,13 @@ type Fig6Result struct {
 	CondMissQuiet   float64
 }
 
-// Fig6 regenerates the branch figure.
+// Fig6 regenerates the branch figure. The result is computed once and
+// cached on the run.
 func (d *DetailRun) Fig6() (Fig6Result, error) {
+	return d.fig6.do(d.computeFig6)
+}
+
+func (d *DetailRun) computeFig6() (Fig6Result, error) {
 	var res Fig6Result
 	cond, err := d.steadySeries("branch", power4.EvBrCond)
 	if err != nil {

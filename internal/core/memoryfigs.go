@@ -31,8 +31,14 @@ type Fig7Result struct {
 	DTLBQuietOverGC float64
 }
 
-// Fig7 regenerates the translation figure.
+// Fig7 regenerates the translation figure. The result is computed once and
+// cached on the run; that also keeps the GC-only probe (which streams a
+// collector trace through a scratch core) from perturbing repeat renders.
 func (d *DetailRun) Fig7() (Fig7Result, error) {
+	return d.fig7.do(d.computeFig7)
+}
+
+func (d *DetailRun) computeFig7() (Fig7Result, error) {
 	var res Fig7Result
 	inst, err := d.steadySeries("translation", power4.EvInstCompleted)
 	if err != nil {
@@ -125,8 +131,20 @@ type LargePageAblation struct {
 	ITLBHitGainPct float64
 }
 
-// RunLargePageAblation executes both configurations.
+// RunLargePageAblation executes both configurations, scheduling them
+// concurrently. The result is cached on cfg's artifact, and the leg whose
+// page size matches cfg reuses the artifact's own detail run.
 func RunLargePageAblation(cfg RunConfig) (LargePageAblation, error) {
+	return ForConfig(cfg).LargePages()
+}
+
+// LargePages returns the Section 4.2.2 ablation for this artifact's
+// configuration, executing both page-size legs concurrently on first use.
+func (a *Artifact) LargePages() (LargePageAblation, error) {
+	return a.lp.do(func() (LargePageAblation, error) { return runLargePageAblation(a.Cfg) })
+}
+
+func runLargePageAblation(cfg RunConfig) (LargePageAblation, error) {
 	var res LargePageAblation
 	measure := func(ps mem.PageSize) (dtlb, itlb, dHit, iHit float64, err error) {
 		c := cfg
@@ -167,11 +185,18 @@ func RunLargePageAblation(cfg RunConfig) (LargePageAblation, error) {
 		return dtlb, itlb, dHit, iHit, nil
 	}
 	var dHitL, iHitL, dHitS, iHitS float64
-	var err error
-	if res.LargeDTLBPerInst, res.LargeITLBPerInst, dHitL, iHitL, err = measure(mem.Page16M); err != nil {
-		return res, err
-	}
-	if res.SmallDTLBPerInst, res.SmallITLBPerInst, dHitS, iHitS, err = measure(mem.Page4K); err != nil {
+	g := NewGroup(Parallelism())
+	g.Go(func() error {
+		var err error
+		res.LargeDTLBPerInst, res.LargeITLBPerInst, dHitL, iHitL, err = measure(mem.Page16M)
+		return err
+	})
+	g.Go(func() error {
+		var err error
+		res.SmallDTLBPerInst, res.SmallITLBPerInst, dHitS, iHitS, err = measure(mem.Page4K)
+		return err
+	})
+	if err := g.Wait(); err != nil {
 		return res, err
 	}
 	if dHitS > 0 {
@@ -219,8 +244,13 @@ type Fig8Result struct {
 	LoadMissQuiet  float64
 }
 
-// Fig8 regenerates the L1 D-cache figure.
+// Fig8 regenerates the L1 D-cache figure. The result is computed once and
+// cached on the run.
 func (d *DetailRun) Fig8() (Fig8Result, error) {
+	return d.fig8.do(d.computeFig8)
+}
+
+func (d *DetailRun) computeFig8() (Fig8Result, error) {
 	var res Fig8Result
 	ldm, err := d.steadySeries("cpi", power4.EvL1DLoadMiss)
 	if err != nil {
@@ -282,8 +312,13 @@ type Fig9Result struct {
 	ModifiedShare float64
 }
 
-// Fig9 regenerates the data-source figure.
+// Fig9 regenerates the data-source figure. The result is computed once and
+// cached on the run.
 func (d *DetailRun) Fig9() (Fig9Result, error) {
+	return d.fig9.do(d.computeFig9)
+}
+
+func (d *DetailRun) computeFig9() (Fig9Result, error) {
 	res := Fig9Result{Share: map[power4.DataSource]float64{}}
 	events := map[power4.DataSource]power4.Event{
 		power4.SrcL2:      power4.EvDataFromL2,

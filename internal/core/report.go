@@ -31,14 +31,42 @@ func within(v, lo, hi float64) bool { return v >= lo && v <= hi }
 // BuildReport runs every experiment at the given config and assembles the
 // comparison table. This is what cmd/jasrun prints and what EXPERIMENTS.md
 // records.
+//
+// The runs come from cfg's shared artifact, so exactly one request-level
+// and one detail simulation execute per config, plus the two cross-check
+// variants — and all independent simulations are scheduled concurrently.
+// Each run owns its seeded RNGs and SUT, so the table (and Markdown
+// rendering) is byte-identical regardless of parallelism.
 func BuildReport(cfg RunConfig) (*Report, error) {
 	rep := &Report{Cfg: cfg}
 
-	// Request-level run: Figures 2-4 and the GC table.
-	rl, err := RunRequestLevel(cfg)
-	if err != nil {
+	art := ForConfig(cfg)
+	var (
+		rl *RequestLevelRun
+		d  *DetailRun
+		cc CrossChecks
+	)
+	g := NewGroup(Parallelism())
+	g.Go(func() error {
+		var err error
+		rl, err = art.RequestLevel()
+		return err
+	})
+	g.Go(func() error {
+		var err error
+		d, err = art.Detail()
+		return err
+	})
+	g.Go(func() error {
+		var err error
+		cc, err = art.CrossChecks()
+		return err
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
+
+	// Request-level run: Figures 2-4 and the GC table.
 	f2 := rl.Fig2()
 	var steadySum float64
 	maxCV := 0.0
@@ -88,10 +116,6 @@ func BuildReport(cfg RunConfig) (*Report, error) {
 		fmt.Sprintf("%.2f%%", 100*f4.Report.HottestOverallShare), f4.Report.HottestOverallShare < 0.012)
 
 	// Detail run: Figures 5-10 + locking.
-	d, err := RunDetail(cfg)
-	if err != nil {
-		return nil, err
-	}
 	f5, err := d.Fig5()
 	if err != nil {
 		return nil, err
@@ -214,10 +238,6 @@ func BuildReport(cfg RunConfig) (*Report, error) {
 		fmt.Sprintf("%+.2f", f10.TargetMissVsICacheMiss), f10.TargetMissVsICacheMiss > 0.2)
 
 	// Cross-checks: Trade6 and the Sovereign JVM (Sections 3.1, 4.1.1, 6).
-	cc, err := RunCrossChecks(cfg)
-	if err != nil {
-		return nil, err
-	}
 	rep.add("E12", "§6", "Trade6 GC share", "similar small overhead",
 		fmt.Sprintf("%.2f%% (jas2004 %.2f%%)", cc.Trade6GCShare, cc.Jas2004GCShare),
 		cc.Trade6GCShare < 2.5)

@@ -33,55 +33,88 @@ type ScalarsResult struct {
 	DiskUtil        float64
 }
 
-// RunScalars executes the RAM-disk run plus the 2-disk comparison.
+// RunScalars executes the RAM-disk run plus the 2-disk comparison, cached
+// on cfg's artifact.
 func RunScalars(cfg RunConfig) (ScalarsResult, error) {
+	return ForConfig(cfg).Scalars()
+}
+
+// Scalars returns the whole-system scalar results for this artifact's
+// configuration. The RAM-disk numbers are a view of the shared
+// request-level run; only the disk-starved comparison executes a fresh
+// simulation, concurrently with that run when it is not yet cached.
+func (a *Artifact) Scalars() (ScalarsResult, error) {
+	return a.sc.do(a.runScalars)
+}
+
+func (a *Artifact) runScalars() (ScalarsResult, error) {
 	var res ScalarsResult
-	run, err := RunRequestLevel(cfg)
-	if err != nil {
+	cfg := a.Cfg
+	g := NewGroup(Parallelism())
+	g.Go(func() error {
+		run, err := a.RequestLevel()
+		if err != nil {
+			return err
+		}
+		res.JOPSPerIR = run.Engine.Tracker().JOPS() / float64(cfg.IR)
+		res.UtilRAMDisk = run.Engine.MeanUtilization()
+		_, res.RAMDiskPasses = run.Engine.Tracker().Audit()
+
+		segs := run.Engine.SegmentTotals()
+		var total uint64
+		for _, v := range segs {
+			total += v
+		}
+		if total > 0 {
+			res.KernelShare = float64(segs[server.SegKernel]) / float64(total)
+			res.UserShare = 1 - res.KernelShare
+		}
+
+		// Stability: CV of completions across the second half of the ramp
+		// vs the steady interval should already be comparable.
+		ws := run.Engine.Windows()
+		steady := steadyStart(cfg)
+		if steady > 0 && steady < len(ws) {
+			var half []float64
+			for _, w := range ws[steady/2 : steady] {
+				var n int
+				for _, c := range w.Completions {
+					n += c
+				}
+				half = append(half, float64(n))
+			}
+			var after []float64
+			for _, w := range ws[steady:] {
+				var n int
+				for _, c := range w.Completions {
+					n += c
+				}
+				after = append(after, float64(n))
+			}
+			mh, ma := stats.Mean(half), stats.Mean(after)
+			if ma > 0 {
+				res.StabilizesWithinRampMS = mh > 0.85*ma
+			}
+		}
+		return nil
+	})
+	g.Go(func() error {
+		iowait, util, pass, err := runDiskStarved(cfg)
+		if err != nil {
+			return err
+		}
+		res.DiskIOWaitShare, res.DiskUtil, res.DiskPasses = iowait, util, pass
+		return nil
+	})
+	if err := g.Wait(); err != nil {
 		return res, err
 	}
-	res.JOPSPerIR = run.Engine.Tracker().JOPS() / float64(cfg.IR)
-	res.UtilRAMDisk = run.Engine.MeanUtilization()
-	_, res.RAMDiskPasses = run.Engine.Tracker().Audit()
+	return res, nil
+}
 
-	segs := run.Engine.SegmentTotals()
-	var total uint64
-	for _, v := range segs {
-		total += v
-	}
-	if total > 0 {
-		res.KernelShare = float64(segs[server.SegKernel]) / float64(total)
-		res.UserShare = 1 - res.KernelShare
-	}
-
-	// Stability: CV of completions across the second half of the ramp vs
-	// the steady interval should already be comparable.
-	ws := run.Engine.Windows()
-	steady := steadyStart(cfg)
-	if steady > 0 && steady < len(ws) {
-		var half []float64
-		for _, w := range ws[steady/2 : steady] {
-			var n int
-			for _, c := range w.Completions {
-				n += c
-			}
-			half = append(half, float64(n))
-		}
-		var after []float64
-		for _, w := range ws[steady:] {
-			var n int
-			for _, c := range w.Completions {
-				n += c
-			}
-			after = append(after, float64(n))
-		}
-		mh, ma := stats.Mean(half), stats.Mean(after)
-		if ma > 0 {
-			res.StabilizesWithinRampMS = mh > 0.85*ma
-		}
-	}
-
-	// Disk-starved comparison.
+// runDiskStarved executes the 2-spindle comparison run.
+func runDiskStarved(cfg RunConfig) (iowaitShare, util float64, pass bool, err error) {
+	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes
@@ -104,23 +137,22 @@ func RunScalars(cfg RunConfig) (ScalarsResult, error) {
 	}
 	sut, err := sim.BuildSUT(scfg)
 	if err != nil {
-		return res, err
+		return 0, 0, false, err
 	}
 	eng, err := cfg.newEngine(sut, 0)
 	if err != nil {
-		return res, err
+		return 0, 0, false, err
 	}
 	if _, err := eng.Run(); err != nil {
-		return res, err
+		return 0, 0, false, err
 	}
-	_, res.DiskPasses = eng.Tracker().Audit()
-	res.DiskUtil = eng.MeanUtilization()
+	_, pass = eng.Tracker().Audit()
+	util = eng.MeanUtilization()
 	var io []float64
 	for _, w := range eng.Windows()[steadyStart(cfg):] {
 		io = append(io, w.UtilIOWait)
 	}
-	res.DiskIOWaitShare = stats.Mean(io)
-	return res, nil
+	return stats.Mean(io), util, pass, nil
 }
 
 // String renders the scalar table.

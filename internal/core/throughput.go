@@ -13,15 +13,26 @@ import (
 )
 
 // RequestLevelRun is one request-level (no instruction detail) benchmark
-// execution; Figures 2, 3 and 4 are all views of it.
+// execution; Figures 2, 3 and 4 are all memoized views of it.
 type RequestLevelRun struct {
 	Cfg    RunConfig
 	SUT    *sim.SUT
 	Engine *sim.Engine
+
+	fig2 memo[Fig2Result]
+	fig3 memo[Fig3Result]
+	fig4 memo[Fig4Result]
 }
 
-// RunRequestLevel executes the workload at request-level fidelity.
+// RunRequestLevel executes the workload at request-level fidelity. Results
+// are cached in the run store: repeated calls with an equivalent config
+// return the same completed run without re-simulating.
 func RunRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
+	return ForConfig(cfg).RequestLevel()
+}
+
+// runRequestLevel executes the simulation (cache miss path).
+func runRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
 	sut, err := cfg.buildSUT()
 	if err != nil {
 		return nil, err
@@ -32,6 +43,9 @@ func RunRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
 	}
 	if _, err := eng.Run(); err != nil {
 		return nil, err
+	}
+	if !eng.Finished() {
+		return nil, fmt.Errorf("core: request-level engine did not finish")
 	}
 	return &RequestLevelRun{Cfg: cfg, SUT: sut, Engine: eng}, nil
 }
@@ -52,8 +66,14 @@ type Fig2Result struct {
 	AuditPass  bool
 }
 
-// Fig2 regenerates the throughput figure from a request-level run.
+// Fig2 regenerates the throughput figure from a request-level run. The
+// result is computed once and cached on the run.
 func (r *RequestLevelRun) Fig2() Fig2Result {
+	f, _ := r.fig2.do(func() (Fig2Result, error) { return r.computeFig2(), nil })
+	return f
+}
+
+func (r *RequestLevelRun) computeFig2() Fig2Result {
 	const bucketSec = 10
 	res := Fig2Result{BucketSeconds: bucketSec}
 	ws := r.Engine.Windows()
@@ -109,13 +129,17 @@ type Fig3Result struct {
 	Summary jvm.GCSummary
 }
 
-// Fig3 regenerates the garbage-collection statistics.
+// Fig3 regenerates the garbage-collection statistics. The result is
+// computed once and cached on the run.
 func (r *RequestLevelRun) Fig3() Fig3Result {
-	dur, _ := r.Cfg.durations()
-	return Fig3Result{
-		Events:  r.SUT.Heap.Events(),
-		Summary: jvm.Summarize(r.SUT.Heap.Events(), dur),
-	}
+	f, _ := r.fig3.do(func() (Fig3Result, error) {
+		dur, _ := r.Cfg.durations()
+		return Fig3Result{
+			Events:  r.SUT.Heap.Events(),
+			Summary: jvm.Summarize(r.SUT.Heap.Events(), dur),
+		}, nil
+	})
+	return f
 }
 
 // String renders the verbosegc log tail and the table.
@@ -145,8 +169,14 @@ type Fig4Result struct {
 	Jas2004Share float64
 }
 
-// Fig4 regenerates the profile breakdown.
+// Fig4 regenerates the profile breakdown. The result is computed once and
+// cached on the run.
 func (r *RequestLevelRun) Fig4() Fig4Result {
+	f, _ := r.fig4.do(func() (Fig4Result, error) { return r.computeFig4(), nil })
+	return f
+}
+
+func (r *RequestLevelRun) computeFig4() Fig4Result {
 	rep := tools.TProf(r.Engine.SegmentTotals(), r.SUT.JIT.Methods(), 10)
 	was := rep.SegmentShare[server.SegWASJit] + rep.SegmentShare[server.SegWASNative]
 	other := rep.SegmentShare[server.SegWebServer] + rep.SegmentShare[server.SegDB2]

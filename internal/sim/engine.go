@@ -78,6 +78,7 @@ type Engine struct {
 	gcInstrSim uint64
 	cpiEst     float64
 
+	finished    bool // set once Run completes; guards against re-running
 	lastCtr     counterSnapshot
 	queue       []queuedReq // arrivals not yet served (capacity carry-over)
 	diskFreeAt  float64     // disk array availability (I/O queueing)
@@ -161,14 +162,29 @@ func (e *Engine) simRatePerMS() float64 {
 	return e.cfg.ClockHz / (e.cpiEst * e.cfg.InstrScale * 1000)
 }
 
-// Run executes the configured duration and returns the windows.
+// ErrFinished is returned when Run is called on an engine that already
+// completed its configured duration. Completed engines are shared read-only
+// views (the run-artifact layer hands one engine to many figure
+// constructors), so re-running would corrupt every consumer.
+var ErrFinished = errors.New("sim: engine already ran to completion")
+
+// Finished reports whether the engine has completed its configured
+// duration. Artifact consumers use this as the it-is-safe-to-read guard.
+func (e *Engine) Finished() bool { return e.finished }
+
+// Run executes the configured duration and returns the windows. A second
+// call returns ErrFinished.
 func (e *Engine) Run() ([]WindowStats, error) {
+	if e.finished {
+		return e.windows, ErrFinished
+	}
 	nWindows := int(e.cfg.DurationMS / e.cfg.WindowMS)
 	for w := 0; w < nWindows; w++ {
 		if err := e.Step(); err != nil {
 			return e.windows, err
 		}
 	}
+	e.finished = true
 	return e.windows, nil
 }
 
@@ -187,7 +203,7 @@ func (e *Engine) Step() error {
 	// behind the paper's negative completion-cycle correlation.
 	served := 0
 	for _, q := range e.queue {
-		if e.earliestFree() >= winEnd {
+		if e.coreFreeAt[e.earliestFreeCore()] >= winEnd {
 			break
 		}
 		if e.sut.Heap.NeedsGC() {
@@ -198,7 +214,19 @@ func (e *Engine) Step() error {
 		}
 		served++
 	}
-	e.queue = e.queue[served:]
+	// Copy unserved arrivals to the front of the backing array instead of
+	// reslicing forward: e.queue = e.queue[served:] would strand the served
+	// prefix and keep every grown backing array live for the whole run.
+	if served > 0 {
+		n := copy(e.queue, e.queue[served:])
+		e.queue = e.queue[:n]
+	}
+	// After a backlog burst drains, shed the oversized backing array.
+	if cap(e.queue) > 1024 && len(e.queue) < cap(e.queue)/4 {
+		compacted := make([]queuedReq, len(e.queue), cap(e.queue)/2)
+		copy(compacted, e.queue)
+		e.queue = compacted
+	}
 
 	// Attribute pending busy/sys/io time to this window.
 	capMS := float64(len(e.sut.Cores)) * e.cfg.WindowMS
@@ -254,26 +282,23 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-// earliestFree returns the earliest time any core frees up.
-func (e *Engine) earliestFree() float64 {
-	m := e.coreFreeAt[0]
-	for _, t := range e.coreFreeAt[1:] {
-		if t < m {
-			m = t
+// earliestFreeCore returns the index of the core that frees up first
+// (lowest index on ties). Both the window-capacity check in Step and the
+// M/G/c placement in serve share this single scan.
+func (e *Engine) earliestFreeCore() int {
+	idx := 0
+	for i := 1; i < len(e.coreFreeAt); i++ {
+		if e.coreFreeAt[i] < e.coreFreeAt[idx] {
+			idx = i
 		}
 	}
-	return m
+	return idx
 }
 
 // serve runs one request through the queueing model and the server.
 func (e *Engine) serve(at float64, rt server.RequestType, ws *WindowStats, winEnd float64) error {
 	// Earliest-free core (M/G/c).
-	core := 0
-	for i := 1; i < len(e.coreFreeAt); i++ {
-		if e.coreFreeAt[i] < e.coreFreeAt[core] {
-			core = i
-		}
-	}
+	core := e.earliestFreeCore()
 	start := at
 	if e.coreFreeAt[core] > start {
 		start = e.coreFreeAt[core]

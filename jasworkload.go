@@ -19,6 +19,12 @@
 //
 // Individual experiments are exposed through RunRequestLevel (Figures 2-4)
 // and RunDetail (Figures 5-10, locking); see the examples directory.
+//
+// All experiments draw from a shared run-artifact layer: runs are cached
+// per configuration (ForConfig), so any mix of figures and tables for one
+// Config costs at most one request-level and one instruction-detail
+// simulation. Independent simulations (cross-check variants, ablation
+// sweeps) execute concurrently, bounded by SetParallelism.
 package jasworkload
 
 import (
@@ -105,3 +111,27 @@ type CrossChecks = core.CrossChecks
 
 // RunCrossChecks executes the Trade6 and Sovereign-JVM comparison runs.
 func RunCrossChecks(cfg Config) (CrossChecks, error) { return core.RunCrossChecks(cfg) }
+
+// Artifact is the cached pair of runs (request-level, instruction-detail)
+// plus derived results for one configuration. Every figure and table is a
+// memoized view over it.
+type Artifact = core.Artifact
+
+// ForConfig returns the process-wide artifact for cfg, creating it on
+// first use. Repeated calls with an equivalent configuration return the
+// same artifact, so experiments never re-simulate.
+func ForConfig(cfg Config) *Artifact { return core.ForConfig(cfg) }
+
+// FlushRuns drops every cached artifact. Subsequent experiments
+// re-simulate; useful for benchmarking end-to-end cost or bounding memory
+// in long-lived processes.
+func FlushRuns() { core.Flush() }
+
+// Parallelism reports the current bound on concurrently executing
+// simulations (default: one per CPU).
+func Parallelism() int { return core.Parallelism() }
+
+// SetParallelism bounds how many simulations may execute concurrently and
+// returns the previous value. n < 1 resets to the number of CPUs.
+// Results are bit-identical at any setting; only wall clock changes.
+func SetParallelism(n int) int { return core.SetParallelism(n) }
