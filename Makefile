@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race bench-smoke report
+.PHONY: all build test ci fmt vet race equiv bench-smoke bench-json report
 
 all: build test
 
@@ -27,10 +27,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
-bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig2' -benchtime 1x .
+# The batched pipeline must be bit-equivalent to the per-instruction
+# reference; run that guard on its own so a failure names it directly.
+equiv:
+	$(GO) test -run 'TestDetailStreamEquivalence' ./internal/sim/
 
-ci: fmt vet build race bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig2|BenchmarkDetailStream|BenchmarkBuildReport' -benchtime 1x .
+
+# Measured numbers for the README perf table: the stream benchmarks get
+# 5 runs of 6 iterations (min-of-5 rides out shared-host noise), the
+# full-report benchmark is too slow for that and gets 3 single-shot runs.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	@cat BENCH_PR2.json
+
+ci: fmt vet build race equiv bench-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/isa"
 	"jasworkload/internal/server"
+	"jasworkload/internal/sim"
 )
 
 func quickCfg() Config { return DefaultConfig(ScaleQuick) }
@@ -274,6 +276,87 @@ func BenchmarkAblationCoreScaling(b *testing.B) {
 		b.ReportMetric(pts[0].Extra, "JOPS@2cores")
 		b.ReportMetric(pts[1].Extra, "JOPS@4cores")
 	}
+}
+
+// benchTrace caches one emitter-recorded detail stream so the stream
+// benchmarks measure consumption, not generation, and both measure the
+// exact same instructions.
+var benchTrace []isa.Instr
+
+// benchDetailTrace records ~2M instructions of the real detail-mode
+// stream: the four request classes plus GC and idle work.
+func benchDetailTrace(b *testing.B) []isa.Instr {
+	b.Helper()
+	if benchTrace != nil {
+		return benchTrace
+	}
+	sut, err := sim.BuildSUT(sim.DefaultSUTConfig(30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &isa.Recorder{}
+	types := []server.RequestType{
+		server.ReqBrowse, server.ReqPurchase, server.ReqManage, server.ReqCreateVehicle,
+	}
+	now := 0.0
+	for i := 0; len(rec.Trace) < 2_000_000; i++ {
+		if _, err := sut.Server.Execute(now, types[i%len(types)], rec, 0.2); err != nil {
+			b.Fatal(err)
+		}
+		now += 33
+		if i%16 == 15 {
+			sut.Server.EmitGC(rec, 20_000)
+			sut.Server.EmitIdle(rec, 5_000)
+		}
+	}
+	benchTrace = rec.Trace
+	return benchTrace
+}
+
+// benchStreamCore builds a fresh consuming core for a stream benchmark.
+func benchStreamCore(b *testing.B) *sim.SUT {
+	b.Helper()
+	sut, err := sim.BuildSUT(sim.DefaultSUTConfig(30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sut
+}
+
+// BenchmarkDetailStream measures the production detail-mode hot path:
+// the recorded stream delivered in batches through Core.ConsumeBatch
+// with the state-neutral fast paths enabled.
+func BenchmarkDetailStream(b *testing.B) {
+	trace := benchDetailTrace(b)
+	sut := benchStreamCore(b)
+	c := sut.Cores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		isa.Replay(trace, c, isa.DefaultBatchCap)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkDetailStreamReference measures the pre-batching path the
+// tentpole replaced: one virtual Consume call per instruction with the
+// fast paths disabled. The ratio DetailStream/DetailStreamReference is
+// the headline speedup.
+func BenchmarkDetailStreamReference(b *testing.B) {
+	trace := benchDetailTrace(b)
+	sut := benchStreamCore(b)
+	c := sut.Cores[0]
+	c.SetFastPaths(false)
+	sut.Hier.SetFastPaths(false)
+	var sink isa.Sink = c // dispatch through the interface, as before the change
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range trace {
+			sink.Consume(&trace[j])
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
 // BenchmarkBuildReport regenerates the complete paper-vs-measured report

@@ -1,0 +1,156 @@
+// Command benchjson turns `go test -bench` output on stdin into a small
+// JSON summary for checking into the repo (see `make bench-json`).
+//
+// Shared CI hosts show heavy run-to-run noise (we have measured ±35% on
+// the same binary), so each benchmark is run several times and the
+// summary keeps min, mean and max per metric. The minimum is the
+// least-contended sample and is what the README perf table cites.
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchmem -count 5 . | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type stat struct {
+	Runs int     `json:"runs"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(xs []float64) *stat {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := &stat{Runs: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+type entry struct {
+	Name        string `json:"name"`
+	Iterations  int64  `json:"iterations_per_run"`
+	NsPerOp     *stat  `json:"ns_per_op,omitempty"`
+	InstrPerSec *stat  `json:"instr_per_s,omitempty"`
+	BytesPerOp  *stat  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *stat  `json:"allocs_per_op,omitempty"`
+	samples     map[string][]float64
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var order []string
+	byName := map[string]*entry{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := byName[name]
+		if e == nil {
+			e = &entry{Name: name, samples: map[string][]float64{}}
+			byName[name] = e
+			order = append(order, name)
+		}
+		e.Iterations = iters
+		// The rest is value/unit pairs: "123 ns/op", "456 allocs/op", ...
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			e.samples[fields[i+1]] = append(e.samples[fields[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var entries []*entry
+	for _, name := range order {
+		e := byName[name]
+		e.NsPerOp = newStat(e.samples["ns/op"])
+		e.InstrPerSec = newStat(e.samples["instr/s"])
+		e.BytesPerOp = newStat(e.samples["B/op"])
+		e.AllocsPerOp = newStat(e.samples["allocs/op"])
+		entries = append(entries, e)
+	}
+
+	summary := struct {
+		Go         string   `json:"go"`
+		Protocol   string   `json:"protocol"`
+		Benchmarks []*entry `json:"benchmarks"`
+		Speedup    float64  `json:"detail_stream_speedup,omitempty"`
+	}{
+		Go:         runtime.Version(),
+		Protocol:   "repeated runs per benchmark; cite min (least-contended sample) on noisy shared hosts",
+		Benchmarks: entries,
+	}
+	// Headline ratio: reference (per-instruction, fast paths off) over
+	// batched, both taken at their minimum ns/op.
+	if b, r := byName["BenchmarkDetailStream"], byName["BenchmarkDetailStreamReference"]; b != nil && r != nil &&
+		b.NsPerOp != nil && r.NsPerOp != nil && b.NsPerOp.Min > 0 {
+		summary.Speedup = r.NsPerOp.Min / b.NsPerOp.Min
+	}
+
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

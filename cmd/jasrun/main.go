@@ -13,7 +13,7 @@
 // Usage:
 //
 //	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-parallel N]
-//	       [-figures] [-markdown]
+//	       [-figures] [-markdown] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"jasworkload/internal/core"
@@ -33,7 +35,37 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
 	markdown := flag.Bool("markdown", false, "emit the report as a markdown table (EXPERIMENTS.md format)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jasrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jasrun:", err)
+			}
+		}()
+	}
 
 	var sc core.Scale
 	switch *scale {

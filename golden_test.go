@@ -1,0 +1,70 @@
+package jasworkload
+
+import (
+	"os"
+	"testing"
+)
+
+// TestReportMatchesGolden pins the quick-scale markdown report
+// byte-for-byte against testdata/golden_report_quick.md, which was
+// captured from the per-instruction pipeline before batching landed.
+// The batched fast paths are required to be state-neutral, so any drift
+// here means one of them changed observable results, not just speed.
+//
+// Regenerate (only after an intentional model change) with:
+//
+//	go run ./cmd/jasrun -markdown > testdata/golden_report_quick.md
+func TestReportMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_report_quick.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(ScaleQuick)
+	cfg.Seed = 1
+	FlushRuns()
+	rep, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Markdown()
+	if got == string(want) {
+		return
+	}
+
+	gotLines := splitLines(got)
+	wantLines := splitLines(string(want))
+	n := len(gotLines)
+	if len(wantLines) > n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("report drifted from golden at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatalf("report drifted from golden: got %d bytes, want %d", len(got), len(want))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

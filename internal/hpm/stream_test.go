@@ -1,0 +1,88 @@
+package hpm
+
+import (
+	"testing"
+
+	"jasworkload/internal/isa"
+	"jasworkload/internal/power4"
+)
+
+func newStreamRig(t *testing.T, windowInstr uint64) (*StreamMux, *fakeSource) {
+	t.Helper()
+	src := &fakeSource{}
+	mux, err := NewMultiplexer(src, StandardGroups(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewStreamMux(mux, windowInstr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm, src
+}
+
+func TestNewStreamMuxValidation(t *testing.T) {
+	if _, err := NewStreamMux(nil, 100); err == nil {
+		t.Fatal("nil multiplexer accepted")
+	}
+	mux, err := NewMultiplexer(&fakeSource{}, StandardGroups(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamMux(mux, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// TestStreamMuxRotation: one rotation per windowInstr instructions,
+// regardless of how the stream is chopped into Consume/ConsumeBatch
+// deliveries.
+func TestStreamMuxRotation(t *testing.T) {
+	sm, _ := newStreamRig(t, 1000)
+	ins := isa.Instr{Class: isa.ClassALU}
+	for i := 0; i < 2500; i++ {
+		sm.Consume(&ins)
+	}
+	if got := sm.Mux().Windows(); got != 2 {
+		t.Fatalf("per-instruction: %d windows after 2500 instr / 1000 window, want 2", got)
+	}
+
+	sm2, _ := newStreamRig(t, 1000)
+	batch := make(isa.Batch, 250)
+	for i := 0; i < 10; i++ {
+		sm2.ConsumeBatch(batch)
+	}
+	if got := sm2.Mux().Windows(); got != 2 {
+		t.Fatalf("batched: %d windows after 2500 instr / 1000 window, want 2", got)
+	}
+	if sm.Err() != nil || sm2.Err() != nil {
+		t.Fatal(sm.Err(), sm2.Err())
+	}
+}
+
+// TestStreamMuxSamplesDeltas: rotations snapshot the counter source, so
+// each window's sample carries only that window's deltas.
+func TestStreamMuxSamplesDeltas(t *testing.T) {
+	sm, src := newStreamRig(t, 100)
+	batch := make(isa.Batch, 100)
+
+	src.bump(power4.EvCycles, 300)
+	src.bump(power4.EvInstCompleted, 100)
+	sm.ConsumeBatch(batch) // closes window 0 under group "cpi"
+
+	samples := sm.Mux().Samples("cpi")
+	if len(samples) != 1 {
+		t.Fatalf("%d cpi samples, want 1", len(samples))
+	}
+	if got := samples[0].Values[power4.EvCycles]; got != 300 {
+		t.Fatalf("window 0 cycles delta = %d, want 300", got)
+	}
+
+	// A batch larger than several windows fires every rotation due.
+	src.bump(power4.EvCycles, 900)
+	src.bump(power4.EvInstCompleted, 300)
+	sm.ConsumeBatch(make(isa.Batch, 300))
+	if got := sm.Mux().Windows(); got != 4 {
+		t.Fatalf("%d windows, want 4", got)
+	}
+}

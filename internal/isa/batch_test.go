@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomTrace(n int, seed int64) []Instr {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]Instr, n)
+	for i := range trace {
+		trace[i] = Instr{
+			Class:  Class(rng.Intn(NumClasses)),
+			PC:     uint64(rng.Int63()),
+			EA:     uint64(rng.Int63()),
+			Size:   uint8(1 << uint(rng.Intn(4))),
+			Taken:  rng.Intn(2) == 0,
+			Target: uint64(rng.Int63()),
+			Return: rng.Intn(4) == 0,
+			Kernel: rng.Intn(5) == 0,
+		}
+	}
+	return trace
+}
+
+// TestBatcherEquivalence: streaming through a Batcher (any capacity, any
+// sink kind) must be observably identical to direct per-instruction
+// Consume calls.
+func TestBatcherEquivalence(t *testing.T) {
+	trace := randomTrace(1000, 42)
+
+	var want CountingSink
+	for i := range trace {
+		want.Consume(&trace[i])
+	}
+
+	for _, capacity := range []int{1, 7, 256, 2048} {
+		var got CountingSink
+		b := NewBatcher(capacity)
+		b.Bind(&got)
+		for i := range trace {
+			b.Consume(&trace[i])
+		}
+		b.Flush()
+		if got != want {
+			t.Fatalf("cap %d: batched counts %+v != direct %+v", capacity, got, want)
+		}
+	}
+}
+
+// TestBatcherPlainSinkAdapter: a sink without ConsumeBatch must still
+// receive every instruction, in order, one at a time.
+func TestBatcherPlainSinkAdapter(t *testing.T) {
+	trace := randomTrace(300, 7)
+	var got []Instr
+	b := NewBatcher(64)
+	b.Bind(SinkFunc(func(ins *Instr) { got = append(got, *ins) }))
+	for i := range trace {
+		b.Consume(&trace[i])
+	}
+	b.Flush()
+	if !reflect.DeepEqual(got, trace) {
+		t.Fatal("plain-sink adapter changed the stream")
+	}
+}
+
+// TestBatcherBindFlushes: rebinding mid-stream must not drop or reorder
+// buffered instructions — they flush to the old sink first.
+func TestBatcherBindFlushes(t *testing.T) {
+	trace := randomTrace(100, 9)
+	var first, second Recorder
+	b := NewBatcher(256)
+	b.Bind(&first)
+	for i := range trace[:60] {
+		b.Consume(&trace[i])
+	}
+	b.Bind(&second) // must flush the 60 pending to first
+	for i := 60; i < len(trace); i++ {
+		b.Consume(&trace[i])
+	}
+	b.Flush()
+	if len(first.Trace) != 60 || len(second.Trace) != 40 {
+		t.Fatalf("split %d/%d, want 60/40", len(first.Trace), len(second.Trace))
+	}
+	all := append(append([]Instr(nil), first.Trace...), second.Trace...)
+	if !reflect.DeepEqual(all, trace) {
+		t.Fatal("rebinding perturbed the stream")
+	}
+}
+
+// TestTeeConsumeBatch: every sink in the tee sees the full batch, with
+// batch-aware sinks fed natively and plain sinks via the adapter loop.
+func TestTeeConsumeBatch(t *testing.T) {
+	trace := randomTrace(500, 3)
+
+	var counts CountingSink
+	var rec Recorder
+	var plain []Instr
+	tee := Tee{&counts, &rec, SinkFunc(func(ins *Instr) { plain = append(plain, *ins) })}
+	Replay(trace, tee, 128)
+
+	var want CountingSink
+	for i := range trace {
+		want.Consume(&trace[i])
+	}
+	if counts != want {
+		t.Fatalf("tee counting sink diverged: %+v != %+v", counts, want)
+	}
+	if !reflect.DeepEqual(rec.Trace, trace) {
+		t.Fatal("tee recorder diverged")
+	}
+	if !reflect.DeepEqual(plain, trace) {
+		t.Fatal("tee plain sink diverged")
+	}
+}
+
+// TestRecorderRoundTrip: record through a batcher, replay per
+// instruction, and the trace survives both directions.
+func TestRecorderRoundTrip(t *testing.T) {
+	trace := randomTrace(700, 5)
+	var rec Recorder
+	b := NewBatcher(0) // default capacity
+	b.Bind(&rec)
+	for i := range trace {
+		b.Consume(&trace[i])
+	}
+	b.Flush()
+	if !reflect.DeepEqual(rec.Trace, trace) {
+		t.Fatal("recorder trace differs from input")
+	}
+
+	var back Recorder
+	Replay(rec.Trace, SinkFunc(back.Consume), 0)
+	if !reflect.DeepEqual(back.Trace, trace) {
+		t.Fatal("replay through plain-sink path differs")
+	}
+}

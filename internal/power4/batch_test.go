@@ -1,0 +1,221 @@
+package power4
+
+import (
+	"math/rand"
+	"testing"
+
+	"jasworkload/internal/isa"
+	"jasworkload/internal/mem"
+)
+
+// synthTrace builds a stream that exercises every instruction class with
+// the locality shapes the fast paths key on (sequential fetch runs,
+// page-local data runs) plus the shapes that must defeat them (line
+// crossings, page crossings, kernel excursions, large-page regions,
+// LARX/STCX pairs, SYNCs, and deliberately unmapped addresses).
+func synthTrace(layout *mem.Layout, n int, seed int64) []isa.Instr {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]isa.Instr, 0, n)
+	pc := layout.JITCode.Base
+	ea := layout.JavaHeap.Base
+	kernel := false
+	for len(trace) < n {
+		switch r := rng.Intn(100); {
+		case r < 50: // ALU, mostly falling through within a line
+			trace = append(trace, isa.Instr{Class: isa.ClassALU, PC: pc, Kernel: kernel})
+			pc += 4
+		case r < 68: // load, mostly page-local with occasional far jumps
+			if rng.Intn(8) == 0 {
+				ea = layout.DBBuffer.Base + uint64(rng.Intn(1<<20))*64
+			} else {
+				ea = layout.JavaHeap.Base + uint64(rng.Intn(1<<16))*8
+			}
+			trace = append(trace, isa.Instr{Class: isa.ClassLoad, PC: pc, EA: ea, Size: 8, Kernel: kernel})
+			pc += 4
+		case r < 78: // store
+			trace = append(trace, isa.Instr{Class: isa.ClassStore, PC: pc, EA: ea + uint64(rng.Intn(256)), Size: 8, Kernel: kernel})
+			pc += 4
+		case r < 88: // conditional branch, sometimes redirecting the PC
+			taken := rng.Intn(3) != 0
+			tgt := pc + 8
+			if taken && rng.Intn(4) == 0 {
+				tgt = layout.JITCode.Base + uint64(rng.Intn(1<<18))*4
+			}
+			trace = append(trace, isa.Instr{Class: isa.ClassBranchCond, PC: pc, Taken: taken, Target: tgt, Kernel: kernel})
+			if taken {
+				pc = tgt
+			} else {
+				pc += 4
+			}
+		case r < 92: // indirect branch / return
+			ret := rng.Intn(2) == 0
+			tgt := layout.JVMNative.Base + uint64(rng.Intn(1<<14))*4
+			trace = append(trace, isa.Instr{Class: isa.ClassBranchIndirect, PC: pc, Target: tgt, Return: ret, Kernel: kernel})
+			pc = tgt
+		case r < 94: // LARX/STCX pair on a lock word
+			lock := layout.JavaStat.Base + uint64(rng.Intn(64))*128
+			trace = append(trace,
+				isa.Instr{Class: isa.ClassLarx, PC: pc, EA: lock, Size: 4, Kernel: kernel},
+				isa.Instr{Class: isa.ClassStcx, PC: pc + 4, EA: lock, Size: 4, Kernel: kernel})
+			pc += 8
+		case r < 96: // SYNC
+			trace = append(trace, isa.Instr{Class: isa.ClassSync, PC: pc, Kernel: kernel})
+			pc += 4
+		case r < 98: // kernel-mode excursion toggle
+			kernel = !kernel
+			if kernel {
+				pc = layout.Kernel.Base + uint64(rng.Intn(1<<12))*4
+			} else {
+				pc = layout.JITCode.Base + uint64(rng.Intn(1<<18))*4
+			}
+		default: // trace-generator bug: unmapped access (both sides)
+			trace = append(trace,
+				isa.Instr{Class: isa.ClassLoad, PC: pc, EA: 0x10, Size: 8, Kernel: kernel},
+				isa.Instr{Class: isa.ClassALU, PC: 0x10, Kernel: kernel})
+		}
+	}
+	return trace[:n]
+}
+
+func freshCore(t *testing.T) (*Core, *Hierarchy) {
+	t.Helper()
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(DefaultTopologyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewCore(DefaultCoreConfig(0), h, layout.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core, h
+}
+
+// TestBatchFastPathEquivalence is the core guarantee of the batched
+// pipeline: the same trace produces bit-identical counters whether it is
+// streamed per instruction with fast paths disabled (the pre-batching
+// reference model), per instruction with fast paths enabled, or in
+// batches through ConsumeBatch.
+func TestBatchFastPathEquivalence(t *testing.T) {
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := synthTrace(layout, 200_000, 1)
+
+	ref, refHier := freshCore(t)
+	ref.SetFastPaths(false)
+	refHier.SetFastPaths(false)
+	for i := range trace {
+		ref.Consume(&trace[i])
+	}
+
+	fast, _ := freshCore(t)
+	for i := range trace {
+		fast.Consume(&trace[i])
+	}
+
+	batched, _ := freshCore(t)
+	isa.Replay(trace, batched, isa.DefaultBatchCap)
+
+	want := ref.Counters()
+	for _, tc := range []struct {
+		name string
+		core *Core
+	}{
+		{"per-instruction fast paths", fast},
+		{"batched fast paths", batched},
+	} {
+		got := tc.core.Counters()
+		for _, ev := range AllEvents() {
+			if got.Get(ev) != want.Get(ev) {
+				t.Errorf("%s: %v = %d, reference %d", tc.name, ev, got.Get(ev), want.Get(ev))
+			}
+		}
+		if tc.core.UnmappedAccesses() != ref.UnmappedAccesses() {
+			t.Errorf("%s: unmapped = %d, reference %d", tc.name, tc.core.UnmappedAccesses(), ref.UnmappedAccesses())
+		}
+	}
+
+	// The trace must actually exercise every class and the rare events,
+	// or the comparison above proves nothing.
+	for _, ev := range []Event{EvLoads, EvStores, EvBrCond, EvBrIndirect, EvLarx, EvStcx,
+		EvSyncCount, EvKernelInst, EvL1DLoadMiss, EvL1IMiss, EvDERATMiss, EvIERATMiss} {
+		if want.Get(ev) == 0 {
+			t.Errorf("synthetic trace never hit %v", ev)
+		}
+	}
+	if ref.UnmappedAccesses() == 0 {
+		t.Error("synthetic trace never hit the unmapped path")
+	}
+}
+
+// TestBatchSplitInvariance: chopping the same stream into different
+// batch sizes must not change anything (batch boundaries are a transport
+// detail, not a model event).
+func TestBatchSplitInvariance(t *testing.T) {
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := synthTrace(layout, 50_000, 7)
+
+	base, _ := freshCore(t)
+	isa.Replay(trace, base, 1)
+	want := base.Counters()
+
+	for _, batchCap := range []int{3, 64, 256, 4096} {
+		c, _ := freshCore(t)
+		isa.Replay(trace, c, batchCap)
+		if got := c.Counters(); got != want {
+			t.Fatalf("batch cap %d changed counters", batchCap)
+		}
+	}
+}
+
+// TestSetFastPaths: the knob reports its previous state and actually
+// gates the fast paths off (verified indirectly: disabling mid-stream
+// must not desynchronize counters versus an always-disabled core).
+func TestSetFastPaths(t *testing.T) {
+	c, ch := freshCore(t)
+	if prev := c.SetFastPaths(false); !prev {
+		t.Fatal("fast paths should default to enabled")
+	}
+	if prev := c.SetFastPaths(true); prev {
+		t.Fatal("SetFastPaths(false) did not stick")
+	}
+	if prev := ch.SetFastPaths(false); !prev {
+		t.Fatal("hierarchy fast path should default to enabled")
+	}
+	if prev := ch.SetFastPaths(true); prev {
+		t.Fatal("Hierarchy.SetFastPaths(false) did not stick")
+	}
+
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := synthTrace(layout, 20_000, 3)
+
+	ref, refHier := freshCore(t)
+	ref.SetFastPaths(false)
+	refHier.SetFastPaths(false)
+	for i := range trace {
+		ref.Consume(&trace[i])
+	}
+
+	mixed, mixedHier := freshCore(t)
+	for i := range trace {
+		if i == len(trace)/2 {
+			mixed.SetFastPaths(false)
+			mixedHier.SetFastPaths(false)
+		}
+		mixed.Consume(&trace[i])
+	}
+	if mixed.Counters() != ref.Counters() {
+		t.Fatal("toggling fast paths mid-stream changed counters")
+	}
+}

@@ -58,11 +58,20 @@ type Cache struct {
 	valid     []bool
 	fifoPtr   []uint32 // per set: next victim way under FIFO
 	lastUse   []uint64 // per entry: tick of last touch under LRU
+	mru       []uint32 // per set: way of the most recent hit (probe-order hint)
 	tick      uint64
 
 	accesses uint64
 	misses   uint64
+
+	ref bool // reference mode: run the pre-change multi-pass Insert
 }
+
+// SetReference switches the cache between the optimised one-pass Insert
+// and the pre-change multi-pass implementation. Results are identical;
+// reference mode exists so SetFastPaths(false) measurements reproduce the
+// pre-change per-access cost, not just its behaviour.
+func (c *Cache) SetReference(ref bool) { c.ref = ref }
 
 // NewCache builds a cache from cfg.
 func NewCache(cfg CacheConfig) (*Cache, error) {
@@ -84,6 +93,7 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		valid:     make([]bool, n),
 		fifoPtr:   make([]uint32, sets),
 		lastUse:   make([]uint64, n),
+		mru:       make([]uint32, sets),
 	}, nil
 }
 
@@ -103,10 +113,20 @@ func (c *Cache) Lookup(addr uint64) bool {
 	line := addr >> c.lineShift
 	set := line & (c.sets - 1)
 	base := int(set) * c.cfg.Ways
+	// Probe the set's most recent hit way first. This changes only the
+	// probe order, never the outcome or the recency state, so results
+	// are identical with the hint disabled (reference mode).
+	if !c.ref {
+		if i := base + int(c.mru[set]); c.valid[i] && c.tags[i] == line {
+			c.lastUse[i] = c.tick
+			return true
+		}
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == line {
 			c.lastUse[i] = c.tick
+			c.mru[set] = uint32(w)
 			return true
 		}
 	}
@@ -131,6 +151,61 @@ func (c *Cache) Probe(addr uint64) bool {
 // Insert fills the line containing addr, evicting per policy. It returns
 // the evicted line address and whether an eviction happened.
 func (c *Cache) Insert(addr uint64) (evicted uint64, wasValid bool) {
+	if c.ref {
+		return c.insertRef(addr)
+	}
+	line := addr >> c.lineShift
+	set := line & (c.sets - 1)
+	base := int(set) * c.cfg.Ways
+	// One pass finds an existing copy, the first free way, and the LRU
+	// victim candidate together (the separate-scan version visited the
+	// set up to three times).
+	free := -1
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if c.tags[i] == line {
+			c.lastUse[i] = c.tick
+			c.mru[set] = uint32(w)
+			return 0, false
+		}
+		if c.lastUse[i] < oldest {
+			oldest = c.lastUse[i]
+			victim = i
+		}
+	}
+	if free >= 0 {
+		c.valid[free] = true
+		c.tags[free] = line
+		c.lastUse[free] = c.tick
+		c.mru[set] = uint32(free - base)
+		if c.cfg.Repl == ReplFIFO {
+			c.fifoPtr[set] = uint32((free - base + 1) % c.cfg.Ways)
+		}
+		return 0, false
+	}
+	if c.cfg.Repl == ReplFIFO {
+		v := int(c.fifoPtr[set])
+		c.fifoPtr[set] = uint32((v + 1) % c.cfg.Ways)
+		victim = base + v
+	}
+	ev := c.tags[victim] << c.lineShift
+	c.tags[victim] = line
+	c.lastUse[victim] = c.tick
+	c.mru[set] = uint32(victim - base)
+	return ev, true
+}
+
+// insertRef is the pre-change Insert: separate existence, free-way and
+// victim scans. Kept verbatim as the reference-mode implementation.
+func (c *Cache) insertRef(addr uint64) (evicted uint64, wasValid bool) {
 	line := addr >> c.lineShift
 	set := line & (c.sets - 1)
 	base := int(set) * c.cfg.Ways

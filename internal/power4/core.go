@@ -147,6 +147,103 @@ type Core struct {
 	reservation uint64 // LARX reservation line (one per core, as in PowerPC)
 	hasResv     bool
 	unmapped    uint64 // accesses outside every region (trace-generator bugs)
+
+	// Fast-path state. After any mapped fetch the fetched line is resident
+	// in the (core-private) L1I and its page in the IERAT, so a following
+	// fetch to the same 128-byte line is a guaranteed L1I+IERAT hit and can
+	// skip both lookups. Likewise any mapped data access leaves its page in
+	// the DERAT, so a following access to the same 4 KB frame is a
+	// guaranteed DERAT hit and its translation is the cached one shifted by
+	// the in-frame offset (regions are page-aligned, so a frame never spans
+	// regions, and 128-byte lines never span pages). Skipping the redundant
+	// lookups also skips their LRU refresh, which is safe: the skipped
+	// touch is always immediately preceded by a real touch of the same
+	// entry with nothing in between in that structure, so the relative
+	// recency order among distinct entries — the only thing replacement
+	// ever consults — is unchanged.
+	noFast  bool // disables all fast paths (reference/pre-change behaviour)
+	fastI   bool
+	lastIPC uint64
+	fastD   bool
+	lastDEA uint64
+	lastDTr mem.Translation
+	// Load fast path: fastL is set when the last load hit the L1D AND the
+	// prefetcher matched no stream (so its only effect was a tick, which
+	// feeds nothing but relative stream recency). A following load to the
+	// same 128-byte line while the DERAT fast path also holds repeats that
+	// exact outcome — guaranteed L1D hit (the L1D is core-private and
+	// nothing inserted since), guaranteed no stream match (streams only
+	// change when they match or a miss allocates, neither of which
+	// happened) — so the whole D-side reduces to the dispatch/burst
+	// bookkeeping. Any L1D insert or prefetcher effect clears fastL.
+	fastL   bool
+	lastLEA uint64
+
+	// transMemo caches AddressSpace.Translate results per 4 KB frame.
+	// Translate is a pure function and regions are fixed after layout
+	// construction, so a cached frame translation never goes stale; the
+	// memo only skips the region binary search, never any model state.
+	// Frames never span regions (regions are page-aligned, pages >= 4 KB),
+	// so the frame-base translation shifts linearly within the frame.
+	transMemo [transMemoSize]transMemoEntry
+}
+
+// transMemoSize is the number of direct-mapped translation memo entries
+// (must be a power of two). 512 frames cover 2 MB of effective address
+// space at ~20 KiB of memo state.
+const transMemoSize = 512
+
+type transMemoEntry struct {
+	frame uint64 // EA>>12 plus one, so the zero value matches nothing
+	tr    mem.Translation
+}
+
+// translate resolves ea through the memo (fast paths enabled) or straight
+// through the address space (reference behaviour). ok is false for
+// unmapped addresses.
+func (c *Core) translate(ea uint64) (mem.Translation, bool) {
+	if c.noFast {
+		tr, err := c.space.Translate(ea)
+		return tr, err == nil
+	}
+	frame := ea >> 12
+	e := &c.transMemo[frame&(transMemoSize-1)]
+	if e.frame == frame+1 {
+		tr := e.tr
+		tr.RA += ea & 4095
+		return tr, true
+	}
+	tr, err := c.space.Translate(ea)
+	if err != nil {
+		return tr, false
+	}
+	base := tr
+	base.RA -= ea & 4095
+	e.frame, e.tr = frame+1, base
+	return tr, true
+}
+
+// batchAcc accumulates the unconditional per-instruction counters of one
+// batch into local scalars so the hot loop touches the Counters array
+// once per batch instead of several times per instruction. Integer
+// counter increments commute, so flushing them batched is exactly
+// equivalent to incrementing in place.
+type batchAcc struct {
+	inst, kinst   uint64
+	loads, stores uint64
+	brCond, brInd uint64
+	ifetchL1      uint64
+}
+
+func (a *batchAcc) flush(ctr *Counters) {
+	ctr.Add(EvInstCompleted, a.inst)
+	ctr.Add(EvKernelInst, a.kinst)
+	ctr.Add(EvLoads, a.loads)
+	ctr.Add(EvStores, a.stores)
+	ctr.Add(EvBrCond, a.brCond)
+	ctr.Add(EvBrIndirect, a.brInd)
+	ctr.Add(EvIFetchL1, a.ifetchL1)
+	*a = batchAcc{}
 }
 
 // NewCore wires a core to the shared hierarchy and address space.
@@ -191,15 +288,46 @@ func (c *Core) CoreID() int { return c.cfg.ID }
 func (c *Core) UnmappedAccesses() uint64 { return c.unmapped }
 
 // addCycles charges cy cycles, attributing them to completion/stall and
-// kernel accounting.
+// kernel accounting. The fractional adds live in the two inlinable
+// front-ends below (chargeBase for the per-instruction completing charge,
+// chargeStall for everything else); the whole-cycle spills into the
+// counter array happen in flushCycles. Every accumulator is kept < 1
+// after each charge, so checking all three in flushCycles regardless of
+// which one crossed reproduces the original per-call flush sequence
+// exactly.
 func (c *Core) addCycles(cy float64, completing bool, kernel bool) {
-	c.cycFrac += cy
 	if completing {
-		c.compFrac += cy
+		c.chargeBase(cy, kernel)
+	} else {
+		c.chargeStall(cy, kernel)
 	}
+}
+
+// chargeBase charges completing cycles (the per-instruction base-CPI
+// charge).
+func (c *Core) chargeBase(cy float64, kernel bool) {
+	c.cycFrac += cy
+	c.compFrac += cy
 	if kernel {
 		c.kcycFrac += cy
 	}
+	if c.cycFrac >= 1 || c.compFrac >= 1 || c.kcycFrac >= 1 {
+		c.flushCycles()
+	}
+}
+
+// chargeStall charges non-completing (stall) cycles.
+func (c *Core) chargeStall(cy float64, kernel bool) {
+	c.cycFrac += cy
+	if kernel {
+		c.kcycFrac += cy
+	}
+	if c.cycFrac >= 1 || c.kcycFrac >= 1 {
+		c.flushCycles()
+	}
+}
+
+func (c *Core) flushCycles() {
 	if c.cycFrac >= 1 {
 		n := uint64(c.cycFrac)
 		c.ctr.Add(EvCycles, n)
@@ -226,12 +354,127 @@ func (c *Core) addDispatch(n float64) {
 	}
 }
 
+// SetFastPaths enables or disables the state-neutral fast paths. With
+// enabled=false the core runs every instruction through the full model —
+// the pre-batching reference behaviour used by equivalence tests and the
+// reference benchmark. Counter results are identical either way; only
+// the work done per instruction differs. It returns the previous setting.
+func (c *Core) SetFastPaths(enabled bool) bool {
+	prev := !c.noFast
+	c.noFast = !enabled
+	c.fastI = false
+	c.fastD = false
+	c.fastL = false
+	c.l1i.SetReference(!enabled)
+	c.l1d.SetReference(!enabled)
+	c.mmu.SetReference(!enabled)
+	return prev
+}
+
 // Consume processes one instruction through the full model.
 func (c *Core) Consume(ins *isa.Instr) {
+	var acc batchAcc
+	c.consumeOne(ins, &acc)
+	acc.flush(&c.ctr)
+}
+
+// ConsumeBatch implements isa.BatchSink: it processes the batch in a
+// tight loop, accumulating the unconditional counters into local scalars
+// flushed once per batch. The pure-ALU fast path is inlined here: an ALU
+// instruction whose fetch stays in the current I-line touches no model
+// state at all — it is counters plus BaseCPI accounting, nothing else.
+func (c *Core) ConsumeBatch(b isa.Batch) {
 	p := &c.cfg.Penalties
-	c.ctr.Inc(EvInstCompleted)
+	var acc batchAcc
+	for i := range b {
+		ins := &b[i]
+		if c.fastI && !c.noFast && ins.PC>>7 == c.lastIPC>>7 {
+			switch ins.Class {
+			case isa.ClassALU:
+				acc.inst++
+				if ins.Kernel {
+					acc.kinst++
+				}
+				c.addDispatch(p.DispatchALU)
+				// chargeBase(p.BaseCPI, ins.Kernel) with flushCycles spelled
+				// out, so the float accumulation stays inline in the hot loop.
+				c.cycFrac += p.BaseCPI
+				c.compFrac += p.BaseCPI
+				if ins.Kernel {
+					c.kcycFrac += p.BaseCPI
+				}
+				if c.cycFrac >= 1 {
+					n := uint64(c.cycFrac)
+					c.ctr.Add(EvCycles, n)
+					c.cycFrac -= float64(n)
+				}
+				if c.compFrac >= 1 {
+					n := uint64(c.compFrac)
+					c.ctr.Add(EvCycWithCompletion, n)
+					c.compFrac -= float64(n)
+				}
+				if c.kcycFrac >= 1 {
+					n := uint64(c.kcycFrac)
+					c.ctr.Add(EvKernelCycles, n)
+					c.kcycFrac -= float64(n)
+				}
+				acc.ifetchL1++
+				c.lastIPC = ins.PC
+				continue
+			case isa.ClassBranchCond:
+				// Same-line conditional branch: the predictor still runs
+				// (its state advances per branch), but the dispatch, base
+				// charge and fetch reduce to the ALU fast-path shape, in
+				// consumeOne's operation order.
+				acc.inst++
+				if ins.Kernel {
+					acc.kinst++
+				}
+				c.addDispatch(p.DispatchBranch)
+				c.cycFrac += p.BaseCPI
+				c.compFrac += p.BaseCPI
+				if ins.Kernel {
+					c.kcycFrac += p.BaseCPI
+				}
+				if c.cycFrac >= 1 {
+					n := uint64(c.cycFrac)
+					c.ctr.Add(EvCycles, n)
+					c.cycFrac -= float64(n)
+				}
+				if c.compFrac >= 1 {
+					n := uint64(c.compFrac)
+					c.ctr.Add(EvCycWithCompletion, n)
+					c.compFrac -= float64(n)
+				}
+				if c.kcycFrac >= 1 {
+					n := uint64(c.kcycFrac)
+					c.ctr.Add(EvKernelCycles, n)
+					c.kcycFrac -= float64(n)
+				}
+				acc.ifetchL1++
+				c.lastIPC = ins.PC
+				acc.brCond++
+				if !c.cond.Predict(ins.PC, ins.Taken) {
+					c.ctr.Inc(EvBrCondMispred)
+					c.chargeStall(p.CondMispred, ins.Kernel)
+					c.addDispatch(p.WrongPathDispatch)
+				}
+				continue
+			}
+		}
+		c.consumeOne(ins, &acc)
+	}
+	acc.flush(&c.ctr)
+}
+
+// consumeOne is the shared per-instruction model behind Consume and
+// ConsumeBatch. Unconditional counters go through acc; rare/conditional
+// events hit the counter array directly.
+func (c *Core) consumeOne(ins *isa.Instr, acc *batchAcc) {
+	p := &c.cfg.Penalties
+	acc.inst++
 	if ins.Kernel {
-		c.ctr.Inc(EvKernelInst)
+		acc.kinst++
 	}
 	switch {
 	case ins.Class.IsMemory():
@@ -241,26 +484,26 @@ func (c *Core) Consume(ins *isa.Instr) {
 	default:
 		c.addDispatch(p.DispatchALU)
 	}
-	c.addCycles(p.BaseCPI, true, ins.Kernel)
+	c.chargeBase(p.BaseCPI, ins.Kernel)
 
-	c.fetch(ins)
+	c.fetch(ins, acc)
 
 	switch ins.Class {
 	case isa.ClassLoad:
-		c.ctr.Inc(EvLoads)
+		acc.loads++
 		c.load(ins)
 	case isa.ClassStore:
-		c.ctr.Inc(EvStores)
+		acc.stores++
 		c.store(ins)
 	case isa.ClassBranchCond:
-		c.ctr.Inc(EvBrCond)
+		acc.brCond++
 		if !c.cond.Predict(ins.PC, ins.Taken) {
 			c.ctr.Inc(EvBrCondMispred)
-			c.addCycles(p.CondMispred, false, ins.Kernel)
+			c.chargeStall(p.CondMispred, ins.Kernel)
 			c.addDispatch(p.WrongPathDispatch)
 		}
 	case isa.ClassBranchIndirect:
-		c.ctr.Inc(EvBrIndirect)
+		acc.brInd++
 		mispred := false
 		if ins.Return {
 			// Returns are predicted by the link stack; it only fails on
@@ -272,11 +515,11 @@ func (c *Core) Consume(ins *isa.Instr) {
 		}
 		if mispred {
 			c.ctr.Inc(EvBrTargetMispred)
-			c.addCycles(p.TargetMispred, false, ins.Kernel)
+			c.chargeStall(p.TargetMispred, ins.Kernel)
 			c.addDispatch(p.WrongPathDispatch)
 		}
 	case isa.ClassLarx:
-		c.ctr.Inc(EvLoads)
+		acc.loads++
 		c.ctr.Inc(EvLarx)
 		c.load(ins)
 		c.reservation = ins.EA >> 7
@@ -289,22 +532,22 @@ func (c *Core) Consume(ins *isa.Instr) {
 			c.ctr.Add(EvKernelSyncSRQCycles, uint64(drain))
 		}
 		c.ctr.Add(EvSyncSRQCycles, uint64(drain))
-		c.addCycles(drain, false, ins.Kernel)
+		c.chargeStall(drain, ins.Kernel)
 	case isa.ClassStcx:
 		// The STCX paired with a preceding LARX by the lock model.
-		c.stcx(ins)
+		c.stcx(ins, acc)
 	}
 }
 
 // stcx executes a store-conditional to ins.EA.
-func (c *Core) stcx(ins *isa.Instr) {
+func (c *Core) stcx(ins *isa.Instr, acc *batchAcc) {
 	p := &c.cfg.Penalties
-	c.ctr.Inc(EvStores)
+	acc.stores++
 	c.ctr.Inc(EvStcx)
 	ok := c.hasResv && c.reservation == ins.EA>>7
 	if ok {
 		// Cross-chip interference is tracked at real-address granularity.
-		if tr, err := c.space.Translate(ins.EA); err == nil {
+		if tr, mapped := c.translate(ins.EA); mapped {
 			ok = !c.hier.ReservationLost(c.cfg.ID, tr.RA>>7)
 		}
 	}
@@ -313,33 +556,44 @@ func (c *Core) stcx(ins *isa.Instr) {
 	}
 	c.hasResv = false
 	c.store(ins)
-	c.addCycles(p.StcxCost, false, ins.Kernel)
+	c.chargeStall(p.StcxCost, ins.Kernel)
 }
 
-// fetch runs the I-side: IERAT/ITLB, then L1I and deeper levels.
-func (c *Core) fetch(ins *isa.Instr) {
-	p := &c.cfg.Penalties
-	tr, err := c.space.Translate(ins.PC)
-	if err != nil {
-		c.unmapped++
+// fetch runs the I-side: IERAT/ITLB, then L1I and deeper levels. A fetch
+// staying in the last fetched 128-byte line is a guaranteed IERAT and
+// L1I hit (both structures are core-private and only fetch touches
+// them), so it reduces to the EvIFetchL1 count.
+func (c *Core) fetch(ins *isa.Instr, acc *batchAcc) {
+	if c.fastI && !c.noFast && ins.PC>>7 == c.lastIPC>>7 {
+		acc.ifetchL1++
+		c.lastIPC = ins.PC
 		return
 	}
+	p := &c.cfg.Penalties
+	tr, ok := c.translate(ins.PC)
+	if !ok {
+		c.unmapped++
+		c.fastI = false
+		return
+	}
+	c.fastI = true
+	c.lastIPC = ins.PC
 	res := c.mmu.Inst(tr)
 	if res.ERATMiss {
 		c.ctr.Inc(EvIERATMiss)
-		c.addCycles(p.DERATMiss, false, ins.Kernel)
+		c.chargeStall(p.DERATMiss, ins.Kernel)
 	}
 	if res.TLBMiss {
 		c.ctr.Inc(EvITLBMiss)
-		c.addCycles(p.TLBWalk, false, ins.Kernel)
+		c.chargeStall(p.TLBWalk, ins.Kernel)
 	}
 	if res.SLBMiss {
 		c.ctr.Inc(EvSLBMiss)
-		c.addCycles(p.SLBWalk, false, ins.Kernel)
+		c.chargeStall(p.SLBWalk, ins.Kernel)
 	}
 	line := tr.RA >> 7
 	if c.l1i.Lookup(tr.RA) {
-		c.ctr.Inc(EvIFetchL1)
+		acc.ifetchL1++
 		c.lastILine = line
 		return
 	}
@@ -356,50 +610,101 @@ func (c *Core) fetch(ins *isa.Instr) {
 	switch src {
 	case SrcL2:
 		c.ctr.Inc(EvIFetchL2)
-		c.addCycles(p.IMissL2*hide, false, ins.Kernel)
+		c.chargeStall(p.IMissL2*hide, ins.Kernel)
 	case SrcL3:
 		c.ctr.Inc(EvIFetchL3)
-		c.addCycles(p.IMissL3*hide, false, ins.Kernel)
+		c.chargeStall(p.IMissL3*hide, ins.Kernel)
 	default:
 		c.ctr.Inc(EvIFetchMem)
-		c.addCycles(p.IMissMem*hide, false, ins.Kernel)
+		c.chargeStall(p.IMissMem*hide, ins.Kernel)
 	}
 }
 
-// load runs the D-side read path.
-func (c *Core) load(ins *isa.Instr) {
-	p := &c.cfg.Penalties
-	tr, err := c.space.Translate(ins.EA)
-	if err != nil {
-		c.unmapped++
-		return
+// dataTranslate is the D-side translation front end shared by load and
+// store: effective-to-real translation, DERAT/TLB/SLB accounting, and
+// the same-page fast path. An access to the same 4 KB frame as the last
+// mapped data access is a guaranteed DERAT hit (the DERAT is
+// core-private and only data accesses touch it), and because regions are
+// page-aligned the translation is the cached one offset within the
+// frame — so the pure-but-branchy region search and the DERAT probe are
+// both skipped. ok is false for unmapped addresses (already counted).
+func (c *Core) dataTranslate(ins *isa.Instr) (tr mem.Translation, ok bool) {
+	if c.fastD && !c.noFast && ins.EA>>12 == c.lastDEA>>12 {
+		tr = c.lastDTr
+		tr.RA += ins.EA - c.lastDEA
+		c.lastDEA = ins.EA
+		c.lastDTr = tr
+		return tr, true
 	}
+	p := &c.cfg.Penalties
+	tr, ok = c.translate(ins.EA)
+	if !ok {
+		c.unmapped++
+		c.fastD = false
+		return tr, false
+	}
+	c.fastD = true
+	c.lastDEA = ins.EA
+	c.lastDTr = tr
 	res := c.mmu.Data(tr)
 	if res.ERATMiss {
 		c.ctr.Inc(EvDERATMiss)
-		c.addCycles(p.DERATMiss, false, ins.Kernel)
+		c.chargeStall(p.DERATMiss, ins.Kernel)
 		// Retried dispatches every RetryDispatchDiv cycles until translated.
 		c.addDispatch(p.DERATMiss / p.RetryDispatchDiv)
 	}
 	if res.TLBMiss {
 		c.ctr.Inc(EvDTLBMiss)
-		c.addCycles(p.TLBWalk, false, ins.Kernel)
+		c.chargeStall(p.TLBWalk, ins.Kernel)
 	}
 	if res.SLBMiss {
 		c.ctr.Inc(EvSLBMiss)
-		c.addCycles(p.SLBWalk, false, ins.Kernel)
+		c.chargeStall(p.SLBWalk, ins.Kernel)
 	}
-	line := tr.RA >> 7
-	if c.l1d.Lookup(tr.RA) {
+	return tr, true
+}
+
+// load runs the D-side read path.
+func (c *Core) load(ins *isa.Instr) {
+	p := &c.cfg.Penalties
+	if c.fastL && !c.noFast && ins.EA>>7 == c.lastLEA>>7 && c.fastD && ins.EA>>12 == c.lastDEA>>12 {
+		// Repeat of the last load's line while the cached translation still
+		// covers its page: guaranteed L1D hit with a no-op prefetcher probe
+		// (see the fastL field comment), so only the flow bookkeeping runs.
 		c.addDispatch(p.SpecAheadDispatch)
-		c.pref.OnAccess(line, false)
-		c.drainPrefetch(tr.RA)
 		c.sinceMiss++
 		if c.sinceMiss > 12 {
 			c.burst = 0
 		}
 		return
 	}
+	tr, ok := c.dataTranslate(ins)
+	if !ok {
+		return
+	}
+	line := tr.RA >> 7
+	if c.l1d.Lookup(tr.RA) {
+		c.addDispatch(p.SpecAheadDispatch)
+		res := c.pref.OnAccess(line, false)
+		if res.Covered {
+			// A stream matched this hit and issued prefetches; the fills
+			// below insert into the L1D, so the fast path must not arm.
+			c.drainPrefetch(tr.RA)
+			c.fastL = false
+		} else {
+			// No stream matched, so nothing accrued and the drain would be
+			// a no-op (pending work is always drained right after the
+			// OnAccess that produced it).
+			c.fastL = true
+			c.lastLEA = ins.EA
+		}
+		c.sinceMiss++
+		if c.sinceMiss > 12 {
+			c.burst = 0
+		}
+		return
+	}
+	c.fastL = false
 	c.ctr.Inc(EvL1DLoadMiss)
 	if c.sinceMiss <= 12 {
 		c.burst++
@@ -451,36 +756,21 @@ func (c *Core) load(ins *isa.Instr) {
 	if pres.Covered {
 		exposure = p.PrefCovered
 	}
-	c.addCycles(lat*exposure, false, ins.Kernel)
+	c.chargeStall(lat*exposure, ins.Kernel)
 }
 
 // store runs the D-side write path: write-through, no-allocate L1.
 func (c *Core) store(ins *isa.Instr) {
 	p := &c.cfg.Penalties
-	tr, err := c.space.Translate(ins.EA)
-	if err != nil {
-		c.unmapped++
+	tr, ok := c.dataTranslate(ins)
+	if !ok {
 		return
-	}
-	res := c.mmu.Data(tr)
-	if res.ERATMiss {
-		c.ctr.Inc(EvDERATMiss)
-		c.addCycles(p.DERATMiss, false, ins.Kernel)
-		c.addDispatch(p.DERATMiss / p.RetryDispatchDiv)
-	}
-	if res.TLBMiss {
-		c.ctr.Inc(EvDTLBMiss)
-		c.addCycles(p.TLBWalk, false, ins.Kernel)
-	}
-	if res.SLBMiss {
-		c.ctr.Inc(EvSLBMiss)
-		c.addCycles(p.SLBWalk, false, ins.Kernel)
 	}
 	if !c.l1d.Probe(tr.RA) {
 		// L1 store miss: the line is NOT allocated in L1 (stores write to
 		// the L2 through the store queue), so useful L1 data is preserved.
 		c.ctr.Inc(EvL1DStoreMiss)
-		c.addCycles(p.StoreMissCost, false, ins.Kernel)
+		c.chargeStall(p.StoreMissCost, ins.Kernel)
 	}
 	c.hier.Store(c.cfg.ID, tr.RA)
 }

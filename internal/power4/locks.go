@@ -16,22 +16,32 @@ func (h *Hierarchy) noteRemoteStore(chip int, line uint64) {
 		h.recentStores = make(map[uint64]uint8, reservationWindow)
 		h.storeRing = make([]uint64, 0, reservationWindow)
 	}
-	if _, ok := h.recentStores[line]; !ok {
+	m, ok := h.recentStores[line]
+	if !ok {
 		if len(h.storeRing) >= reservationWindow {
 			oldest := h.storeRing[h.storeRingPos]
 			delete(h.recentStores, oldest)
+			h.storeFastN = 0 // the evicted record may back a fast-path entry
 			h.storeRing[h.storeRingPos] = line
 			h.storeRingPos = (h.storeRingPos + 1) % reservationWindow
 		} else {
 			h.storeRing = append(h.storeRing, line)
 		}
 	}
-	h.recentStores[line] |= 1 << uint(chip)
+	if h.noFast {
+		// Reference mode: the pre-change unconditional read-modify-write.
+		h.recentStores[line] |= 1 << uint(chip)
+		return
+	}
+	if m&(1<<uint(chip)) == 0 {
+		h.recentStores[line] = m | 1<<uint(chip)
+	}
 }
 
 // ReservationLost reports whether any other chip stored to line since it
 // was recorded, consuming the record for this core's chip.
 func (h *Hierarchy) ReservationLost(core int, line uint64) bool {
+	h.storeFastN = 0 // may consume a recentStores record the fast path relies on
 	chip := h.ChipOf(core)
 	m, ok := h.recentStores[line]
 	if !ok {

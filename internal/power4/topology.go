@@ -77,6 +77,13 @@ func DefaultTopologyConfig() TopologyConfig {
 	}
 }
 
+// storeFastEntry is one line the store fast path may skip work for,
+// together with its L2 set index (used for set-granular invalidation).
+type storeFastEntry struct {
+	line uint64
+	set  uint64
+}
+
 // lineState is the directory entry for a line resident in >= 1 L2.
 type lineState struct {
 	sharers uint8 // bitmask over chips
@@ -87,15 +94,48 @@ type lineState struct {
 // L2s, per-MCM L3s, and a MESI-flavoured directory that produces the
 // Figure 9 data-source labels.
 type Hierarchy struct {
-	cfg  TopologyConfig
-	l2   []*Cache // per chip
-	l3   []*Cache // per MCM
-	dir  map[uint64]*lineState
-	mcms int
+	cfg TopologyConfig
+	l2  []*Cache // per chip
+	l3  []*Cache // per MCM
+	// The coherence directory has two representations: the open-addressed
+	// dirTable used on the fast path, and the pre-change map used in
+	// reference mode so that SetFastPaths(false) reproduces pre-change
+	// per-access cost, not just behaviour. SetFastPaths migrates between
+	// them; exactly one holds the live entries at any time.
+	dir    *dirTable
+	dirMap map[uint64]*lineState
+	mcms   int
 
 	recentStores map[uint64]uint8 // lines recently stored to, per chip (reservation tracking)
 	storeRing    []uint64         // FIFO of tracked lines (deterministic eviction)
 	storeRingPos int
+
+	// Store fast-path state. Immediately after Store(chip, line) completes,
+	// the line is resident in that chip's L2 in Modified state with no other
+	// sharers, the directory entry reads {owner: chip, sharers: {chip}}, and
+	// recentStores[line] already carries the chip's bit (so the FIFO ring is
+	// untouched by a re-record). A repeat store from the same chip to such a
+	// line therefore changes nothing, provided nothing disturbed that state
+	// in between:
+	//
+	//   - Load/FetchInst, PrefetchFill and ReservationLost can touch any
+	//     line's L2 set, directory entry or reservation record, so they
+	//     clear the whole ring (storeFastN = 0).
+	//   - A slow-path store to another line only perturbs its own L2 set
+	//     (Lookup refresh, install, eviction), its own directory and
+	//     reservation entries — so it only drops ring entries that share
+	//     the victim L2 set (an eviction also changes the set's contents).
+	//   - A reservation-ledger eviction inside noteRemoteStore can delete
+	//     any tracked line's record, so it clears the ring too.
+	//
+	// The skipped L2 LRU refresh is safe because, with its set untouched
+	// since the entry's own store, that entry is still the set's most
+	// recently used line, so re-touching it cannot change the relative
+	// recency order replacement consults.
+	storeFast     [4]storeFastEntry
+	storeFastN    int
+	storeFastChip int
+	noFast        bool // disables the store fast path (reference behaviour)
 
 	// OnSource, when non-nil, observes every serviced L1 load miss with its
 	// source label (debug/ablation hook).
@@ -111,7 +151,7 @@ func NewHierarchy(cfg TopologyConfig) (*Hierarchy, error) {
 		return nil, fmt.Errorf("power4: bad topology %+v", cfg)
 	}
 	mcms := (cfg.Chips + cfg.ChipsPerMCM - 1) / cfg.ChipsPerMCM
-	h := &Hierarchy{cfg: cfg, dir: make(map[uint64]*lineState), mcms: mcms}
+	h := &Hierarchy{cfg: cfg, dir: newDirTable(), dirMap: make(map[uint64]*lineState), mcms: mcms}
 	for i := 0; i < cfg.Chips; i++ {
 		c, err := NewCache(cfg.L2)
 		if err != nil {
@@ -143,6 +183,7 @@ func (h *Hierarchy) lineOf(ra uint64) uint64 { return ra >> 7 } // 128-byte cohe
 // Load services a load that missed the requesting core's L1, returning the
 // data source label. ra is the real address.
 func (h *Hierarchy) Load(core int, ra uint64) DataSource {
+	h.storeFastN = 0
 	src := h.load(core, ra)
 	if h.OnSource != nil {
 		h.OnSource(ra, src)
@@ -165,7 +206,7 @@ func (h *Hierarchy) load(core int, ra uint64) DataSource {
 		if c == chip || !h.l2[c].Probe(ra) {
 			continue
 		}
-		st := h.dir[line]
+		st := h.dirGet(line)
 		modified := st != nil && st.owner == int8(c)
 		sameMCM := h.MCMOf(c) == mcm
 		// The transfer downgrades a modified line to shared and installs a
@@ -214,18 +255,32 @@ func (h *Hierarchy) load(core int, ra uint64) DataSource {
 // It reports whether the store missed the chip's L2.
 func (h *Hierarchy) Store(core int, ra uint64) (l2Miss bool) {
 	chip := h.ChipOf(core)
+	line := h.lineOf(ra)
+	if !h.noFast && h.OnStore == nil && chip == h.storeFastChip {
+		for i := 0; i < h.storeFastN; i++ {
+			if h.storeFast[i].line == line {
+				// Provable no-op: see the storeFast field comment. The slow
+				// path below would hit the chip's own L2 and find nothing to
+				// invalidate or record, so the result is always "no L2 miss".
+				return false
+			}
+		}
+	}
 	if h.OnStore != nil {
 		h.OnStore(ra, chip)
 	}
-	line := h.lineOf(ra)
 	hit := h.l2[chip].Lookup(ra)
-	if !hit {
-		h.installL2(chip, ra, line)
-	}
-	st := h.dir[line]
-	if st == nil {
-		st = &lineState{owner: -1}
-		h.dir[line] = st
+	var st *lineState
+	if h.noFast {
+		// Reference mode: the pre-change install-then-lookup sequence.
+		if !hit {
+			h.installL2(chip, ra, line)
+		}
+		st = h.dirGetOrCreate(line)
+	} else if !hit {
+		st = h.installL2(chip, ra, line)
+	} else {
+		st = h.dirGetOrCreate(line)
 	}
 	// Invalidate every other chip's copy.
 	for c := 0; c < h.cfg.Chips; c++ {
@@ -240,7 +295,73 @@ func (h *Hierarchy) Store(core int, ra uint64) (l2Miss bool) {
 	st.sharers |= 1 << uint(chip)
 	st.owner = int8(chip)
 	h.noteRemoteStore(chip, line)
+	h.recordStoreFast(chip, line)
 	return !hit
+}
+
+// recordStoreFast updates the fast-path ring after a slow-path store of
+// line by chip: entries whose L2 set this store may have perturbed are
+// dropped, then the line is appended (evicting the oldest on overflow).
+func (h *Hierarchy) recordStoreFast(chip int, line uint64) {
+	if h.noFast || h.OnStore != nil {
+		h.storeFastN = 0
+		return
+	}
+	if chip != h.storeFastChip {
+		h.storeFastN = 0
+		h.storeFastChip = chip
+	}
+	set := line & (h.l2[chip].sets - 1)
+	n := 0
+	for i := 0; i < h.storeFastN; i++ {
+		if h.storeFast[i].set != set {
+			h.storeFast[n] = h.storeFast[i]
+			n++
+		}
+	}
+	if n == len(h.storeFast) {
+		copy(h.storeFast[:], h.storeFast[1:])
+		n--
+	}
+	h.storeFast[n] = storeFastEntry{line: line, set: set}
+	h.storeFastN = n + 1
+}
+
+// SetFastPaths enables or disables the hierarchy's state-neutral store
+// fast path. Results are identical either way; disabling it restores the
+// pre-batching per-store work for reference measurements. It returns the
+// previous setting.
+func (h *Hierarchy) SetFastPaths(enabled bool) bool {
+	prev := !h.noFast
+	if prev != enabled {
+		// Migrate the directory between its two representations so the
+		// switch is state-preserving even mid-run.
+		if enabled {
+			for line, st := range h.dirMap {
+				*h.dir.getOrCreate(line) = *st
+			}
+			h.dirMap = make(map[uint64]*lineState)
+		} else {
+			for i := range h.dir.slots {
+				s := &h.dir.slots[i]
+				if s.key == 0 || s.key == dirTomb {
+					continue
+				}
+				st := s.lineState
+				h.dirMap[s.key-1] = &st
+			}
+			h.dir = newDirTable()
+		}
+	}
+	h.noFast = !enabled
+	h.storeFastN = 0
+	for _, c := range h.l2 {
+		c.SetReference(!enabled)
+	}
+	for _, c := range h.l3 {
+		c.SetReference(!enabled)
+	}
+	return prev
 }
 
 // FetchInst services an instruction fetch that missed the core's L1 I-cache
@@ -261,6 +382,7 @@ func (h *Hierarchy) FetchInst(core int, ra uint64) DataSource {
 // PrefetchFill installs a prefetched line into the chip's L2 (and L3 for
 // deep prefetches) without demand-access accounting.
 func (h *Hierarchy) PrefetchFill(core int, ra uint64, deep bool) {
+	h.storeFastN = 0
 	chip := h.ChipOf(core)
 	h.installL2(chip, ra, h.lineOf(ra))
 	if deep {
@@ -269,35 +391,65 @@ func (h *Hierarchy) PrefetchFill(core int, ra uint64, deep bool) {
 }
 
 func (h *Hierarchy) noteSharer(line uint64, chip int) {
-	if st := h.dir[line]; st != nil {
+	if st := h.dirGet(line); st != nil {
 		st.sharers |= 1 << uint(chip)
 	}
 }
 
-func (h *Hierarchy) installL2(chip int, ra, line uint64) {
-	evicted, had := h.l2[chip].Insert(ra)
-	st := h.dir[line]
-	if st == nil {
-		st = &lineState{owner: -1}
-		h.dir[line] = st
+// dirGet returns the directory entry for line, or nil if absent.
+func (h *Hierarchy) dirGet(line uint64) *lineState {
+	if h.noFast {
+		return h.dirMap[line]
 	}
+	return h.dir.get(line)
+}
+
+// dirGetOrCreate returns the directory entry for line, inserting a fresh
+// one (owner -1, no sharers) if absent.
+func (h *Hierarchy) dirGetOrCreate(line uint64) *lineState {
+	if h.noFast {
+		st := h.dirMap[line]
+		if st == nil {
+			st = &lineState{owner: -1}
+			h.dirMap[line] = st
+		}
+		return st
+	}
+	return h.dir.getOrCreate(line)
+}
+
+// dirDel removes line's directory entry if present.
+func (h *Hierarchy) dirDel(line uint64) {
+	if h.noFast {
+		delete(h.dirMap, line)
+		return
+	}
+	h.dir.del(line)
+}
+
+func (h *Hierarchy) installL2(chip int, ra, line uint64) *lineState {
+	evicted, had := h.l2[chip].Insert(ra)
+	st := h.dirGetOrCreate(line)
 	st.sharers |= 1 << uint(chip)
 	if had {
+		// The victim is never line itself (Insert returns early when the
+		// line is already resident), so st stays valid across the evict.
 		h.onL2Evict(chip, evicted)
 	}
+	return st
 }
 
 // onL2Evict maintains the directory and spills the victim into the L3
 // (victim-cache style, as on POWER4 where the L3 holds L2 castouts).
 func (h *Hierarchy) onL2Evict(chip int, evictedAddr uint64) {
 	line := h.lineOf(evictedAddr)
-	if st, ok := h.dir[line]; ok {
+	if st := h.dirGet(line); st != nil {
 		st.sharers &^= 1 << uint(chip)
 		if st.owner == int8(chip) {
 			st.owner = -1
 		}
 		if st.sharers == 0 {
-			delete(h.dir, line)
+			h.dirDel(line)
 		}
 	}
 	h.insertL3(h.MCMOf(chip), evictedAddr)
@@ -309,7 +461,12 @@ func (h *Hierarchy) insertL3(mcm int, ra uint64) {
 
 // DirectorySize returns the number of tracked lines (bounded by total L2
 // capacity; used by invariant tests).
-func (h *Hierarchy) DirectorySize() int { return len(h.dir) }
+func (h *Hierarchy) DirectorySize() int {
+	if h.noFast {
+		return len(h.dirMap)
+	}
+	return h.dir.live
+}
 
 // L2 exposes a chip's L2 cache for tests.
 func (h *Hierarchy) L2(chip int) *Cache { return h.l2[chip] }

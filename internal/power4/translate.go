@@ -17,8 +17,14 @@ type TransCache struct {
 	keys []uint64
 	ok   []bool
 	use  []uint64
+	mru  []uint32 // per set: way of the most recent hit (probe-order hint)
 	tick uint64
+	ref  bool // reference mode: pre-change probe order
 }
+
+// SetReference disables the MRU probe-order hint so lookups cost what
+// they did before the hint existed. Results are identical either way.
+func (t *TransCache) SetReference(ref bool) { t.ref = ref }
 
 // NewTransCache builds a translation cache with entries = sets*ways; sets
 // must be a power of two.
@@ -34,6 +40,7 @@ func NewTransCache(name string, sets uint64, ways int) (*TransCache, error) {
 		keys: make([]uint64, n),
 		ok:   make([]bool, n),
 		use:  make([]uint64, n),
+		mru:  make([]uint32, sets),
 	}, nil
 }
 
@@ -54,10 +61,19 @@ func (t *TransCache) Lookup(tr mem.Translation) bool {
 	k := key(tr)
 	set := k & (t.sets - 1)
 	base := int(set) * t.ways
+	// Most-recent-hit way first: probe order only, outcome and recency
+	// state are identical with the hint off (reference mode).
+	if !t.ref {
+		if i := base + int(t.mru[set]); t.ok[i] && t.keys[i] == k {
+			t.use[i] = t.tick
+			return true
+		}
+	}
 	for w := 0; w < t.ways; w++ {
 		i := base + w
 		if t.ok[i] && t.keys[i] == k {
 			t.use[i] = t.tick
+			t.mru[set] = uint32(w)
 			return true
 		}
 	}
@@ -88,6 +104,7 @@ func (t *TransCache) Insert(tr mem.Translation) {
 	t.ok[victim] = true
 	t.keys[victim] = k
 	t.use[victim] = t.tick
+	t.mru[set] = uint32(victim - base)
 }
 
 // Flush invalidates everything (used across context switches in tests).
@@ -178,6 +195,15 @@ func (m *MMU) translate(erat *TransCache, tr mem.Translation) AccessResult {
 	}
 	erat.Insert(tr)
 	return res
+}
+
+// SetReference switches every translation structure to its pre-change
+// probe order for reference measurements.
+func (m *MMU) SetReference(ref bool) {
+	m.ierat.SetReference(ref)
+	m.derat.SetReference(ref)
+	m.tlb.SetReference(ref)
+	m.slb.SetReference(ref)
 }
 
 // Data translates a data access.

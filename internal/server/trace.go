@@ -63,6 +63,12 @@ type traceEmitter struct {
 	privN     int
 
 	ins isa.Instr
+	// batch is the emitter-owned reusable buffer between the generators
+	// and the consuming sink: instructions are delivered in fixed-size
+	// batches (ConsumeBatch when the sink supports it) instead of one
+	// virtual call each, with every emit entry point flushing before it
+	// returns so counters are always consistent at window boundaries.
+	batch *isa.Batcher
 }
 
 // blockWalker produces a basic-block-shaped PC stream within a code
@@ -142,6 +148,7 @@ func newTraceEmitter(s *Server) *traceEmitter {
 		mixKernel: mk,
 		stackBase: l.Stacks.Base,
 		staticHot: l.JavaStat.Base,
+		batch:     isa.NewBatcher(isa.DefaultBatchCap),
 	}
 	e.walkers[SegWASNative] = blockWalker{base: l.WASNative.Base, footprint: 24 << 20, hot: 1 << 20}
 	e.walkers[SegWebServer] = blockWalker{base: l.WebServer.Base, footprint: 6 << 20, hot: 256 << 10}
@@ -214,12 +221,16 @@ func (e *traceEmitter) emitRequest(sink isa.Sink, rt RequestType, res Result, me
 	default:
 		e.driftBoost, e.dataBoost = 0.4, 0.5
 	}
+	// Affinity above is detected on the raw sink; the stream itself goes
+	// through the batch buffer.
+	e.batch.Bind(sink)
 	for seg := Segment(0); seg < numSegments; seg++ {
 		n := int(float64(res.Segments[seg]) * detailFrac)
 		if n > 0 {
-			e.emitSegment(sink, seg, n)
+			e.emitSegment(e.batch, seg, n)
 		}
 	}
+	e.batch.Flush()
 }
 
 // emitSegment streams n instructions attributed to one software component.
@@ -651,6 +662,8 @@ func (e *traceEmitter) lockEA() uint64 {
 // paper's ~0.7 idle CPI.
 func (s *Server) EmitIdle(sink isa.Sink, n int) {
 	e := s.emitter
+	e.batch.Bind(sink)
+	sink = e.batch
 	pcBase := s.layout.Kernel.Base + 96<<20
 	for i := 0; i < n; i++ {
 		pc := pcBase + uint64(i%64)*4
@@ -672,6 +685,7 @@ func (s *Server) EmitIdle(sink isa.Sink, n int) {
 		}
 		sink.Consume(&e.ins)
 	}
+	e.batch.Flush()
 }
 
 // EmitGC streams n instructions of garbage-collection work: tight loops
@@ -692,6 +706,8 @@ func (s *Server) EmitGC(sink isa.Sink, n int) {
 	if ider, ok := sink.(interface{ CoreID() int }); ok {
 		coreID = uint64(ider.CoreID())
 	}
+	e.batch.Bind(sink)
+	sink = e.batch
 	gcCode := s.layout.JVMNative.Base + 8<<20 // the collector's compact loop
 	heapBase := s.layout.JavaHeap.Base
 	heapSpan := s.heap.UsedBytes()
@@ -754,4 +770,5 @@ func (s *Server) EmitGC(sink isa.Sink, n int) {
 		}
 		sink.Consume(&e.ins)
 	}
+	e.batch.Flush()
 }

@@ -10,7 +10,6 @@ import (
 	"jasworkload/internal/jvm"
 	"jasworkload/internal/power4"
 	"jasworkload/internal/server"
-	"jasworkload/internal/stats"
 )
 
 // EngineConfig controls the whole-system run.
@@ -179,6 +178,11 @@ func (e *Engine) Run() ([]WindowStats, error) {
 		return e.windows, ErrFinished
 	}
 	nWindows := int(e.cfg.DurationMS / e.cfg.WindowMS)
+	if cap(e.windows)-len(e.windows) < nWindows {
+		grown := make([]WindowStats, len(e.windows), len(e.windows)+nWindows)
+		copy(grown, e.windows)
+		e.windows = grown
+	}
 	for w := 0; w < nWindows; w++ {
 		if err := e.Step(); err != nil {
 			return e.windows, err
@@ -409,12 +413,20 @@ func (e *Engine) emitGCTrace(pauseMS float64) {
 }
 
 // MeanUtilization returns mean busy fraction over steady-state windows.
+// Accumulated in place (same left-to-right summation as stats.Mean, so
+// the value is bit-identical) rather than materializing a throwaway
+// slice on every call.
 func (e *Engine) MeanUtilization() float64 {
-	var xs []float64
+	var sum float64
+	var n int
 	for _, w := range e.windows {
 		if w.StartMS >= e.cfg.RampMS {
-			xs = append(xs, w.UtilBusy)
+			sum += w.UtilBusy
+			n++
 		}
 	}
-	return stats.Mean(xs)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
