@@ -1,11 +1,13 @@
 # Tier-1 is what the roadmap requires green: build + tests.
 # `make ci` is the tier-1+ gate: formatting, vet, build, the full test
-# suite under the race detector (exercising the parallel experiment
-# scheduler), and a one-shot benchmark smoke of the Figure 2 pipeline.
+# suite under the race detector with shuffled test order (exercising the
+# parallel experiment scheduler and the jasd worker pool), a one-shot
+# benchmark smoke of the Figure 2 pipeline, and the jasd service smoke
+# (real daemon on a random port, golden-report diff, graceful drain).
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv bench-smoke bench-json report
+.PHONY: all build test ci fmt vet race equiv bench-smoke bench-json report service-smoke
 
 all: build test
 
@@ -25,7 +27,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # The batched pipeline must be bit-equivalent to the per-instruction
 # reference; run that guard on its own so a failure names it directly.
@@ -37,14 +39,22 @@ bench-smoke:
 
 # Measured numbers for the README perf table: the stream benchmarks get
 # 5 runs of 6 iterations (min-of-5 rides out shared-host noise), the
-# full-report benchmark is too slow for that and gets 3 single-shot runs.
+# full-report benchmark is too slow for that and gets 3 single-shot runs,
+# and the jasd server path (submit + dedup + cached-report serve, client
+# parallelism 1/4/8) gets 3 runs of 300 round trips.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
-	@cat BENCH_PR2.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkServeRuns' -benchtime 300x -count 3 ./internal/service/ ; } \
+	| $(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	@cat BENCH_PR3.json
 
-ci: fmt vet build race equiv bench-smoke
+# End-to-end smoke of the serving layer: real jasd on a random port,
+# jasctl submit, golden-report diff, /metrics sanity, SIGTERM drain.
+service-smoke:
+	sh scripts/service_smoke.sh
+
+ci: fmt vet build race equiv bench-smoke service-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

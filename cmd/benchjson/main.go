@@ -53,6 +53,7 @@ type entry struct {
 	Iterations  int64  `json:"iterations_per_run"`
 	NsPerOp     *stat  `json:"ns_per_op,omitempty"`
 	InstrPerSec *stat  `json:"instr_per_s,omitempty"`
+	RunsPerSec  *stat  `json:"runs_per_s,omitempty"`
 	BytesPerOp  *stat  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *stat  `json:"allocs_per_op,omitempty"`
 	samples     map[string][]float64
@@ -60,7 +61,11 @@ type entry struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	outLong := flag.String("out", "", "output file (alias of -o)")
 	flag.Parse()
+	if *out == "" {
+		out = outLong
+	}
 
 	var order []string
 	byName := map[string]*entry{}
@@ -77,10 +82,14 @@ func main() {
 			continue
 		}
 		name := fields[0]
-		// Strip the -GOMAXPROCS suffix go test appends.
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+		// Strip the -GOMAXPROCS suffix go test appends. It only appears
+		// when GOMAXPROCS > 1, and benchjson runs in the same pipeline as
+		// the benchmarks, so match against our own value — a blanket
+		// "trailing -number" strip would also eat sub-benchmark names
+		// like ServeRuns/parallel-4.
+		if procs := runtime.GOMAXPROCS(0); procs > 1 {
+			if suffix := fmt.Sprintf("-%d", procs); strings.HasSuffix(name, suffix) {
+				name = name[:len(name)-len(suffix)]
 			}
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -117,6 +126,7 @@ func main() {
 		e := byName[name]
 		e.NsPerOp = newStat(e.samples["ns/op"])
 		e.InstrPerSec = newStat(e.samples["instr/s"])
+		e.RunsPerSec = newStat(e.samples["runs/s"])
 		e.BytesPerOp = newStat(e.samples["B/op"])
 		e.AllocsPerOp = newStat(e.samples["allocs/op"])
 		entries = append(entries, e)

@@ -1,0 +1,211 @@
+// Command jasctl is the client for jasd, the characterization daemon.
+//
+// Usage:
+//
+//	jasctl [-addr http://127.0.0.1:8077] <command> [flags]
+//
+// Commands:
+//
+//	submit  [-scale quick] [-ir N] [-seed N] [-heap-mb N] [-heap-page 4K|16M]
+//	        [-duration-ms N] [-ramp-ms N] [-wait] [-format json|md]
+//	        submit a run; prints the job status, or (with -wait) blocks and
+//	        prints the finished report
+//	status  <id>             print a job's status
+//	list                     list all jobs
+//	report  <id> [-wait] [-format json|md]
+//	        fetch a finished report
+//	stream  <id>             tail the live per-window NDJSON stream
+//	figure  <id> <fig> [-format json|md]
+//	        fetch one figure (fig2..fig10, tprof, vmstat, locking, scalars,
+//	        crosschecks, largepages)
+//	metrics                  dump the Prometheus /metrics exposition
+//
+// Exit status 4 means the server rejected the submission with 429 (queue
+// full); the Retry-After hint is printed to stderr.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "jasd base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "submit":
+		err = submit(*addr, args)
+	case "status":
+		err = get(*addr, args, "", false)
+	case "list":
+		err = doJSON(*addr+"/v1/runs", nil)
+	case "report":
+		err = report(*addr, args)
+	case "stream":
+		err = stream(*addr, args)
+	case "figure":
+		err = figure(*addr, args)
+	case "metrics":
+		err = raw(*addr + "/metrics")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jasctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|report|stream|figure|metrics [flags]")
+	os.Exit(2)
+}
+
+// submit posts a JobSpec assembled from flags.
+func submit(addr string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	scale := fs.String("scale", "quick", "run scale: quick, standard, or full")
+	ir := fs.Int("ir", 0, "injection rate override")
+	seed := fs.Int64("seed", 0, "run seed (0 = server default)")
+	heapMB := fs.Uint64("heap-mb", 0, "heap size override, MB")
+	heapPage := fs.String("heap-page", "", "heap page size: 4K or 16M")
+	durationMS := fs.Float64("duration-ms", 0, "run duration override, ms")
+	rampMS := fs.Float64("ramp-ms", 0, "ramp override, ms")
+	wait := fs.Bool("wait", false, "block until the run finishes and print its report")
+	format := fs.String("format", "json", "report format with -wait: json or md")
+	fs.Parse(args)
+
+	spec := map[string]any{"scale": *scale}
+	if *ir > 0 {
+		spec["ir"] = *ir
+	}
+	if *seed != 0 {
+		spec["seed"] = *seed
+	}
+	if *heapMB > 0 {
+		spec["heap_mb"] = *heapMB
+	}
+	if *heapPage != "" {
+		spec["heap_page"] = *heapPage
+	}
+	if *durationMS > 0 {
+		spec["duration_ms"] = *durationMS
+	}
+	if *rampMS > 0 {
+		spec["ramp_ms"] = *rampMS
+	}
+	body, _ := json.Marshal(spec)
+
+	url := addr + "/v1/runs"
+	if *wait {
+		url += "?wait=1&format=" + *format
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		fmt.Fprintf(os.Stderr, "jasctl: queue full, Retry-After %ss\n", resp.Header.Get("Retry-After"))
+		io.Copy(os.Stderr, resp.Body)
+		os.Exit(4)
+	}
+	return dump(resp)
+}
+
+// report fetches /v1/runs/{id}/report.
+func report(addr string, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "block until the run finishes")
+	format := fs.String("format", "json", "json or md")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report needs a job id")
+	}
+	q := "?format=" + *format
+	if *wait {
+		q += "&wait=1"
+	}
+	return raw(addr + "/v1/runs/" + fs.Arg(0) + "/report" + q)
+}
+
+// figure fetches /v1/runs/{id}/figures/{fig}.
+func figure(addr string, args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	format := fs.String("format", "json", "json or md")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("figure needs a job id and a figure name")
+	}
+	return raw(addr + "/v1/runs/" + fs.Arg(0) + "/figures/" + fs.Arg(1) + "?format=" + *format)
+}
+
+// stream tails the NDJSON window stream, line by line as it arrives.
+func stream(addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stream needs a job id")
+	}
+	resp, err := http.Get(addr + "/v1/runs/" + args[0] + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return sc.Err()
+}
+
+// get fetches /v1/runs/{id}{suffix}.
+func get(addr string, args []string, suffix string, allowEmpty bool) error {
+	if len(args) != 1 && !allowEmpty {
+		return fmt.Errorf("need a job id")
+	}
+	return raw(addr + "/v1/runs/" + args[0] + suffix)
+}
+
+// doJSON GETs url and prints the body.
+func doJSON(url string, _ []string) error { return raw(url) }
+
+// raw GETs url and copies the body to stdout.
+func raw(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return dump(resp)
+}
+
+// dump copies the response body to stdout, turning non-2xx into an error.
+func dump(resp *http.Response) error {
+	if resp.StatusCode >= 300 {
+		return httpError(resp)
+	}
+	_, err := io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// httpError renders a non-2xx response.
+func httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+}

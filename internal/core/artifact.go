@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"jasworkload/internal/hpm"
+	"jasworkload/internal/sim"
 )
 
 // This file is the run-artifact layer. An Artifact is the set of completed
@@ -18,6 +20,7 @@ import (
 // memo is a concurrency-safe, error-preserving once-cell.
 type memo[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    T
 	err  error
 }
@@ -25,9 +28,15 @@ type memo[T any] struct {
 // do computes the cell on first use; later calls (including concurrent
 // ones, which block until the first completes) return the same result.
 func (m *memo[T]) do(fn func() (T, error)) (T, error) {
-	m.once.Do(func() { m.v, m.err = fn() })
+	m.once.Do(func() {
+		m.v, m.err = fn()
+		m.done.Store(true)
+	})
 	return m.v, m.err
 }
+
+// ready reports whether the cell has been computed, without computing it.
+func (m *memo[T]) ready() bool { return m.done.Load() }
 
 // Artifact caches the runs for one canonical configuration.
 type Artifact struct {
@@ -41,6 +50,9 @@ type Artifact struct {
 	cc  memo[CrossChecks]
 	sc  memo[ScalarsResult]
 	lp  memo[LargePageAblation]
+
+	winMu sync.Mutex
+	winFn func(kind string, ws sim.WindowStats)
 }
 
 // canonical resolves per-scale defaults into explicit fields so the value
@@ -51,10 +63,19 @@ func (c RunConfig) canonical() RunConfig {
 	return c
 }
 
-// runStore maps canonical configs to their artifacts.
+// Canonical returns the configuration with per-scale defaults resolved —
+// the exact value that keys the run store. Two configs with equal
+// Canonical() share one artifact (and therefore one simulation per
+// fidelity); the serving layer uses it to derive stable job identifiers.
+func (c RunConfig) Canonical() RunConfig { return c.canonical() }
+
+// runStore maps canonical configs to their artifacts, and counts lookup
+// hits/misses so a serving layer can export its dedup effectiveness.
 var runStore = struct {
-	mu   sync.Mutex
-	arts map[RunConfig]*Artifact
+	mu     sync.Mutex
+	arts   map[RunConfig]*Artifact
+	hits   uint64
+	misses uint64
 }{arts: map[RunConfig]*Artifact{}}
 
 // ForConfig returns the shared artifact for cfg, creating it (without
@@ -64,11 +85,29 @@ func ForConfig(cfg RunConfig) *Artifact {
 	runStore.mu.Lock()
 	defer runStore.mu.Unlock()
 	if a, ok := runStore.arts[key]; ok {
+		runStore.hits++
 		return a
 	}
+	runStore.misses++
 	a := &Artifact{Cfg: key}
 	runStore.arts[key] = a
 	return a
+}
+
+// CacheStats reports run-store lookups since process start (or the last
+// ResetCacheStats): hits are ForConfig calls that found an existing
+// artifact, misses created one. Flush does not reset the counters.
+func CacheStats() (hits, misses uint64) {
+	runStore.mu.Lock()
+	defer runStore.mu.Unlock()
+	return runStore.hits, runStore.misses
+}
+
+// ResetCacheStats zeroes the run-store hit/miss counters.
+func ResetCacheStats() {
+	runStore.mu.Lock()
+	defer runStore.mu.Unlock()
+	runStore.hits, runStore.misses = 0, 0
 }
 
 // Flush drops every cached artifact. Long sweeps over many configurations
@@ -109,12 +148,61 @@ func resetSimStats() {
 	simStats.mu.Unlock()
 }
 
+// SimCounts returns a copy of the executed-simulation counters by kind
+// ("request-level", "detail", "variant"). The serving layer's determinism
+// guard uses it to prove that N concurrent clients cost one simulation.
+func SimCounts() map[string]int {
+	simStats.mu.Lock()
+	defer simStats.mu.Unlock()
+	out := make(map[string]int, len(simStats.counts))
+	for k, v := range simStats.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetSimCounts zeroes the executed-simulation counters.
+func ResetSimCounts() { resetSimStats() }
+
+// SetWindowFunc registers fn to observe every window the artifact's future
+// simulations complete; kind names the producing run ("request-level" or
+// "detail"). Registration must happen before the corresponding run starts
+// to see its windows — runs already executed do not replay. fn is invoked
+// from the simulation goroutine (possibly two concurrently, one per
+// fidelity) and must be internally synchronized and fast.
+func (a *Artifact) SetWindowFunc(fn func(kind string, ws sim.WindowStats)) {
+	a.winMu.Lock()
+	a.winFn = fn
+	a.winMu.Unlock()
+}
+
+// windowFunc adapts the registered observer for one run kind, resolving
+// the current registration at call time so SetWindowFunc may land between
+// artifact creation and the first execution.
+func (a *Artifact) windowFunc(kind string) sim.WindowFunc {
+	return func(ws sim.WindowStats) {
+		a.winMu.Lock()
+		fn := a.winFn
+		a.winMu.Unlock()
+		if fn != nil {
+			fn(kind, ws)
+		}
+	}
+}
+
+// Ready reports, without triggering execution, which of the artifact's two
+// fidelities have completed. The serving layer maps this to job phase
+// status.
+func (a *Artifact) Ready() (requestLevel, detail bool) {
+	return a.rl.ready(), a.det.ready()
+}
+
 // RequestLevel returns the artifact's request-level run, executing it on
 // first use. Figures 2-4 and the whole-system scalars are views of it.
 func (a *Artifact) RequestLevel() (*RequestLevelRun, error) {
 	return a.rl.do(func() (*RequestLevelRun, error) {
 		noteSim("request-level")
-		return runRequestLevel(a.Cfg)
+		return runRequestLevel(a.Cfg, a.windowFunc("request-level"))
 	})
 }
 
@@ -130,7 +218,7 @@ func (a *Artifact) Detail(groups ...string) (*DetailRun, error) {
 	}
 	return a.det.do(func() (*DetailRun, error) {
 		noteSim("detail")
-		return runDetail(a.Cfg, standardGroupNames()...)
+		return runDetail(a.Cfg, a.windowFunc("detail"), standardGroupNames()...)
 	})
 }
 

@@ -127,7 +127,7 @@ func (c RunConfig) newEngine(sut *sim.SUT, detailFrac float64) (*sim.Engine, err
 // to completion. Like the paper's methodology, every group carries cycles
 // and completed instructions so each event can be correlated against the
 // CPI of its own group's samples.
-func (c RunConfig) detailRun(groups ...string) (*sim.SUT, *sim.Engine, map[string]*hpm.Monitor, error) {
+func (c RunConfig) detailRun(winFn sim.WindowFunc, groups ...string) (*sim.SUT, *sim.Engine, map[string]*hpm.Monitor, error) {
 	sut, err := c.buildSUT()
 	if err != nil {
 		return nil, nil, nil, err
@@ -136,6 +136,7 @@ func (c RunConfig) detailRun(groups ...string) (*sim.SUT, *sim.Engine, map[strin
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	eng.SetWindowFunc(winFn)
 	mons := make(map[string]*hpm.Monitor, len(groups))
 	for _, name := range groups {
 		g, ok := hpm.GroupByName(hpm.StandardGroups(), name)

@@ -37,9 +37,10 @@ func RunDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
 	return ForConfig(cfg).Detail(groups...)
 }
 
-// runDetail executes the simulation (cache miss path).
-func runDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
-	sut, eng, mons, err := cfg.detailRun(groups...)
+// runDetail executes the simulation (cache miss path). winFn, when
+// non-nil, observes every completed window (streaming consumers).
+func runDetail(cfg RunConfig, winFn sim.WindowFunc, groups ...string) (*DetailRun, error) {
+	sut, eng, mons, err := cfg.detailRun(winFn, groups...)
 	if err != nil {
 		return nil, err
 	}

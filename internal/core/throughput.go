@@ -31,8 +31,9 @@ func RunRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
 	return ForConfig(cfg).RequestLevel()
 }
 
-// runRequestLevel executes the simulation (cache miss path).
-func runRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
+// runRequestLevel executes the simulation (cache miss path). winFn, when
+// non-nil, observes every completed window (streaming consumers).
+func runRequestLevel(cfg RunConfig, winFn sim.WindowFunc) (*RequestLevelRun, error) {
 	sut, err := cfg.buildSUT()
 	if err != nil {
 		return nil, err
@@ -41,6 +42,7 @@ func runRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.SetWindowFunc(winFn)
 	if _, err := eng.Run(); err != nil {
 		return nil, err
 	}

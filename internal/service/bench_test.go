@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchWarm holds the one warmed server shared by every sub-benchmark: a
+// real (reduced quick-scale) run executed once, after which every request
+// is a dedup hit served from the cached artifact — the pure server path.
+var benchWarm struct {
+	once sync.Once
+	srv  *httptest.Server
+	err  error
+}
+
+func warmServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	benchWarm.once.Do(func() {
+		s := New(Options{Workers: 2, QueueDepth: 8, RetryAfter: time.Second})
+		benchWarm.srv = httptest.NewServer(s.Handler())
+		resp, err := http.Post(benchWarm.srv.URL+"/v1/runs?wait=1", "application/json",
+			strings.NewReader(e2eSpec))
+		if err != nil {
+			benchWarm.err = err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			benchWarm.err = fmt.Errorf("warm run: %s", resp.Status)
+		}
+	})
+	if benchWarm.err != nil {
+		b.Fatal(benchWarm.err)
+	}
+	return benchWarm.srv
+}
+
+// BenchmarkServeRuns measures server-path throughput: complete
+// submit-and-read-report round trips per second against a warm cache, at
+// client parallelism 1, 4 and 8. Every request after the warm-up is a
+// dedup hit, so this isolates the serving layer (HTTP, queue admission,
+// dedup, rendered-body serving) from simulation cost. `make bench-json`
+// records it in BENCH_PR3.json as runs/s.
+func BenchmarkServeRuns(b *testing.B) {
+	for _, par := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			srv := warmServer(b)
+			client := &http.Client{}
+			var failed int64
+			start := time.Now()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			next := 0
+			for w := 0; w < par; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						mu.Lock()
+						if next >= b.N {
+							mu.Unlock()
+							return
+						}
+						next++
+						mu.Unlock()
+						resp, err := client.Post(srv.URL+"/v1/runs?wait=1", "application/json",
+							strings.NewReader(e2eSpec))
+						if err != nil {
+							mu.Lock()
+							failed++
+							mu.Unlock()
+							continue
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			if failed > 0 {
+				b.Fatalf("%d requests failed", failed)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "runs/s")
+			}
+		})
+	}
+}

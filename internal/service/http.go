@@ -1,0 +1,302 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"jasworkload/internal/tools"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/runs                      submit a JobSpec (?wait=1 blocks for the report)
+//	GET  /v1/runs                      list jobs
+//	GET  /v1/runs/{id}                 job status
+//	GET  /v1/runs/{id}/report          finished report (?format=json|md, ?wait=1)
+//	GET  /v1/runs/{id}/stream          live per-window NDJSON stream
+//	GET  /v1/runs/{id}/figures/{fig}   fig2..fig10, tprof, vmstat, locking,
+//	                                   scalars, crosschecks, largepages
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /healthz                      liveness
+//	     /debug/pprof/...              runtime profiling
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/runs/{id}/figures/{fig}", s.handleFigure)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.incHTTPRequests()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON renders v with a trailing newline.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders an error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// boolParam interprets ?name=1|true.
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JobSpec: %w", err))
+		return
+	}
+	cfg, err := spec.RunConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, deduped, err := s.Submit(cfg)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+job.ID)
+	if boolParam(r, "wait") {
+		s.serveReport(w, r, job, true)
+		return
+	}
+	code := http.StatusAccepted
+	if job.State() == StateDone || job.State() == StateFailed {
+		code = http.StatusOK
+	}
+	st := job.Status(time.Now())
+	writeJSON(w, code, struct {
+		JobStatus
+		Deduped bool `json:"deduped"`
+	}{st, deduped})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status(now)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves {id} or writes 404.
+func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status(time.Now()))
+	}
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.serveReport(w, r, j, boolParam(r, "wait"))
+}
+
+// serveReport writes a job's finished report, optionally blocking for it.
+// Bodies are rendered once at job completion and served verbatim, so all
+// clients of one job read identical bytes.
+func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job, wait bool) {
+	if wait {
+		if err := j.Wait(r.Context()); err != nil && err == r.Context().Err() {
+			return // client went away
+		}
+	}
+	switch j.State() {
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
+		return
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, j.Err())
+		return
+	}
+	jsonBody, mdBody, _ := j.Report()
+	if r.URL.Query().Get("format") == "md" {
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		w.Write(mdBody)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(jsonBody)
+}
+
+// handleStream serves the live NDJSON window stream: replay of everything
+// emitted so far, then new windows as the simulations produce them, then
+// one terminal status line.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		ev, ok := j.hub.next(r.Context(), i)
+		if !ok {
+			break
+		}
+		if enc.Encode(ev) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	st := j.Status(time.Now())
+	enc.Encode(struct {
+		Done  bool   `json:"done"`
+		State State  `json:"state"`
+		Error string `json:"error,omitempty"`
+	}{true, st.State, st.Error})
+}
+
+func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if st := j.State(); st != StateDone {
+		if st == StateFailed {
+			writeError(w, http.StatusInternalServerError, j.Err())
+		} else {
+			writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
+		}
+		return
+	}
+	v, err := s.figure(j, r.PathValue("fig"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if f := r.URL.Query().Get("format"); f == "md" || f == "text" {
+		str, ok := v.(fmt.Stringer)
+		if !ok {
+			writeError(w, http.StatusNotAcceptable, fmt.Errorf("figure has no text rendering"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, str.String())
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// stringView adapts a plain string rendering to the figure interface.
+type stringView string
+
+func (s stringView) String() string { return string(s) }
+
+// figure materializes one named view over the job's finished artifact.
+// Everything except scalars and largepages is a pure view of the two
+// cached runs; those two lazily execute their extra variant simulations on
+// first request and are then cached like the rest.
+func (s *Service) figure(j *Job, name string) (any, error) {
+	art := j.Art
+	switch name {
+	case "fig2", "fig3", "fig4", "tprof", "vmstat":
+		rl, err := art.RequestLevel()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "fig2":
+			return rl.Fig2(), nil
+		case "fig3":
+			return rl.Fig3(), nil
+		case "fig4":
+			return rl.Fig4(), nil
+		case "tprof":
+			return rl.Fig4().Report, nil
+		default:
+			return stringView(tools.VMStat(rl.Engine.Windows())), nil
+		}
+	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "locking":
+		d, err := art.Detail()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "fig5":
+			return d.Fig5()
+		case "fig6":
+			return d.Fig6()
+		case "fig7":
+			return d.Fig7()
+		case "fig8":
+			return d.Fig8()
+		case "fig9":
+			return d.Fig9()
+		case "fig10":
+			return d.Fig10()
+		default:
+			return d.Locking()
+		}
+	case "scalars":
+		return art.Scalars()
+	case "crosschecks":
+		return art.CrossChecks()
+	case "largepages":
+		return art.LargePages()
+	}
+	return nil, fmt.Errorf("unknown figure %q", name)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	depth, capacity := s.QueueDepth()
+	s.metrics.WriteTo(w, depth, capacity)
+}

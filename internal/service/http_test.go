@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"jasworkload/internal/core"
+)
+
+// e2eSpec is a reduced quick-scale run (10 simulated seconds of steady
+// state) so the end-to-end tests pay for real simulations only once.
+const e2eSpec = `{"scale":"quick","seed":7,"duration_ms":12000,"ramp_ms":2000}`
+
+// TestE2EDeterminismGuard is the acceptance gate for the serving layer:
+// eight concurrent clients submit the same config and block for the
+// report. All eight must read byte-identical JSON bodies, and the whole
+// episode must execute exactly one request-level and one detail
+// simulation (plus the report's two cross-check variants).
+func TestE2EDeterminismGuard(t *testing.T) {
+	core.Flush()
+	core.ResetSimCounts()
+	s := New(Options{Workers: 4, QueueDepth: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/runs?wait=1", "application/json",
+				strings.NewReader(e2eSpec))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("client %d: status %s", i, resp.Status)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs from client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var rep struct {
+		ID    string `json:"id"`
+		Rows  []any  `json:"rows"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(bodies[0], &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Total == 0 || len(rep.Rows) != rep.Total {
+		t.Fatalf("report empty or inconsistent: %+v", rep)
+	}
+
+	sims := core.SimCounts()
+	if sims["request-level"] != 1 || sims["detail"] != 1 {
+		t.Fatalf("sim counts = %v, want exactly 1 request-level and 1 detail", sims)
+	}
+
+	// The /metrics surface must reflect the episode: dedup absorbed 7 of
+	// the 8 submissions, one job completed, nothing rejected.
+	metrics := fetch(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"jasd_dedup_hits_total 7",
+		"jasd_jobs_total{state=\"done\"} 1",
+		"jasd_jobs_total{state=\"rejected\"} 0",
+		"jasd_queue_depth 0",
+		"jasd_jobs_inflight 0",
+		"jasd_sims_total{kind=\"request-level\"} 1",
+		"jasd_sims_total{kind=\"detail\"} 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// Service-level dedup absorbs the duplicate submissions before they
+	// reach the run store, so artifact-cache hits come from the pipeline's
+	// own consumers (BuildReport re-resolving the shared artifact): the
+	// counter must be nonzero but need not scale with client count.
+	var hits uint64
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "jasd_artifact_cache_hits_total") {
+			fmt.Sscanf(line, "jasd_artifact_cache_hits_total %d", &hits)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("artifact cache hits = 0, want nonzero")
+	}
+
+	// The markdown rendering is served verbatim too, and identically.
+	id := rep.ID
+	md1 := fetch(t, srv.URL+"/v1/runs/"+id+"/report?format=md")
+	md2 := fetch(t, srv.URL+"/v1/runs/"+id+"/report?format=md")
+	if md1 != md2 || !strings.HasPrefix(md1, "| ID | Artifact |") {
+		t.Fatalf("markdown report unstable or malformed:\n%s", md1)
+	}
+
+	// Figures are served as JSON views of the same cached runs.
+	var f2 struct {
+		JOPS float64 `json:"JOPS"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, srv.URL+"/v1/runs/"+id+"/figures/fig2")), &f2); err != nil {
+		t.Fatal(err)
+	}
+	if f2.JOPS <= 0 {
+		t.Fatalf("fig2 JOPS = %v", f2.JOPS)
+	}
+	vmstat := fetch(t, srv.URL+"/v1/runs/"+id+"/figures/vmstat?format=md")
+	if !strings.Contains(vmstat, "us  sy  id") {
+		t.Fatalf("vmstat rendering malformed:\n%s", vmstat)
+	}
+
+	// The stream replays every window of the finished run: 12 windows per
+	// fidelity (12 s at 1 s windows) plus the terminal status line.
+	lines := streamLines(t, srv.URL+"/v1/runs/"+id+"/stream")
+	perKind := map[string]int{}
+	for _, ln := range lines[:len(lines)-1] {
+		var ev struct {
+			Kind   string `json:"kind"`
+			Window struct {
+				Index int `json:"Index"`
+			} `json:"window"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", ln, err)
+		}
+		if ev.Window.Index != perKind[ev.Kind] {
+			t.Fatalf("%s windows out of order: got %d, want %d", ev.Kind, ev.Window.Index, perKind[ev.Kind])
+		}
+		perKind[ev.Kind]++
+	}
+	if perKind["request-level"] != 12 || perKind["detail"] != 12 {
+		t.Fatalf("streamed windows per kind = %v, want 12 each", perKind)
+	}
+	var fin struct {
+		Done  bool  `json:"done"`
+		State State `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &fin); err != nil || !fin.Done || fin.State != StateDone {
+		t.Fatalf("terminal stream line wrong: %q (err %v)", lines[len(lines)-1], err)
+	}
+}
+
+// TestHTTPSubmitStatusLifecycle covers the non-blocking submit path.
+func TestHTTPSubmitStatusLifecycle(t *testing.T) {
+	s, started, release := blockingService(t, 1, 2)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"scale":"quick","seed":901}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %s, want 202", resp.Status)
+	}
+	loc := resp.Header.Get("Location")
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if loc != "/v1/runs/"+st.ID {
+		t.Fatalf("Location %q does not match id %q", loc, st.ID)
+	}
+	waitStart(t, started)
+
+	// Report before completion: 202 with status body.
+	resp, err = http.Get(srv.URL + loc + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("early report status = %s, want 202", resp.Status)
+	}
+	close(release)
+
+	// Blocking report now returns the body the runner rendered.
+	if got := fetch(t, srv.URL+loc+"/report?wait=1"); got != "{}\n" {
+		t.Fatalf("report body = %q", got)
+	}
+	if got := fetch(t, srv.URL+loc); !strings.Contains(got, `"state": "done"`) {
+		t.Fatalf("status body = %s", got)
+	}
+
+	// Unknown job and unknown figure 404.
+	for _, path := range []string{"/v1/runs/nope", "/v1/runs/" + st.ID + "/figures/fig99"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %s, want 404", path, resp.Status)
+		}
+	}
+}
+
+// TestHTTPQueueFull429 verifies overflow surfaces as 429 + Retry-After.
+func TestHTTPQueueFull429(t *testing.T) {
+	s, started, release := blockingService(t, 1, 1)
+	defer close(release)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(seed int) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"scale":"quick","seed":%d}`, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	post(911)
+	waitStart(t, started)
+	post(912)
+	resp := post(913)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(fetch(t, srv.URL+"/metrics"), "jasd_jobs_total{state=\"rejected\"} 1") {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// TestHTTPPprofAndHealth pins the observability wiring.
+func TestHTTPPprofAndHealth(t *testing.T) {
+	s, _, release := blockingService(t, 1, 1)
+	close(release)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if got := fetch(t, srv.URL+"/healthz"); got != "ok\n" {
+		t.Fatalf("healthz = %q", got)
+	}
+	if got := fetch(t, srv.URL+"/debug/pprof/cmdline"); len(got) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+// fetch GETs url and returns the body, failing the test on non-200.
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, b)
+	}
+	return string(b)
+}
+
+// streamLines reads an NDJSON stream to EOF.
+func streamLines(t *testing.T, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	return lines
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"jasworkload/internal/sim"
+)
+
+// WindowEvent is one NDJSON line of a run's live stream: the per-window
+// vmstat-style snapshot, tagged with the fidelity that produced it. The
+// request-level and detail simulations of one artifact may execute
+// concurrently, so lines of different kinds interleave; within a kind the
+// order is the engine's window order (deterministic).
+type WindowEvent struct {
+	Kind   string          `json:"kind"` // "request-level" or "detail"
+	Window sim.WindowStats `json:"window"`
+}
+
+// streamHub fans one job's window events out to any number of stream
+// subscribers, losslessly: events accumulate in order, and a subscriber
+// that attaches late replays the history before tailing live ones.
+type streamHub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []WindowEvent
+	closed bool
+}
+
+func newStreamHub() *streamHub {
+	h := &streamHub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// emit appends one event and wakes subscribers. Called from the simulation
+// goroutines via the artifact's window observer.
+func (h *streamHub) emit(kind string, ws sim.WindowStats) {
+	h.mu.Lock()
+	h.events = append(h.events, WindowEvent{Kind: kind, Window: ws})
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// close marks the stream complete (job finished) and wakes subscribers.
+func (h *streamHub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// next blocks until event i exists and returns it, or returns ok=false
+// when the stream closed before (or at) i, or when ctx is cancelled.
+func (h *streamHub) next(ctx context.Context, i int) (WindowEvent, bool) {
+	// cond.Wait cannot watch a context; a helper goroutine turns
+	// cancellation into a broadcast so the wait loop re-checks ctx.
+	stop := context.AfterFunc(ctx, h.cond.Broadcast)
+	defer stop()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if i < len(h.events) {
+			return h.events[i], true
+		}
+		if h.closed || ctx.Err() != nil {
+			return WindowEvent{}, false
+		}
+		h.cond.Wait()
+	}
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"jasworkload/internal/core"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job is one deduplicated characterization run: every submission of an
+// equivalent config maps to the same Job, which executes at most once.
+type Job struct {
+	ID  string
+	Cfg core.RunConfig
+	Art *core.Artifact
+
+	hub  *streamHub
+	done chan struct{} // closed on completion (done or failed)
+
+	mu         sync.Mutex
+	state      State
+	err        error
+	clients    int // submissions coalesced onto this job
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	reportJSON []byte // rendered once; served verbatim to every client
+	reportMD   []byte
+}
+
+// JobStatus is the wire form of a job's state (GET /v1/runs/{id}).
+type JobStatus struct {
+	ID            string  `json:"id"`
+	State         State   `json:"state"`
+	Error         string  `json:"error,omitempty"`
+	Clients       int     `json:"clients"`
+	Scale         string  `json:"scale"`
+	IR            int     `json:"ir"`
+	Seed          int64   `json:"seed"`
+	RequestLevel  bool    `json:"request_level_ready"`
+	Detail        bool    `json:"detail_ready"`
+	WindowsSoFar  int     `json:"windows_streamed"`
+	QueuedSec     float64 `json:"queued_sec,omitempty"`
+	RunningSec    float64 `json:"running_sec,omitempty"`
+	ReportBytes   int     `json:"report_bytes,omitempty"`
+	ReportMDBytes int     `json:"report_md_bytes,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status(now time.Time) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rl, det := j.Art.Ready()
+	st := JobStatus{
+		ID:           j.ID,
+		State:        j.state,
+		Clients:      j.clients,
+		Scale:        scaleName(j.Cfg.Scale),
+		IR:           j.Cfg.IR,
+		Seed:         j.Cfg.Seed,
+		RequestLevel: rl,
+		Detail:       det,
+		WindowsSoFar: j.hub.len(),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	switch j.state {
+	case StateQueued:
+		st.QueuedSec = now.Sub(j.submitted).Seconds()
+	case StateRunning:
+		st.RunningSec = now.Sub(j.started).Seconds()
+	case StateDone, StateFailed:
+		if !j.finished.IsZero() && !j.started.IsZero() {
+			st.RunningSec = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	st.ReportBytes = len(j.reportJSON)
+	st.ReportMDBytes = len(j.reportMD)
+	return st
+}
+
+// scaleName renders the Scale enum for status bodies.
+func scaleName(s core.Scale) string {
+	switch s {
+	case core.ScaleQuick:
+		return "quick"
+	case core.ScaleStandard:
+		return "standard"
+	default:
+		return "full"
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the failure cause, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is cancelled.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Report returns the rendered report bodies; ok is false until the job is
+// done. Both renderings are produced exactly once, so every client reads
+// byte-identical content.
+func (j *Job) Report() (jsonBody, mdBody []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, nil, false
+	}
+	return j.reportJSON, j.reportMD, true
+}
+
+// markRunning transitions queued→running.
+func (j *Job) markRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+// finish transitions to a terminal state, publishes the rendered bodies,
+// closes the stream, and releases waiters.
+func (j *Job) finish(now time.Time, jsonBody, mdBody []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.reportJSON = jsonBody
+		j.reportMD = mdBody
+	}
+	j.finished = now
+	j.mu.Unlock()
+	j.hub.close()
+	close(j.done)
+}
+
+// len reports the number of events emitted so far.
+func (h *streamHub) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}

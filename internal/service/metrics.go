@@ -1,0 +1,131 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"jasworkload/internal/core"
+)
+
+// gcPauseBucketsMS are the upper bounds (milliseconds) of the GC-pause
+// histogram. The paper's measured pauses sit in the 300-400 ms band at
+// 1 GB heap; quick-scale runs land lower, so the buckets cover both.
+var gcPauseBucketsMS = []float64{25, 50, 100, 200, 400, 800, 1600}
+
+// Metrics is the service's observability state, exported in Prometheus
+// text exposition format by WriteTo. Everything is guarded by one mutex —
+// updates happen at job-lifecycle granularity (plus one histogram
+// observation per simulated window with a GC), far from any hot path.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsDone     uint64
+	jobsFailed   uint64
+	jobsRejected uint64
+	jobsDropped  uint64 // queued jobs failed by shutdown
+	dedupHits    uint64
+	httpRequests uint64
+	windowsSeen  uint64
+
+	inFlight int64
+
+	haveRun bool
+	jops    float64
+	cpi     float64
+
+	gcBucketCount []uint64
+	gcSumMS       float64
+	gcCount       uint64
+}
+
+// NewMetrics returns an empty metrics surface.
+func NewMetrics() *Metrics {
+	return &Metrics{gcBucketCount: make([]uint64, len(gcPauseBucketsMS))}
+}
+
+func (m *Metrics) incJobsDone()     { m.mu.Lock(); m.jobsDone++; m.mu.Unlock() }
+func (m *Metrics) incJobsFailed()   { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *Metrics) incJobsRejected() { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *Metrics) incJobsDropped()  { m.mu.Lock(); m.jobsDropped++; m.mu.Unlock() }
+func (m *Metrics) incDedupHits()    { m.mu.Lock(); m.dedupHits++; m.mu.Unlock() }
+func (m *Metrics) incHTTPRequests() { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
+
+func (m *Metrics) addInFlight(d int64) { m.mu.Lock(); m.inFlight += d; m.mu.Unlock() }
+
+// setRunScalars records the latest finished run's headline scalars.
+func (m *Metrics) setRunScalars(jops, cpi float64) {
+	m.mu.Lock()
+	m.haveRun, m.jops, m.cpi = true, jops, cpi
+	m.mu.Unlock()
+}
+
+// observeWindow folds one simulated window into the streaming counters and
+// the GC pause histogram.
+func (m *Metrics) observeWindow(gcs int, gcPauseMS float64) {
+	m.mu.Lock()
+	m.windowsSeen++
+	if gcs > 0 {
+		m.gcCount++
+		m.gcSumMS += gcPauseMS
+		for i, ub := range gcPauseBucketsMS {
+			if gcPauseMS <= ub {
+				m.gcBucketCount[i]++
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// WriteTo renders the Prometheus text exposition. queueDepth and queueCap
+// are sampled by the caller (they live in the Service, not here). Output
+// order is fixed, so scrapes are diffable.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("jasd_queue_depth", "Jobs waiting for a worker.", float64(queueDepth))
+	gauge("jasd_queue_capacity", "Maximum number of waiting jobs before submissions are rejected.", float64(queueCap))
+	gauge("jasd_jobs_inflight", "Jobs currently executing on the worker pool.", float64(m.inFlight))
+
+	fmt.Fprintf(w, "# HELP jasd_jobs_total Jobs by terminal disposition.\n# TYPE jasd_jobs_total counter\n")
+	fmt.Fprintf(w, "jasd_jobs_total{state=\"done\"} %d\n", m.jobsDone)
+	fmt.Fprintf(w, "jasd_jobs_total{state=\"failed\"} %d\n", m.jobsFailed)
+	fmt.Fprintf(w, "jasd_jobs_total{state=\"rejected\"} %d\n", m.jobsRejected)
+	fmt.Fprintf(w, "jasd_jobs_total{state=\"dropped\"} %d\n", m.jobsDropped)
+
+	counter("jasd_dedup_hits_total", "Submissions coalesced onto an existing job for the same canonical config.", m.dedupHits)
+
+	hits, misses := core.CacheStats()
+	counter("jasd_artifact_cache_hits_total", "Run-store lookups that found a cached artifact.", hits)
+	counter("jasd_artifact_cache_misses_total", "Run-store lookups that created a new artifact.", misses)
+
+	fmt.Fprintf(w, "# HELP jasd_sims_total Simulations actually executed, by kind.\n# TYPE jasd_sims_total counter\n")
+	sims := core.SimCounts()
+	for _, kind := range []string{"request-level", "detail", "variant"} {
+		fmt.Fprintf(w, "jasd_sims_total{kind=%q} %d\n", kind, sims[kind])
+	}
+
+	counter("jasd_http_requests_total", "HTTP requests served.", m.httpRequests)
+	counter("jasd_windows_streamed_total", "Simulated windows observed by the streaming layer.", m.windowsSeen)
+
+	if m.haveRun {
+		gauge("jasd_jops", "JOPS of the most recently completed run.", m.jops)
+		gauge("jasd_cpi", "Mean steady-state CPI of the most recently completed run.", m.cpi)
+	}
+
+	fmt.Fprintf(w, "# HELP jasd_gc_pause_ms Stop-the-world GC pause per simulated window with a collection.\n# TYPE jasd_gc_pause_ms histogram\n")
+	for i, ub := range gcPauseBucketsMS {
+		fmt.Fprintf(w, "jasd_gc_pause_ms_bucket{le=\"%g\"} %d\n", ub, m.gcBucketCount[i])
+	}
+	fmt.Fprintf(w, "jasd_gc_pause_ms_bucket{le=\"+Inf\"} %d\n", m.gcCount)
+	fmt.Fprintf(w, "jasd_gc_pause_ms_sum %g\n", m.gcSumMS)
+	fmt.Fprintf(w, "jasd_gc_pause_ms_count %d\n", m.gcCount)
+}

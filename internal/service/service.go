@@ -1,0 +1,272 @@
+// Package service wraps the characterization pipeline in a concurrent
+// serving layer: a bounded job queue with backpressure, run deduplication
+// through the shared run-artifact store, live NDJSON streaming of
+// per-window statistics, finished figures/tables over HTTP, and a
+// Prometheus-text /metrics surface. cmd/jasd is the daemon, cmd/jasctl the
+// client.
+//
+// The invariant the layer preserves end to end is the pipeline's own:
+// submissions are coalesced by canonical RunConfig, so N concurrent
+// clients asking for the same experiment cost exactly one simulation per
+// fidelity and read byte-identical response bodies (the report is rendered
+// once and served verbatim).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/sim"
+)
+
+// Options configures the service.
+type Options struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	// Each job internally fans its independent simulations out on the
+	// core scheduler, so total simulation concurrency is bounded by
+	// Workers x core.Parallelism().
+	Workers int
+	// QueueDepth is how many jobs may wait beyond those running before
+	// submissions are rejected with ErrQueueFull (default 8).
+	QueueDepth int
+	// RetryAfter is the backoff hint attached to queue-full rejections
+	// (default 5s).
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 8
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 5 * time.Second
+	}
+	return o
+}
+
+// Sentinel errors surfaced as HTTP status codes by the handler layer.
+var (
+	// ErrQueueFull rejects a submission when the wait queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects submissions during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("service: shutting down")
+	// errDropped fails queued jobs that shutdown could not start.
+	errDropped = errors.New("service: dropped by shutdown before starting")
+)
+
+// Service owns the job store, the wait queue, and the worker pool.
+type Service struct {
+	opts    Options
+	metrics *Metrics
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	byKey    map[core.RunConfig]*Job // canonical config -> job (dedup)
+	byID     map[string]*Job
+	order    []string // job IDs in submission order (for listing)
+	draining bool
+
+	// runReport executes one job's pipeline and returns the rendered
+	// bodies. Tests stub it to exercise queueing without simulating.
+	runReport func(*Job) (jsonBody, mdBody []byte, err error)
+}
+
+// New builds a service and starts its worker pool.
+func New(opts Options) *Service {
+	s := &Service{
+		opts:    opts.withDefaults(),
+		metrics: NewMetrics(),
+		byKey:   map[core.RunConfig]*Job{},
+		byID:    map[string]*Job{},
+	}
+	s.queue = make(chan *Job, s.opts.QueueDepth)
+	s.runReport = s.buildReport
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the observability surface (for the HTTP layer and
+// tests).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// RetryAfter returns the configured backoff hint.
+func (s *Service) RetryAfter() time.Duration { return s.opts.RetryAfter }
+
+// QueueDepth returns (current, capacity) of the wait queue.
+func (s *Service) QueueDepth() (int, int) { return len(s.queue), s.opts.QueueDepth }
+
+// Submit coalesces cfg onto an existing job or enqueues a new one.
+// deduped reports whether an existing job absorbed the submission.
+// ErrQueueFull and ErrDraining are the two rejection causes.
+func (s *Service) Submit(cfg core.RunConfig) (job *Job, deduped bool, err error) {
+	key := cfg.Canonical()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byKey[key]; ok {
+		j.mu.Lock()
+		j.clients++
+		j.mu.Unlock()
+		s.metrics.incDedupHits()
+		return j, true, nil
+	}
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	j := &Job{
+		ID:   jobID(key),
+		Cfg:  key,
+		Art:  core.ForConfig(key),
+		hub:  newStreamHub(),
+		done: make(chan struct{}),
+	}
+	j.state = StateQueued
+	j.clients = 1
+	j.submitted = time.Now()
+	// Route the artifact's window stream to this job's hub and the GC
+	// histogram before the run can start, so subscribers and /metrics see
+	// every window.
+	j.Art.SetWindowFunc(func(kind string, ws sim.WindowStats) {
+		s.metrics.observeWindow(ws.GCs, ws.GCPauseMS)
+		j.hub.emit(kind, ws)
+	})
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.incJobsRejected()
+		return nil, false, ErrQueueFull
+	}
+	s.byKey[key] = j
+	s.byID[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j, false, nil
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Jobs snapshots all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// worker drains the queue. During shutdown, jobs that were still waiting
+// are failed rather than started, so the drain deadline only covers runs
+// already in flight.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			s.metrics.incJobsDropped()
+			j.finish(time.Now(), nil, nil, errDropped)
+			continue
+		}
+		s.metrics.addInFlight(1)
+		j.markRunning(time.Now())
+		jsonBody, mdBody, err := s.runReport(j)
+		if err != nil {
+			s.metrics.incJobsFailed()
+		} else {
+			s.metrics.incJobsDone()
+		}
+		j.finish(time.Now(), jsonBody, mdBody, err)
+		s.metrics.addInFlight(-1)
+	}
+}
+
+// reportBody is the JSON rendering of a finished run.
+type reportBody struct {
+	ID    string     `json:"id"`
+	Scale string     `json:"scale"`
+	IR    int        `json:"ir"`
+	Seed  int64      `json:"seed"`
+	Rows  []core.Row `json:"rows"`
+	Pass  int        `json:"pass"`
+	Total int        `json:"total"`
+}
+
+// buildReport is the production job runner: the full characterization
+// pipeline over the shared artifact, rendered once.
+func (s *Service) buildReport(j *Job) ([]byte, []byte, error) {
+	rep, err := core.BuildReport(j.Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	body := reportBody{ID: j.ID, Scale: scaleName(j.Cfg.Scale), IR: j.Cfg.IR, Seed: j.Cfg.Seed, Rows: rep.Rows, Total: len(rep.Rows)}
+	for _, r := range rep.Rows {
+		if r.Holds {
+			body.Pass++
+		}
+	}
+	jsonBody, err := json.MarshalIndent(body, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	jsonBody = append(jsonBody, '\n')
+
+	// Publish the run's headline scalars to /metrics. Both views are
+	// cached on the artifact BuildReport just filled, so this is free.
+	if rl, err := j.Art.RequestLevel(); err == nil {
+		s.metrics.setRunScalars(rl.Fig2().JOPS, 0)
+		if d, err := j.Art.Detail(); err == nil {
+			if f5, err := d.Fig5(); err == nil {
+				s.metrics.setRunScalars(rl.Fig2().JOPS, f5.MeanCPI)
+			}
+		}
+	}
+	return jsonBody, []byte(rep.Markdown()), nil
+}
+
+// Shutdown drains gracefully: new submissions are rejected, queued jobs
+// that have not started are failed, and in-flight runs get until ctx's
+// deadline to finish. Returns ctx.Err() if the deadline expired with runs
+// still in flight (the process may then exit under them).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: Shutdown called twice")
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

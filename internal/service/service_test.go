@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"jasworkload/internal/core"
+)
+
+// testCfg returns a distinct tiny config per seed; distinct seeds mean
+// distinct canonical configs, so each is its own job.
+func testCfg(seed int64) core.RunConfig {
+	cfg := core.DefaultRunConfig(core.ScaleQuick)
+	cfg.Seed = seed
+	cfg.DurationMS = 10_000
+	cfg.RampMS = 2_000
+	return cfg
+}
+
+// blockingService builds a service whose runner blocks until released,
+// signalling each start. No simulations execute.
+func blockingService(t *testing.T, workers, queue int) (s *Service, started chan *Job, release chan struct{}) {
+	t.Helper()
+	s = New(Options{Workers: workers, QueueDepth: queue, RetryAfter: time.Second})
+	started = make(chan *Job, 16)
+	release = make(chan struct{})
+	s.runReport = func(j *Job) ([]byte, []byte, error) {
+		started <- j
+		<-release
+		return []byte("{}\n"), []byte("| md |\n"), nil
+	}
+	return s, started, release
+}
+
+func waitStart(t *testing.T, started chan *Job) *Job {
+	t.Helper()
+	select {
+	case j := <-started:
+		return j
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job started within 5s")
+		return nil
+	}
+}
+
+func TestSubmitDedup(t *testing.T) {
+	s, started, release := blockingService(t, 1, 4)
+	j1, dedup1, err := s.Submit(testCfg(101))
+	if err != nil || dedup1 {
+		t.Fatalf("first submit: dedup=%v err=%v", dedup1, err)
+	}
+	waitStart(t, started)
+	j2, dedup2, err := s.Submit(testCfg(101))
+	if err != nil || !dedup2 {
+		t.Fatalf("second submit: dedup=%v err=%v", dedup2, err)
+	}
+	if j1 != j2 {
+		t.Fatalf("same config produced different jobs %s vs %s", j1.ID, j2.ID)
+	}
+	if got := j1.Status(time.Now()).Clients; got != 2 {
+		t.Fatalf("clients = %d, want 2", got)
+	}
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Dedup after completion still returns the finished job.
+	j3, dedup3, err := s.Submit(testCfg(101))
+	if err != nil || !dedup3 || j3 != j1 {
+		t.Fatalf("post-completion submit: job=%p dedup=%v err=%v", j3, dedup3, err)
+	}
+	if _, _, ok := j3.Report(); !ok {
+		t.Fatal("finished job has no report")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	s, started, release := blockingService(t, 1, 1)
+	defer close(release)
+
+	if _, _, err := s.Submit(testCfg(201)); err != nil {
+		t.Fatal(err)
+	}
+	waitStart(t, started) // worker busy; queue now empty
+	if _, _, err := s.Submit(testCfg(202)); err != nil {
+		t.Fatalf("queueing submit: %v", err) // fills the single queue slot
+	}
+	if _, _, err := s.Submit(testCfg(203)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err=%v, want ErrQueueFull", err)
+	}
+	// Rejected configs are not registered: a dedup probe creates no job.
+	if depth, capacity := s.QueueDepth(); depth != 1 || capacity != 1 {
+		t.Fatalf("queue depth=%d cap=%d", depth, capacity)
+	}
+	// A duplicate of a queued config still coalesces instead of rejecting.
+	if _, dedup, err := s.Submit(testCfg(202)); err != nil || !dedup {
+		t.Fatalf("dedup onto queued job: dedup=%v err=%v", dedup, err)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s, started, release := blockingService(t, 1, 4)
+	running, _, err := s.Submit(testCfg(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStart(t, started)
+	queued, _, err := s.Submit(testCfg(302))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let Shutdown set draining
+	if _, _, err := s.Submit(testCfg(303)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err=%v, want ErrDraining", err)
+	}
+	close(release) // in-flight run completes
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	if st := running.State(); st != StateDone {
+		t.Fatalf("in-flight job state = %s, want done", st)
+	}
+	if st := queued.State(); st != StateFailed {
+		t.Fatalf("queued job state = %s, want failed (dropped)", st)
+	}
+	if err := queued.Err(); !errors.Is(err, errDropped) {
+		t.Fatalf("queued job err = %v", err)
+	}
+}
+
+func TestShutdownDeadlineExpires(t *testing.T) {
+	s, started, release := blockingService(t, 1, 1)
+	defer close(release) // leak-free: worker exits after the deadline test
+	if _, _, err := s.Submit(testCfg(401)); err != nil {
+		t.Fatal(err)
+	}
+	waitStart(t, started)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestFailedRunMarksJobFailed(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	boom := errors.New("boom")
+	s.runReport = func(*Job) ([]byte, []byte, error) { return nil, nil, boom }
+	j, _, err := s.Submit(testCfg(501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if _, _, ok := j.Report(); ok {
+		t.Fatal("failed job published a report")
+	}
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	cases := []JobSpec{
+		{Scale: "galactic"},
+		{HeapPage: "2M"},
+		{DurationMS: 1000, RampMS: 2000},
+		{DetailFrac: 1.5},
+	}
+	for _, spec := range cases {
+		if _, err := spec.RunConfig(); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+	// Same experiment spelled differently shares one job ID.
+	a, err := JobSpec{Scale: "quick", Seed: 1}.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{IR: 30, Seed: 1, HeapMB: 256}.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobID(a) != jobID(b) {
+		t.Fatalf("equivalent specs got different job IDs %s vs %s", jobID(a), jobID(b))
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s, started, release := blockingService(t, 1, 1)
+	if _, _, err := s.Submit(testCfg(601)); err != nil {
+		t.Fatal(err)
+	}
+	j := waitStart(t, started)
+	s.Submit(testCfg(601)) // dedup hit
+	var b strings.Builder
+	s.metrics.WriteTo(&b, 0, 1)
+	out := b.String()
+	for _, want := range []string{
+		"jasd_jobs_inflight 1",
+		"jasd_queue_capacity 1",
+		"jasd_dedup_hits_total 1",
+		"# TYPE jasd_gc_pause_ms histogram",
+		"jasd_gc_pause_ms_bucket{le=\"+Inf\"}",
+		"jasd_sims_total{kind=\"request-level\"}",
+		"jasd_artifact_cache_hits_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	close(release)
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	s.metrics.WriteTo(&b, 0, 1)
+	if !strings.Contains(b.String(), "jasd_jobs_total{state=\"done\"} 1") {
+		t.Fatalf("done counter missing:\n%s", b.String())
+	}
+}

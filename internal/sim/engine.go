@@ -61,6 +61,13 @@ type WindowStats struct {
 	CPI         float64 // measured CPI this window (detail mode only)
 }
 
+// WindowFunc observes one completed window. The engine invokes it
+// synchronously at the end of every Step, after the window has been
+// appended to Windows() and before the HPM monitors tick. Observers see
+// exactly the values that Windows() records — streaming consumers do not
+// fork the engine loop, they ride it.
+type WindowFunc func(WindowStats)
+
 // Engine runs the SUT against the driver.
 type Engine struct {
 	cfg EngineConfig
@@ -71,6 +78,7 @@ type Engine struct {
 	coreFreeAt []float64
 	tracker    *driver.Tracker
 	monitors   []*hpm.Monitor
+	windowFn   WindowFunc
 	windows    []WindowStats
 	segTotals  [server.NumSegments]uint64
 	instrTotal uint64
@@ -139,6 +147,12 @@ func (e *Engine) Source() hpm.CounterSource { return counterSource{e.sut} }
 
 // AttachMonitor registers an HPM monitor ticked once per window.
 func (e *Engine) AttachMonitor(m *hpm.Monitor) { e.monitors = append(e.monitors, m) }
+
+// SetWindowFunc registers fn as the per-window observer (nil detaches).
+// Observation is pure: attaching a WindowFunc never changes the simulated
+// outcome — Windows() is bit-identical with or without one
+// (TestWindowFuncObservesWithoutPerturbing enforces this).
+func (e *Engine) SetWindowFunc(fn WindowFunc) { e.windowFn = fn }
 
 // Tracker returns the response-time tracker.
 func (e *Engine) Tracker() *driver.Tracker { return e.tracker }
@@ -270,6 +284,9 @@ func (e *Engine) Step() error {
 
 	e.windows = append(e.windows, ws)
 	e.nowMS = winEnd
+	if e.windowFn != nil {
+		e.windowFn(ws)
+	}
 	for _, m := range e.monitors {
 		m.Tick()
 	}

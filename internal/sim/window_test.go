@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWindowFuncObservesWithoutPerturbing runs the same configuration
+// twice — once bare, once with a WindowFunc attached — and requires the
+// recorded windows to be identical. The observer must also see exactly the
+// sequence Windows() keeps, in order.
+func TestWindowFuncObservesWithoutPerturbing(t *testing.T) {
+	run := func(fn WindowFunc) []WindowStats {
+		e := shortEngine(t, smallSUT(t, 8), 30_000, 5_000, 0.02)
+		e.SetWindowFunc(fn)
+		ws, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ws
+	}
+
+	bare := run(nil)
+	var seen []WindowStats
+	observed := run(func(ws WindowStats) { seen = append(seen, ws) })
+
+	if !reflect.DeepEqual(bare, observed) {
+		t.Fatalf("attaching a WindowFunc changed Windows(): %d vs %d windows", len(bare), len(observed))
+	}
+	if !reflect.DeepEqual(seen, observed) {
+		t.Fatalf("observer saw %d windows, engine recorded %d", len(seen), len(observed))
+	}
+	for i, w := range seen {
+		if w.Index != i {
+			t.Fatalf("window %d delivered out of order (Index=%d)", i, w.Index)
+		}
+	}
+}
+
+// TestWindowFuncDetach verifies a nil SetWindowFunc stops deliveries.
+func TestWindowFuncDetach(t *testing.T) {
+	e := shortEngine(t, smallSUT(t, 8), 5_000, 1_000, 0)
+	calls := 0
+	e.SetWindowFunc(func(WindowStats) { calls++ })
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetWindowFunc(nil)
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}

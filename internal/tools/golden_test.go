@@ -1,0 +1,80 @@
+package tools
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jasworkload/internal/hpm"
+	"jasworkload/internal/power4"
+	"jasworkload/internal/sim"
+)
+
+// The vmstat and hpmstat text renderers are consumed verbatim by jasd's
+// figure endpoints and by the CLI tools, so their column layout is wire
+// format: these tests pin the renderings byte-for-byte against golden
+// files built from fixed synthetic inputs. Regenerate after an intentional
+// format change with:
+//
+//	go test ./internal/tools/ -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting with -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenWindows builds a fixed window sequence covering the rendering's
+// edge cases: ramp, GC pause, I/O wait, and a fully idle window.
+func goldenWindows() []sim.WindowStats {
+	ws := []sim.WindowStats{
+		{Index: 0, StartMS: 0, UtilUser: 0.42, UtilSys: 0.08, UtilIdle: 0.50},
+		{Index: 1, StartMS: 1000, UtilUser: 0.71, UtilSys: 0.12, UtilIdle: 0.11, UtilIOWait: 0.06},
+		{Index: 2, StartMS: 2000, UtilUser: 0.66, UtilSys: 0.10, UtilIdle: 0.04, UtilIOWait: 0.20, GCs: 1, GCPauseMS: 212.4},
+		{Index: 3, StartMS: 3000, UtilIdle: 1.0},
+	}
+	ws[1].Completions[0] = 17
+	ws[1].Completions[1] = 4
+	ws[2].Completions[0] = 12
+	ws[2].Completions[3] = 2
+	return ws
+}
+
+func TestGoldenVMStat(t *testing.T) {
+	checkGolden(t, "golden_vmstat.txt", VMStat(goldenWindows()))
+}
+
+func TestGoldenHPMStat(t *testing.T) {
+	src := &fakeSrc{}
+	g, ok := hpm.GroupByName(hpm.StandardGroups(), "cpi")
+	if !ok {
+		t.Fatal("cpi group missing")
+	}
+	m, err := hpm.NewMonitor(src, g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		src.ctr.Add(power4.EvCycles, 10_000*i)
+		src.ctr.Add(power4.EvInstCompleted, 3_000*i)
+		m.Tick()
+	}
+	// maxRows below the sample count exercises the tail-window clamp.
+	checkGolden(t, "golden_hpmstat.txt", HPMStat(m, 4))
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Service smoke test (make service-smoke / make ci): start jasd on a
+# random port, submit the quick-scale run through jasctl, and require the
+# served markdown report to be byte-identical to the pinned golden file —
+# the serving layer must not perturb the deterministic pipeline. Also
+# checks that SIGTERM drains cleanly.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/jasd" ./cmd/jasd
+$GO build -o "$tmp/jasctl" ./cmd/jasctl
+
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -workers 2 2>"$tmp/jasd.log" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "service-smoke: jasd did not start" >&2
+        cat "$tmp/jasd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="http://$(cat "$tmp/addr")"
+
+"$tmp/jasctl" -addr "$addr" submit -scale quick -seed 1 -wait -format md >"$tmp/report.md"
+if ! diff -u testdata/golden_report_quick.md "$tmp/report.md"; then
+    echo "service-smoke: served report drifted from golden" >&2
+    exit 1
+fi
+
+# The metrics surface must reflect the run we just served.
+"$tmp/jasctl" -addr "$addr" metrics >"$tmp/metrics.txt"
+for want in 'jasd_jobs_total{state="done"} 1' 'jasd_queue_depth 0' 'jasd_jops'; do
+    if ! grep -qF "$want" "$tmp/metrics.txt"; then
+        echo "service-smoke: /metrics missing '$want'" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    fi
+done
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+if ! grep -q "drained cleanly" "$tmp/jasd.log"; then
+    echo "service-smoke: graceful shutdown did not drain" >&2
+    cat "$tmp/jasd.log" >&2
+    exit 1
+fi
+echo "service-smoke: ok"
