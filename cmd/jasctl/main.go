@@ -7,21 +7,30 @@
 // Commands:
 //
 //	submit  [-scale quick] [-ir N] [-seed N] [-heap-mb N] [-heap-page 4K|16M]
-//	        [-duration-ms N] [-ramp-ms N] [-wait] [-format json|md]
+//	        [-duration-ms N] [-ramp-ms N] [-timeout D] [-retries N]
+//	        [-wait] [-format json|md]
 //	        submit a run; prints the job status, or (with -wait) blocks and
-//	        prints the finished report
+//	        prints the finished report. -timeout sets the run's execution
+//	        deadline (timeout_s). With -retries, queue-full rejections are
+//	        retried up to N times, sleeping the server's Retry-After hint
+//	        plus jitter between attempts.
 //	status  <id>             print a job's status
 //	list                     list all jobs
+//	cancel  <id>             release one submission reference; the last
+//	                         release aborts an unfinished run mid-window
 //	report  <id> [-wait] [-format json|md]
 //	        fetch a finished report
-//	stream  <id>             tail the live per-window NDJSON stream
+//	stream  <id>             tail the live per-window NDJSON stream; on a
+//	                         dropped connection, resumes from the last line
+//	                         seen instead of replaying from event zero
 //	figure  <id> <fig> [-format json|md]
 //	        fetch one figure (fig2..fig10, tprof, vmstat, locking, scalars,
 //	        crosschecks, largepages)
 //	metrics                  dump the Prometheus /metrics exposition
 //
 // Exit status 4 means the server rejected the submission with 429 (queue
-// full); the Retry-After hint is printed to stderr.
+// full) and the retry budget (if any) is exhausted; the Retry-After hint
+// is printed to stderr.
 package main
 
 import (
@@ -31,9 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -52,6 +64,8 @@ func main() {
 		err = get(*addr, args, "", false)
 	case "list":
 		err = doJSON(*addr+"/v1/runs", nil)
+	case "cancel":
+		err = cancel(*addr, args)
 	case "report":
 		err = report(*addr, args)
 	case "stream":
@@ -70,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|report|stream|figure|metrics [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|metrics [flags]")
 	os.Exit(2)
 }
 
@@ -84,6 +98,8 @@ func submit(addr string, args []string) error {
 	heapPage := fs.String("heap-page", "", "heap page size: 4K or 16M")
 	durationMS := fs.Float64("duration-ms", 0, "run duration override, ms")
 	rampMS := fs.Float64("ramp-ms", 0, "ramp override, ms")
+	timeout := fs.Duration("timeout", 0, "run execution deadline (0 = server default)")
+	retries := fs.Int("retries", 0, "retry queue-full rejections up to N times, honoring Retry-After")
 	wait := fs.Bool("wait", false, "block until the run finishes and print its report")
 	format := fs.String("format", "json", "report format with -wait: json or md")
 	fs.Parse(args)
@@ -107,22 +123,56 @@ func submit(addr string, args []string) error {
 	if *rampMS > 0 {
 		spec["ramp_ms"] = *rampMS
 	}
+	if *timeout > 0 {
+		spec["timeout_s"] = timeout.Seconds()
+	}
 	body, _ := json.Marshal(spec)
 
 	url := addr + "/v1/runs"
 	if *wait {
 		url += "?wait=1&format=" + *format
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			defer resp.Body.Close()
+			return dump(resp)
+		}
+		hint := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if attempt >= *retries {
+			fmt.Fprintf(os.Stderr, "jasctl: queue full, Retry-After %ss\n", hint)
+			os.Exit(4)
+		}
+		// Honor the server's hint, jittered up to +50% so a herd of
+		// rejected clients does not re-converge on the same instant.
+		secs, err := strconv.Atoi(hint)
+		if err != nil || secs < 1 {
+			secs = 1
+		}
+		d := time.Duration((1 + 0.5*rand.Float64()) * float64(secs) * float64(time.Second))
+		fmt.Fprintf(os.Stderr, "jasctl: queue full, retry %d/%d in %s\n", attempt+1, *retries, d.Round(100*time.Millisecond))
+		time.Sleep(d)
+	}
+}
+
+// cancel releases one submission reference via DELETE /v1/runs/{id}.
+func cancel(addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel needs a job id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, addr+"/v1/runs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		fmt.Fprintf(os.Stderr, "jasctl: queue full, Retry-After %ss\n", resp.Header.Get("Retry-After"))
-		io.Copy(os.Stderr, resp.Body)
-		os.Exit(4)
-	}
 	return dump(resp)
 }
 
@@ -153,12 +203,36 @@ func figure(addr string, args []string) error {
 	return raw(addr + "/v1/runs/" + fs.Arg(0) + "/figures/" + fs.Arg(1) + "?format=" + *format)
 }
 
-// stream tails the NDJSON window stream, line by line as it arrives.
+// stream tails the NDJSON window stream, line by line as it arrives. A
+// dropped connection is retried with ?from=<events seen>, so the client
+// resumes where it left off instead of replaying the whole history; the
+// stream is complete once the terminal status line ({"done":true,...})
+// has been printed.
 func stream(addr string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("stream needs a job id")
 	}
-	resp, err := http.Get(addr + "/v1/runs/" + args[0] + "/stream")
+	const maxRetries = 5
+	seen, retries := 0, 0
+	for {
+		err := streamOnce(addr, args[0], &seen)
+		if err == nil {
+			return nil
+		}
+		retries++
+		if retries > maxRetries {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "jasctl: stream interrupted (%v), resuming from event %d\n", err, seen)
+		time.Sleep(time.Second)
+	}
+}
+
+// streamOnce runs one stream connection from event *seen, advancing
+// *seen per event line. It returns nil once the terminal line arrives
+// and an error for anything that warrants a resume.
+func streamOnce(addr, id string, seen *int) error {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/stream?from=%d", addr, id, *seen))
 	if err != nil {
 		return err
 	}
@@ -169,9 +243,20 @@ func stream(addr string, args []string) error {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		fmt.Println(sc.Text())
+		line := sc.Text()
+		fmt.Println(line)
+		var fin struct {
+			Done bool `json:"done"`
+		}
+		if json.Unmarshal([]byte(line), &fin) == nil && fin.Done {
+			return nil
+		}
+		*seen++
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended without a terminal line")
 }
 
 // get fetches /v1/runs/{id}{suffix}.

@@ -12,9 +12,17 @@
 //
 //	jasd [-addr :8077] [-workers 2] [-queue 8] [-retry-after 5s]
 //	     [-drain 60s] [-parallel N] [-addrfile FILE]
+//	     [-job-timeout 0] [-done-ttl 15m] [-done-cap 256]
 //
 // With -addr ending in :0 the kernel picks a free port; the resolved
 // address is logged and, with -addrfile, written to FILE for scripts.
+//
+// Retention: finished (or failed/canceled) jobs stay resident — reports,
+// figures, and stream replay served — for -done-ttl, bounded to -done-cap
+// jobs; older ones are evicted and their IDs answer 410 Gone.
+// -job-timeout bounds each run's execution (a JobSpec's timeout_s
+// overrides it per job); DELETE /v1/runs/{id} cancels a run once its last
+// submitter lets go.
 package main
 
 import (
@@ -41,6 +49,9 @@ func main() {
 	drain := flag.Duration("drain", 60*time.Second, "graceful-shutdown deadline for in-flight runs")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations per job (0 = one per CPU)")
 	addrfile := flag.String("addrfile", "", "write the resolved listen address to this file")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-run execution deadline (0 = none; timeout_s overrides per job)")
+	doneTTL := flag.Duration("done-ttl", 15*time.Minute, "how long terminal jobs stay resident before eviction")
+	doneCap := flag.Int("done-cap", 256, "max terminal jobs resident regardless of age")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "jasd: ", log.LstdFlags)
@@ -52,6 +63,9 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
+		JobTimeout: *jobTimeout,
+		DoneTTL:    *doneTTL,
+		DoneCap:    *doneCap,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -119,6 +120,28 @@ func Flush() {
 	runStore.arts = map[RunConfig]*Artifact{}
 }
 
+// Drop evicts a from the run store, releasing the simulations it caches
+// for garbage collection once the last consumer lets go. The removal is
+// identity-guarded: if the store has since been re-populated with a fresh
+// artifact for the same config (after an earlier Drop), that newer
+// artifact is left alone. Serving layers use Drop both to reclaim the
+// memory of retired runs and to un-poison an artifact whose execution was
+// cancelled mid-run — a cancelled run's memo caches the cancellation
+// error forever, so the next submission must get a fresh artifact.
+// Reports whether a was the registered artifact and got removed.
+func Drop(a *Artifact) bool {
+	if a == nil {
+		return false
+	}
+	runStore.mu.Lock()
+	defer runStore.mu.Unlock()
+	if runStore.arts[a.Cfg] != a {
+		return false
+	}
+	delete(runStore.arts, a.Cfg)
+	return true
+}
+
 // simStats counts simulations actually executed, by kind. The artifact
 // cache tests use it to prove that views never trigger fresh runs.
 var simStats = struct {
@@ -200,9 +223,20 @@ func (a *Artifact) Ready() (requestLevel, detail bool) {
 // RequestLevel returns the artifact's request-level run, executing it on
 // first use. Figures 2-4 and the whole-system scalars are views of it.
 func (a *Artifact) RequestLevel() (*RequestLevelRun, error) {
+	return a.RequestLevelContext(context.Background())
+}
+
+// RequestLevelContext is RequestLevel with a cancellable execution: ctx
+// reaches the engine's window loop, so cancellation stops the simulation
+// mid-window. The memo executes once — the ctx of the first caller
+// governs the run, and a cancelled execution leaves the artifact caching
+// the cancellation error (Drop it to run the config afresh). A ctx that
+// is never cancelled changes nothing: the run is byte-identical to an
+// uncancellable one.
+func (a *Artifact) RequestLevelContext(ctx context.Context) (*RequestLevelRun, error) {
 	return a.rl.do(func() (*RequestLevelRun, error) {
 		noteSim("request-level")
-		return runRequestLevel(a.Cfg, a.windowFunc("request-level"))
+		return runRequestLevel(ctx, a.Cfg, a.windowFunc("request-level"))
 	})
 }
 
@@ -211,6 +245,13 @@ func (a *Artifact) RequestLevel() (*RequestLevelRun, error) {
 // are pure observers, so one detail execution serves any group subset; the
 // groups argument only validates that the caller's names exist.
 func (a *Artifact) Detail(groups ...string) (*DetailRun, error) {
+	return a.DetailContext(context.Background(), groups...)
+}
+
+// DetailContext is Detail with a cancellable execution; the same
+// first-caller-wins and Drop-to-retry semantics as RequestLevelContext
+// apply.
+func (a *Artifact) DetailContext(ctx context.Context, groups ...string) (*DetailRun, error) {
 	for _, name := range groups {
 		if _, ok := hpm.GroupByName(hpm.StandardGroups(), name); !ok {
 			return nil, fmt.Errorf("core: unknown HPM group %q", name)
@@ -218,7 +259,7 @@ func (a *Artifact) Detail(groups ...string) (*DetailRun, error) {
 	}
 	return a.det.do(func() (*DetailRun, error) {
 		noteSim("detail")
-		return runDetail(a.Cfg, a.windowFunc("detail"), standardGroupNames()...)
+		return runDetail(ctx, a.Cfg, a.windowFunc("detail"), standardGroupNames()...)
 	})
 }
 

@@ -117,3 +117,26 @@ func TestBuildReportSimulationBudget(t *testing.T) {
 		t.Errorf("cached report re-simulated: total sims = %d, want 4", n)
 	}
 }
+
+// TestDropEvictsArtifact covers the run-store escape hatch used by the
+// service's retention/cancellation paths: Drop forgets the artifact (so a
+// resubmission builds a fresh one, un-poisoning memos that cached a
+// cancellation error) and is identity-guarded against double drops.
+func TestDropEvictsArtifact(t *testing.T) {
+	cfg := DefaultRunConfig(ScaleQuick)
+	cfg.Seed = 987_654
+	a := ForConfig(cfg)
+	if !Drop(a) {
+		t.Fatal("drop of a cached artifact reported false")
+	}
+	if Drop(a) {
+		t.Fatal("second drop of the same artifact reported true")
+	}
+	b := ForConfig(cfg)
+	if b == a {
+		t.Fatal("run store still serves the dropped artifact")
+	}
+	if !Drop(b) {
+		t.Fatal("replacement artifact not registered")
+	}
+}

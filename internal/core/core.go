@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"jasworkload/internal/hpm"
@@ -124,10 +125,10 @@ func (c RunConfig) newEngine(sut *sim.SUT, detailFrac float64) (*sim.Engine, err
 }
 
 // detailRun builds SUT+engine with the named HPM groups attached and runs
-// to completion. Like the paper's methodology, every group carries cycles
-// and completed instructions so each event can be correlated against the
-// CPI of its own group's samples.
-func (c RunConfig) detailRun(winFn sim.WindowFunc, groups ...string) (*sim.SUT, *sim.Engine, map[string]*hpm.Monitor, error) {
+// to completion (or until ctx cancels it mid-window). Like the paper's
+// methodology, every group carries cycles and completed instructions so
+// each event can be correlated against the CPI of its own group's samples.
+func (c RunConfig) detailRun(ctx context.Context, winFn sim.WindowFunc, groups ...string) (*sim.SUT, *sim.Engine, map[string]*hpm.Monitor, error) {
 	sut, err := c.buildSUT()
 	if err != nil {
 		return nil, nil, nil, err
@@ -150,7 +151,7 @@ func (c RunConfig) detailRun(winFn sim.WindowFunc, groups ...string) (*sim.SUT, 
 		eng.AttachMonitor(m)
 		mons[name] = m
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.RunContext(ctx); err != nil {
 		return nil, nil, nil, err
 	}
 	return sut, eng, mons, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,7 +29,7 @@ type CrossChecks struct {
 }
 
 // runVariant executes a request-level run with the given app and JVM.
-func runVariant(cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
+func runVariant(ctx context.Context, cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
 	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
@@ -48,7 +49,7 @@ func runVariant(cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.RunContext(ctx); err != nil {
 		return 0, 0, 0, err
 	}
 	dur, _ := cfg.durations()
@@ -66,15 +67,21 @@ func RunCrossChecks(cfg RunConfig) (CrossChecks, error) {
 // request-level run (it is the identical simulation), so only the Trade6
 // and Sovereign variants execute — and they run concurrently.
 func (a *Artifact) CrossChecks() (CrossChecks, error) {
-	return a.cc.do(a.runCrossChecks)
+	return a.CrossChecksContext(context.Background())
 }
 
-func (a *Artifact) runCrossChecks() (CrossChecks, error) {
+// CrossChecksContext is CrossChecks with cancellable variant runs; the
+// first-caller-wins memo semantics of RequestLevelContext apply.
+func (a *Artifact) CrossChecksContext(ctx context.Context) (CrossChecks, error) {
+	return a.cc.do(func() (CrossChecks, error) { return a.runCrossChecks(ctx) })
+}
+
+func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
 	var res CrossChecks
 	cfg := a.Cfg
 	g := NewGroup(Parallelism())
 	g.Go(func() error {
-		rl, err := a.RequestLevel()
+		rl, err := a.RequestLevelContext(ctx)
 		if err != nil {
 			return fmt.Errorf("jas2004/J9: %w", err)
 		}
@@ -87,14 +94,14 @@ func (a *Artifact) runCrossChecks() (CrossChecks, error) {
 	})
 	g.Go(func() error {
 		var err error
-		if res.Trade6GCShare, _, _, err = runVariant(cfg, server.Trade6App(), sim.JVMJ9); err != nil {
+		if res.Trade6GCShare, _, _, err = runVariant(ctx, cfg, server.Trade6App(), sim.JVMJ9); err != nil {
 			return fmt.Errorf("trade6/J9: %w", err)
 		}
 		return nil
 	})
 	g.Go(func() error {
 		var err error
-		if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
+		if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(ctx, cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
 			return fmt.Errorf("jas2004/Sovereign: %w", err)
 		}
 		return nil

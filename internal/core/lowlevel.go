@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,9 +39,10 @@ func RunDetail(cfg RunConfig, groups ...string) (*DetailRun, error) {
 }
 
 // runDetail executes the simulation (cache miss path). winFn, when
-// non-nil, observes every completed window (streaming consumers).
-func runDetail(cfg RunConfig, winFn sim.WindowFunc, groups ...string) (*DetailRun, error) {
-	sut, eng, mons, err := cfg.detailRun(winFn, groups...)
+// non-nil, observes every completed window (streaming consumers); ctx
+// aborts the run mid-window.
+func runDetail(ctx context.Context, cfg RunConfig, winFn sim.WindowFunc, groups ...string) (*DetailRun, error) {
+	sut, eng, mons, err := cfg.detailRun(ctx, winFn, groups...)
 	if err != nil {
 		return nil, err
 	}

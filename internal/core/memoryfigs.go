@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -141,15 +142,21 @@ func RunLargePageAblation(cfg RunConfig) (LargePageAblation, error) {
 // LargePages returns the Section 4.2.2 ablation for this artifact's
 // configuration, executing both page-size legs concurrently on first use.
 func (a *Artifact) LargePages() (LargePageAblation, error) {
-	return a.lp.do(func() (LargePageAblation, error) { return runLargePageAblation(a.Cfg) })
+	return a.LargePagesContext(context.Background())
 }
 
-func runLargePageAblation(cfg RunConfig) (LargePageAblation, error) {
+// LargePagesContext is LargePages with cancellable legs; the
+// first-caller-wins memo semantics of RequestLevelContext apply.
+func (a *Artifact) LargePagesContext(ctx context.Context) (LargePageAblation, error) {
+	return a.lp.do(func() (LargePageAblation, error) { return runLargePageAblation(ctx, a.Cfg) })
+}
+
+func runLargePageAblation(ctx context.Context, cfg RunConfig) (LargePageAblation, error) {
 	var res LargePageAblation
 	measure := func(ps mem.PageSize) (dtlb, itlb, dHit, iHit float64, err error) {
 		c := cfg
 		c.HeapPageSize = ps
-		d, err := RunDetail(c, "translation", "cpi")
+		d, err := ForConfig(c).DetailContext(ctx, "translation", "cpi")
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -38,6 +39,16 @@ func within(v, lo, hi float64) bool { return v >= lo && v <= hi }
 // Each run owns its seeded RNGs and SUT, so the table (and Markdown
 // rendering) is byte-identical regardless of parallelism.
 func BuildReport(cfg RunConfig) (*Report, error) {
+	return BuildReportContext(context.Background(), cfg)
+}
+
+// BuildReportContext is BuildReport with end-to-end cancellation: ctx
+// reaches every engine window loop, so cancelling it stops the in-flight
+// simulations mid-window instead of letting each run to its natural end.
+// A cancelled build returns ctx's error and leaves cfg's artifact caching
+// that error — Drop the artifact before retrying the config. With a ctx
+// that is never cancelled the report is byte-identical to BuildReport's.
+func BuildReportContext(ctx context.Context, cfg RunConfig) (*Report, error) {
 	rep := &Report{Cfg: cfg}
 
 	art := ForConfig(cfg)
@@ -49,17 +60,17 @@ func BuildReport(cfg RunConfig) (*Report, error) {
 	g := NewGroup(Parallelism())
 	g.Go(func() error {
 		var err error
-		rl, err = art.RequestLevel()
+		rl, err = art.RequestLevelContext(ctx)
 		return err
 	})
 	g.Go(func() error {
 		var err error
-		d, err = art.Detail()
+		d, err = art.DetailContext(ctx)
 		return err
 	})
 	g.Go(func() error {
 		var err error
-		cc, err = art.CrossChecks()
+		cc, err = art.CrossChecksContext(ctx)
 		return err
 	})
 	if err := g.Wait(); err != nil {

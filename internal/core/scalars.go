@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,15 +45,21 @@ func RunScalars(cfg RunConfig) (ScalarsResult, error) {
 // request-level run; only the disk-starved comparison executes a fresh
 // simulation, concurrently with that run when it is not yet cached.
 func (a *Artifact) Scalars() (ScalarsResult, error) {
-	return a.sc.do(a.runScalars)
+	return a.ScalarsContext(context.Background())
 }
 
-func (a *Artifact) runScalars() (ScalarsResult, error) {
+// ScalarsContext is Scalars with cancellable runs; the first-caller-wins
+// memo semantics of RequestLevelContext apply.
+func (a *Artifact) ScalarsContext(ctx context.Context) (ScalarsResult, error) {
+	return a.sc.do(func() (ScalarsResult, error) { return a.runScalars(ctx) })
+}
+
+func (a *Artifact) runScalars(ctx context.Context) (ScalarsResult, error) {
 	var res ScalarsResult
 	cfg := a.Cfg
 	g := NewGroup(Parallelism())
 	g.Go(func() error {
-		run, err := a.RequestLevel()
+		run, err := a.RequestLevelContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -99,7 +106,7 @@ func (a *Artifact) runScalars() (ScalarsResult, error) {
 		return nil
 	})
 	g.Go(func() error {
-		iowait, util, pass, err := runDiskStarved(cfg)
+		iowait, util, pass, err := runDiskStarved(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -113,7 +120,7 @@ func (a *Artifact) runScalars() (ScalarsResult, error) {
 }
 
 // runDiskStarved executes the 2-spindle comparison run.
-func runDiskStarved(cfg RunConfig) (iowaitShare, util float64, pass bool, err error) {
+func runDiskStarved(ctx context.Context, cfg RunConfig) (iowaitShare, util float64, pass bool, err error) {
 	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
@@ -143,7 +150,7 @@ func runDiskStarved(cfg RunConfig) (iowaitShare, util float64, pass bool, err er
 	if err != nil {
 		return 0, 0, false, err
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.RunContext(ctx); err != nil {
 		return 0, 0, false, err
 	}
 	_, pass = eng.Tracker().Audit()

@@ -57,13 +57,22 @@ func NewGroup(limit int) *Group {
 
 // Go schedules fn; it blocks only when the pool is saturated with waiting
 // goroutines (each task parks on the semaphore, so Go itself returns
-// immediately).
+// immediately). Once any task has failed, tasks that have not yet been
+// admitted by the semaphore are skipped instead of launched: a failed
+// report phase (or a cancelled run) short-circuits the rest of its batch
+// rather than burning a full simulation per queued task.
 func (g *Group) Go(fn func() error) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
 		g.sem <- struct{}{}
 		defer func() { <-g.sem }()
+		g.mu.Lock()
+		failed := g.err != nil
+		g.mu.Unlock()
+		if failed {
+			return
+		}
 		if err := fn(); err != nil {
 			g.mu.Lock()
 			if g.err == nil {

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupShortCircuitsAfterFailure pins the batch short-circuit: once a
+// task has failed, tasks that have not yet been admitted by the semaphore
+// are skipped instead of launched, so a failed phase (or a cancelled run)
+// does not burn a full simulation per queued task.
+func TestGroupShortCircuitsAfterFailure(t *testing.T) {
+	g := NewGroup(2)
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	g.Go(func() error { ran.Add(1); return boom })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	for i := 0; i < 8; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("second Wait = %v, want the original error kept", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d tasks ran after the failure, want only the failing one", got)
+	}
+}
+
+// TestGroupRunsAllWithoutFailure guards the other side: absent errors,
+// every scheduled task executes.
+func TestGroupRunsAllWithoutFailure(t *testing.T) {
+	g := NewGroup(3)
+	var ran atomic.Int32
+	for i := 0; i < 16; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("tasks ran = %d, want 16", got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,8 +33,9 @@ func RunRequestLevel(cfg RunConfig) (*RequestLevelRun, error) {
 }
 
 // runRequestLevel executes the simulation (cache miss path). winFn, when
-// non-nil, observes every completed window (streaming consumers).
-func runRequestLevel(cfg RunConfig, winFn sim.WindowFunc) (*RequestLevelRun, error) {
+// non-nil, observes every completed window (streaming consumers); ctx
+// aborts the run mid-window.
+func runRequestLevel(ctx context.Context, cfg RunConfig, winFn sim.WindowFunc) (*RequestLevelRun, error) {
 	sut, err := cfg.buildSUT()
 	if err != nil {
 		return nil, err
@@ -43,7 +45,7 @@ func runRequestLevel(cfg RunConfig, winFn sim.WindowFunc) (*RequestLevelRun, err
 		return nil, err
 	}
 	eng.SetWindowFunc(winFn)
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	if !eng.Finished() {

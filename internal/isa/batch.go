@@ -1,5 +1,7 @@
 package isa
 
+import "context"
+
 // Batch is a slice of instructions delivered to a BatchSink in emission
 // order. A batch is only valid for the duration of the ConsumeBatch call:
 // the emitter reuses the backing array, so sinks that need to retain
@@ -125,11 +127,24 @@ func (r *Recorder) ConsumeBatch(b Batch) { r.Trace = append(r.Trace, b...) }
 // Replay streams a recorded trace into dst in fixed-size batches when
 // dst is a BatchSink, or instruction by instruction otherwise.
 func Replay(trace []Instr, dst Sink, batchCap int) {
+	ReplayContext(context.Background(), trace, dst, batchCap)
+}
+
+// ReplayContext is Replay with a cancellation point between batches: a
+// multi-million-instruction replay stops within one batch (batchCap
+// instructions) of ctx being cancelled instead of running to the end of
+// the trace. Returns ctx's error when aborted, nil on a complete replay.
+// Batches already delivered are never unwound, so an uncancelled ctx
+// yields a replay identical to Replay.
+func ReplayContext(ctx context.Context, trace []Instr, dst Sink, batchCap int) error {
 	if batchCap <= 0 {
 		batchCap = DefaultBatchCap
 	}
 	if bs, ok := dst.(BatchSink); ok {
 		for len(trace) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			n := batchCap
 			if n > len(trace) {
 				n = len(trace)
@@ -137,9 +152,15 @@ func Replay(trace []Instr, dst Sink, batchCap int) {
 			bs.ConsumeBatch(trace[:n])
 			trace = trace[n:]
 		}
-		return
+		return nil
 	}
 	for i := range trace {
+		if i%DefaultBatchCap == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		dst.Consume(&trace[i])
 	}
+	return nil
 }

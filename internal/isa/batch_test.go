@@ -1,6 +1,8 @@
 package isa
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -134,5 +136,48 @@ func TestRecorderRoundTrip(t *testing.T) {
 	Replay(rec.Trace, SinkFunc(back.Consume), 0)
 	if !reflect.DeepEqual(back.Trace, trace) {
 		t.Fatal("replay through plain-sink path differs")
+	}
+}
+
+// TestReplayContextCancellation: a cancelled context stops the replay at
+// the next batch boundary (and a pre-cancelled one consumes nothing),
+// while a live context replays the trace bit-identically to Replay.
+func TestReplayContextCancellation(t *testing.T) {
+	trace := randomTrace(4*DefaultBatchCap+7, 9)
+
+	pre, stop := context.WithCancel(context.Background())
+	stop()
+	var none CountingSink
+	if err := ReplayContext(pre, trace, &none, 256); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled replay = %v", err)
+	}
+	if none != (CountingSink{}) {
+		t.Fatalf("pre-cancelled replay consumed instructions: %+v", none)
+	}
+
+	// Cancel from inside the sink: the plain-sink path re-checks every
+	// DefaultBatchCap instructions, so exactly one check interval runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	sink := SinkFunc(func(*Instr) {
+		n++
+		if n == DefaultBatchCap {
+			cancel()
+		}
+	})
+	if err := ReplayContext(ctx, trace, sink, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream cancel = %v", err)
+	}
+	if n != DefaultBatchCap {
+		t.Fatalf("consumed %d instructions after cancel, want %d", n, DefaultBatchCap)
+	}
+
+	var direct, viaCtx CountingSink
+	Replay(trace, &direct, 128)
+	if err := ReplayContext(context.Background(), trace, &viaCtx, 128); err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaCtx {
+		t.Fatalf("live-context replay diverged: %+v vs %+v", viaCtx, direct)
 	}
 }

@@ -22,6 +22,13 @@ type JobSpec struct {
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	RampMS     float64 `json:"ramp_ms,omitempty"`
 	DetailFrac float64 `json:"detail_frac,omitempty"`
+
+	// TimeoutS bounds the run's execution time in wall-clock seconds,
+	// counted from run start (0 = the daemon's -job-timeout default). It
+	// is delivery metadata, not part of the experiment: two specs
+	// differing only in timeout_s still coalesce onto one job, whose
+	// deadline is the first submitter's.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // RunConfig resolves the spec against the scale defaults.
@@ -58,6 +65,9 @@ func (s JobSpec) RunConfig() (core.RunConfig, error) {
 	}
 	if s.DurationMS < 0 || s.RampMS < 0 || s.DetailFrac < 0 || s.DetailFrac > 1 {
 		return core.RunConfig{}, fmt.Errorf("negative duration/ramp or detail_frac outside [0,1]")
+	}
+	if s.TimeoutS < 0 {
+		return core.RunConfig{}, fmt.Errorf("negative timeout_s %v", s.TimeoutS)
 	}
 	if s.DurationMS > 0 {
 		cfg.DurationMS = s.DurationMS

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -13,21 +14,26 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/runs                      submit a JobSpec (?wait=1 blocks for the report)
-//	GET  /v1/runs                      list jobs
-//	GET  /v1/runs/{id}                 job status
+//	POST   /v1/runs                    submit a JobSpec (?wait=1 blocks for the report)
+//	GET    /v1/runs                    list jobs
+//	GET    /v1/runs/{id}               job status
+//	DELETE /v1/runs/{id}               release one submission reference; the
+//	                                   last release aborts an unfinished run
 //	GET  /v1/runs/{id}/report          finished report (?format=json|md, ?wait=1)
-//	GET  /v1/runs/{id}/stream          live per-window NDJSON stream
+//	GET  /v1/runs/{id}/stream          live per-window NDJSON stream (?from=N resumes)
 //	GET  /v1/runs/{id}/figures/{fig}   fig2..fig10, tprof, vmstat, locking,
 //	                                   scalars, crosschecks, largepages
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      liveness
 //	     /debug/pprof/...              runtime profiling
+//
+// IDs of evicted jobs answer 410 Gone until their tombstones age out.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/runs/{id}/figures/{fig}", s.handleFigure)
@@ -78,7 +84,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, deduped, err := s.Submit(cfg)
+	job, deduped, err := s.SubmitTimeout(cfg, time.Duration(spec.TimeoutS*float64(time.Second)))
 	switch {
 	case err == nil:
 	case err == ErrQueueFull:
@@ -94,11 +100,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/runs/"+job.ID)
 	if boolParam(r, "wait") {
+		// A blocking submit's reference lives only as long as the request:
+		// it is consumed when the response is written, or — if the client
+		// disconnects mid-wait — released then, so abandoned waits cannot
+		// pin a job forever (the last to go aborts the run).
+		defer s.release(job, time.Now())
 		s.serveReport(w, r, job, true)
 		return
 	}
 	code := http.StatusAccepted
-	if job.State() == StateDone || job.State() == StateFailed {
+	if terminal(job.State()) {
 		code = http.StatusOK
 	}
 	st := job.Status(time.Now())
@@ -118,12 +129,16 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// job resolves {id} or writes 404.
+// job resolves {id}, or writes 410 for evicted jobs and 404 otherwise.
 func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		if s.Evicted(id) {
+			writeError(w, http.StatusGone, fmt.Errorf("job %q evicted; resubmit to re-run", id))
+		} else {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		}
 	}
 	return j, ok
 }
@@ -131,6 +146,21 @@ func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
 		writeJSON(w, http.StatusOK, j.Status(time.Now()))
+	}
+}
+
+// handleCancel implements DELETE /v1/runs/{id}: release one submission
+// reference, aborting the run if it was the last.
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Cancel(id)
+	switch {
+	case errors.Is(err, ErrGone):
+		writeError(w, http.StatusGone, fmt.Errorf("job %q evicted", id))
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+	default:
+		writeJSON(w, http.StatusOK, st)
 	}
 }
 
@@ -158,6 +188,11 @@ func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job, wa
 	case StateFailed:
 		writeError(w, http.StatusInternalServerError, j.Err())
 		return
+	case StateCanceled:
+		// Cancellation never yields a partial report: the run was aborted
+		// mid-window, so the only honest answer is the terminal state.
+		writeError(w, http.StatusConflict, j.Err())
+		return
 	}
 	jsonBody, mdBody, _ := j.Report()
 	if r.URL.Query().Get("format") == "md" {
@@ -171,17 +206,28 @@ func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, j *Job, wa
 
 // handleStream serves the live NDJSON window stream: replay of everything
 // emitted so far, then new windows as the simulations produce them, then
-// one terminal status line.
+// one terminal status line. ?from=N skips the first N events, so a client
+// that lost its connection resumes where it left off instead of replaying
+// the whole history.
 func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
 	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", v))
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for i := 0; ; i++ {
+	for i := from; ; i++ {
 		ev, ok := j.hub.next(r.Context(), i)
 		if !ok {
 			break
@@ -210,9 +256,12 @@ func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st := j.State(); st != StateDone {
-		if st == StateFailed {
+		switch st {
+		case StateFailed:
 			writeError(w, http.StatusInternalServerError, j.Err())
-		} else {
+		case StateCanceled:
+			writeError(w, http.StatusConflict, j.Err())
+		default:
 			writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
 		}
 		return
@@ -298,5 +347,6 @@ func (s *Service) figure(j *Job, name string) (any, error) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	depth, capacity := s.QueueDepth()
-	s.metrics.WriteTo(w, depth, capacity)
+	resident, hubBytes := s.ResidentStats()
+	s.metrics.WriteTo(w, depth, capacity, resident, hubBytes)
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,8 +12,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/sim"
 )
 
 // e2eSpec is a reduced quick-scale run (10 simulated seconds of steady
@@ -217,6 +220,213 @@ func TestHTTPSubmitStatusLifecycle(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("%s status = %s, want 404", path, resp.Status)
 		}
+	}
+}
+
+// TestE2ECancellationRace is the cancellation acceptance gate, on real
+// simulations: eight clients share one deduplicated long run; seven
+// cancel and the run keeps going, the eighth cancels and the run aborts
+// mid-window — after which not a single further window executes.
+func TestE2ECancellationRace(t *testing.T) {
+	core.Flush()
+	core.ResetSimCounts()
+	s := New(Options{Workers: 4, QueueDepth: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// 600 simulated seconds: far more than the test will ever wait, so a
+	// cancellation that fails to abort shows up as the timeout below, not
+	// as a run that quietly finished first.
+	const spec = `{"scale":"quick","seed":8,"duration_ms":600000,"ramp_ms":2000}`
+	var id string
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID      string `json:"id"`
+			Deduped bool   `json:"deduped"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if i == 0 {
+			id = st.ID
+		} else if !st.Deduped || st.ID != id {
+			t.Fatalf("submission %d not deduped onto %s: %+v", i, id, st)
+		}
+	}
+
+	status := func() JobStatus {
+		t.Helper()
+		var st JobStatus
+		if err := json.Unmarshal([]byte(fetch(t, srv.URL+"/v1/runs/"+id)), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	waitFor := func(what string, ok func(JobStatus) bool) JobStatus {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			st := status()
+			if ok(st) {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; status %+v", what, st)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	del := func() *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	waitFor("first window", func(st JobStatus) bool { return st.WindowsSoFar >= 1 })
+	for i := 0; i < 7; i++ {
+		if resp := del(); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %d status = %s", i, resp.Status)
+		}
+	}
+	if st := status(); st.State != StateRunning && st.State != StateQueued {
+		t.Fatalf("job aborted with a subscriber still attached: %+v", st)
+	}
+	if resp := del(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("last cancel status = %s", resp.Status)
+	}
+	st := waitFor("cancellation", func(st JobStatus) bool { return st.State == StateCanceled })
+	if st.WindowsSoFar >= 600 {
+		t.Fatalf("run completed instead of aborting: %+v", st)
+	}
+
+	// Abort means abort: once terminal, the window count never moves again.
+	frozen := st.WindowsSoFar
+	time.Sleep(300 * time.Millisecond)
+	if got := status().WindowsSoFar; got != frozen {
+		t.Fatalf("windows kept executing after cancellation: %d -> %d", frozen, got)
+	}
+
+	// No partial report — the terminal state is the only output.
+	resp, err := http.Get(srv.URL + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report of canceled run = %s, want 409", resp.Status)
+	}
+
+	metrics := fetch(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"jasd_jobs_cancelled_total 1",
+		"jasd_jobs_total{state=\"canceled\"} 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestHTTPStreamResume covers the reconnect path: ?from=N skips the
+// already-seen prefix instead of replaying from event zero.
+func TestHTTPStreamResume(t *testing.T) {
+	s, started, release := blockingService(t, 1, 2)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"scale":"quick","seed":921}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	j := waitStart(t, started)
+	for i := 0; i < 3; i++ {
+		j.hub.emit("request-level", sim.WindowStats{Index: i})
+	}
+	close(release)
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := streamLines(t, srv.URL+"/v1/runs/"+j.ID+"/stream?from=2")
+	if len(lines) != 2 {
+		t.Fatalf("resumed stream = %d lines, want event 2 + terminal:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var ev struct {
+		Window struct {
+			Index int `json:"Index"`
+		} `json:"window"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil || ev.Window.Index != 2 {
+		t.Fatalf("resumed stream started at %d, want 2 (err %v)", ev.Window.Index, err)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/runs/" + j.ID + "/stream?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative from = %s, want 400", resp.Status)
+	}
+}
+
+// TestHTTPEvictionGone covers retention over HTTP: once the done-ring TTL
+// passes, the job's endpoints answer 410 Gone rather than 404.
+func TestHTTPEvictionGone(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2, DoneTTL: time.Millisecond})
+	s.runReport = func(ctx context.Context, j *Job) ([]byte, []byte, error) {
+		return []byte("{}\n"), nil, nil
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp0, err := http.Post(srv.URL+"/v1/runs?wait=1", "application/json",
+		strings.NewReader(`{"scale":"quick","seed":931}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if string(body) != "{}\n" {
+		t.Fatalf("report body = %q", body)
+	}
+	var j *Job
+	if jobs := s.Jobs(); len(jobs) == 1 {
+		j = jobs[0]
+	} else {
+		t.Fatalf("jobs = %d, want 1", len(jobs))
+	}
+	time.Sleep(5 * time.Millisecond)
+	for _, path := range []string{"", "/report", "/stream", "/figures/fig2"} {
+		resp, err := http.Get(srv.URL + "/v1/runs/" + j.ID + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("GET %s = %s, want 410", path, resp.Status)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+j.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("DELETE evicted = %s, want 410", resp.Status)
 	}
 }
 

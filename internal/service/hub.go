@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"unsafe"
 
 	"jasworkload/internal/sim"
 )
@@ -17,14 +18,24 @@ type WindowEvent struct {
 	Window sim.WindowStats `json:"window"`
 }
 
+// windowEventBytes approximates the resident cost of one buffered event,
+// used by the jasd_hub_bytes gauge (slice header + struct payload; the
+// Kind strings are shared constants, so they are not charged per event).
+const windowEventBytes = int(unsafe.Sizeof(WindowEvent{}))
+
 // streamHub fans one job's window events out to any number of stream
 // subscribers, losslessly: events accumulate in order, and a subscriber
-// that attaches late replays the history before tailing live ones.
+// that attaches late replays the history before tailing live ones. The
+// history is retained until the owning job is evicted (release), at which
+// point the event slice is freed and any remaining subscribers observe
+// end-of-stream at their next read.
 type streamHub struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	events []WindowEvent
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	events   []WindowEvent
+	total    int // events ever emitted; survives release for status bodies
+	closed   bool
+	released bool
 }
 
 func newStreamHub() *streamHub {
@@ -37,12 +48,16 @@ func newStreamHub() *streamHub {
 // goroutines via the artifact's window observer.
 func (h *streamHub) emit(kind string, ws sim.WindowStats) {
 	h.mu.Lock()
-	h.events = append(h.events, WindowEvent{Kind: kind, Window: ws})
+	if !h.released {
+		h.events = append(h.events, WindowEvent{Kind: kind, Window: ws})
+		h.total++
+	}
 	h.mu.Unlock()
 	h.cond.Broadcast()
 }
 
 // close marks the stream complete (job finished) and wakes subscribers.
+// Closing is idempotent; the history stays replayable until release.
 func (h *streamHub) close() {
 	h.mu.Lock()
 	h.closed = true
@@ -50,8 +65,30 @@ func (h *streamHub) close() {
 	h.cond.Broadcast()
 }
 
+// release frees the event history (job evicted). Subscribers never read
+// freed memory — next returns events by value under the same mutex — so a
+// subscriber mid-replay simply sees its stream end early; the terminal
+// status line the HTTP layer appends then reports the job's fate. The
+// emitted-event total remains available for status bodies.
+func (h *streamHub) release() {
+	h.mu.Lock()
+	h.events = nil
+	h.released = true
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// bytes reports the resident size of the buffered history.
+func (h *streamHub) bytes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events) * windowEventBytes
+}
+
 // next blocks until event i exists and returns it, or returns ok=false
-// when the stream closed before (or at) i, or when ctx is cancelled.
+// when the stream closed (or was released) before (or at) i, or when ctx
+// is cancelled.
 func (h *streamHub) next(ctx context.Context, i int) (WindowEvent, bool) {
 	// cond.Wait cannot watch a context; a helper goroutine turns
 	// cancellation into a broadcast so the wait loop re-checks ctx.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -11,28 +12,41 @@ import (
 // State is a job's lifecycle position.
 type State string
 
-// Job states.
+// Job states. The lifecycle is queued → running → {done, failed,
+// canceled}; queued jobs that graceful shutdown could not start fail with
+// errDropped (the "dropped" disposition). Terminal jobs are eventually
+// evicted from the store by the done-ring (TTL or capacity), after which
+// their IDs answer 410 Gone.
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
 )
 
 // Job is one deduplicated characterization run: every submission of an
 // equivalent config maps to the same Job, which executes at most once.
+// Each submission holds one reference; DELETE /v1/runs/{id} (and a
+// wait=1 client disconnecting) releases one. When the last reference is
+// released before the run finishes, the job's context is cancelled and
+// the simulations abort mid-window.
 type Job struct {
 	ID  string
 	Cfg core.RunConfig
 	Art *core.Artifact
 
 	hub  *streamHub
-	done chan struct{} // closed on completion (done or failed)
+	done chan struct{} // closed on completion (done, failed, or canceled)
+
+	ctx     context.Context    // cancelled when the last client lets go
+	cancel  context.CancelFunc // idempotent (context package guarantees)
+	timeout time.Duration      // run deadline once started (0 = none)
 
 	mu         sync.Mutex
 	state      State
 	err        error
-	clients    int // submissions coalesced onto this job
+	clients    int // live references: submissions not yet released
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -49,6 +63,7 @@ type JobStatus struct {
 	Scale         string  `json:"scale"`
 	IR            int     `json:"ir"`
 	Seed          int64   `json:"seed"`
+	TimeoutSec    float64 `json:"timeout_s,omitempty"`
 	RequestLevel  bool    `json:"request_level_ready"`
 	Detail        bool    `json:"detail_ready"`
 	WindowsSoFar  int     `json:"windows_streamed"`
@@ -70,6 +85,7 @@ func (j *Job) Status(now time.Time) JobStatus {
 		Scale:        scaleName(j.Cfg.Scale),
 		IR:           j.Cfg.IR,
 		Seed:         j.Cfg.Seed,
+		TimeoutSec:   j.timeout.Seconds(),
 		RequestLevel: rl,
 		Detail:       det,
 		WindowsSoFar: j.hub.len(),
@@ -82,7 +98,7 @@ func (j *Job) Status(now time.Time) JobStatus {
 		st.QueuedSec = now.Sub(j.submitted).Seconds()
 	case StateRunning:
 		st.RunningSec = now.Sub(j.started).Seconds()
-	case StateDone, StateFailed:
+	case StateDone, StateFailed, StateCanceled:
 		if !j.finished.IsZero() && !j.started.IsZero() {
 			st.RunningSec = j.finished.Sub(j.started).Seconds()
 		}
@@ -109,6 +125,11 @@ func (j *Job) State() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// terminal reports whether s is a terminal state.
+func terminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
 // Err returns the failure cause, if any.
@@ -148,27 +169,61 @@ func (j *Job) markRunning(now time.Time) {
 	j.mu.Unlock()
 }
 
-// finish transitions to a terminal state, publishes the rendered bodies,
-// closes the stream, and releases waiters.
-func (j *Job) finish(now time.Time, jsonBody, mdBody []byte, err error) {
+// runContext derives the context the job's pipeline executes under: the
+// refcounted cancellation context, bounded by the job deadline when one
+// is configured. The deadline clock starts when the run starts, not at
+// submission — queue time does not eat the budget.
+func (j *Job) runContext() (context.Context, context.CancelFunc) {
 	j.mu.Lock()
-	if err != nil {
-		j.state = StateFailed
-		j.err = err
-	} else {
+	d := j.timeout
+	j.mu.Unlock()
+	if d > 0 {
+		return context.WithTimeout(j.ctx, d)
+	}
+	return context.WithCancel(j.ctx)
+}
+
+// isCancellation reports whether err means the run was aborted by
+// cancellation or a deadline rather than failing on its own.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// finish transitions to a terminal state, publishes the rendered bodies,
+// closes the stream, and releases waiters. Idempotent: the first caller
+// wins and later calls report false — cancellation and the worker loop
+// may race to retire the same job.
+func (j *Job) finish(now time.Time, jsonBody, mdBody []byte, err error) bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	switch {
+	case err == nil:
 		j.state = StateDone
 		j.reportJSON = jsonBody
 		j.reportMD = mdBody
+	case isCancellation(err):
+		// Cancellation is an explicit terminal state, never a partial
+		// report: the rendered bodies stay nil.
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
 	}
 	j.finished = now
 	j.mu.Unlock()
+	j.cancel() // release the context's timer/goroutine resources
 	j.hub.close()
 	close(j.done)
+	return true
 }
 
 // len reports the number of events emitted so far.
 func (h *streamHub) len() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.events)
+	return h.total
 }

@@ -20,13 +20,15 @@ var gcPauseBucketsMS = []float64{25, 50, 100, 200, 400, 800, 1600}
 type Metrics struct {
 	mu sync.Mutex
 
-	jobsDone     uint64
-	jobsFailed   uint64
-	jobsRejected uint64
-	jobsDropped  uint64 // queued jobs failed by shutdown
-	dedupHits    uint64
-	httpRequests uint64
-	windowsSeen  uint64
+	jobsDone      uint64
+	jobsFailed    uint64
+	jobsRejected  uint64
+	jobsDropped   uint64 // queued jobs failed by shutdown
+	jobsCancelled uint64 // aborted by DELETE/disconnect or a deadline
+	jobsEvicted   uint64 // retired from the done-ring (TTL or capacity)
+	dedupHits     uint64
+	httpRequests  uint64
+	windowsSeen   uint64
 
 	inFlight int64
 
@@ -44,12 +46,14 @@ func NewMetrics() *Metrics {
 	return &Metrics{gcBucketCount: make([]uint64, len(gcPauseBucketsMS))}
 }
 
-func (m *Metrics) incJobsDone()     { m.mu.Lock(); m.jobsDone++; m.mu.Unlock() }
-func (m *Metrics) incJobsFailed()   { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
-func (m *Metrics) incJobsRejected() { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
-func (m *Metrics) incJobsDropped()  { m.mu.Lock(); m.jobsDropped++; m.mu.Unlock() }
-func (m *Metrics) incDedupHits()    { m.mu.Lock(); m.dedupHits++; m.mu.Unlock() }
-func (m *Metrics) incHTTPRequests() { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
+func (m *Metrics) incJobsDone()      { m.mu.Lock(); m.jobsDone++; m.mu.Unlock() }
+func (m *Metrics) incJobsFailed()    { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *Metrics) incJobsRejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *Metrics) incJobsDropped()   { m.mu.Lock(); m.jobsDropped++; m.mu.Unlock() }
+func (m *Metrics) incJobsCancelled() { m.mu.Lock(); m.jobsCancelled++; m.mu.Unlock() }
+func (m *Metrics) incJobsEvicted()   { m.mu.Lock(); m.jobsEvicted++; m.mu.Unlock() }
+func (m *Metrics) incDedupHits()     { m.mu.Lock(); m.dedupHits++; m.mu.Unlock() }
+func (m *Metrics) incHTTPRequests()  { m.mu.Lock(); m.httpRequests++; m.mu.Unlock() }
 
 func (m *Metrics) addInFlight(d int64) { m.mu.Lock(); m.inFlight += d; m.mu.Unlock() }
 
@@ -77,10 +81,10 @@ func (m *Metrics) observeWindow(gcs int, gcPauseMS float64) {
 	m.mu.Unlock()
 }
 
-// WriteTo renders the Prometheus text exposition. queueDepth and queueCap
-// are sampled by the caller (they live in the Service, not here). Output
-// order is fixed, so scrapes are diffable.
-func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap int) {
+// WriteTo renders the Prometheus text exposition. queueDepth, queueCap,
+// residentJobs, and hubBytes are sampled by the caller (they live in the
+// Service, not here). Output order is fixed, so scrapes are diffable.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, hubBytes int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -94,13 +98,18 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap int) {
 	gauge("jasd_queue_depth", "Jobs waiting for a worker.", float64(queueDepth))
 	gauge("jasd_queue_capacity", "Maximum number of waiting jobs before submissions are rejected.", float64(queueCap))
 	gauge("jasd_jobs_inflight", "Jobs currently executing on the worker pool.", float64(m.inFlight))
+	gauge("jasd_resident_jobs", "Jobs held in memory (running, queued, or awaiting done-ring eviction).", float64(residentJobs))
+	gauge("jasd_hub_bytes", "Bytes of buffered window events across all resident stream hubs.", float64(hubBytes))
 
 	fmt.Fprintf(w, "# HELP jasd_jobs_total Jobs by terminal disposition.\n# TYPE jasd_jobs_total counter\n")
 	fmt.Fprintf(w, "jasd_jobs_total{state=\"done\"} %d\n", m.jobsDone)
 	fmt.Fprintf(w, "jasd_jobs_total{state=\"failed\"} %d\n", m.jobsFailed)
 	fmt.Fprintf(w, "jasd_jobs_total{state=\"rejected\"} %d\n", m.jobsRejected)
 	fmt.Fprintf(w, "jasd_jobs_total{state=\"dropped\"} %d\n", m.jobsDropped)
+	fmt.Fprintf(w, "jasd_jobs_total{state=\"canceled\"} %d\n", m.jobsCancelled)
 
+	counter("jasd_jobs_cancelled_total", "Jobs aborted by cancellation or a run deadline.", m.jobsCancelled)
+	counter("jasd_jobs_evicted_total", "Terminal jobs retired from the done-ring by TTL or capacity.", m.jobsEvicted)
 	counter("jasd_dedup_hits_total", "Submissions coalesced onto an existing job for the same canonical config.", m.dedupHits)
 
 	hits, misses := core.CacheStats()

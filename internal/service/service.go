@@ -10,6 +10,15 @@
 // clients asking for the same experiment cost exactly one simulation per
 // fidelity and read byte-identical response bodies (the report is rendered
 // once and served verbatim).
+//
+// Lifecycle and retention: every submission holds one reference on its
+// job; DELETE /v1/runs/{id} releases one, and releasing the last reference
+// of an unfinished job cancels its context, which aborts the simulations
+// mid-window. Terminal jobs enter a TTL+capacity-bounded done-ring; until
+// eviction their reports and stream history stay available, after which
+// the job is forgotten (410 Gone) and its artifact and event history are
+// freed. Cancellation never yields a partial report — the only outputs
+// are a complete, deterministic report or an explicit canceled state.
 package service
 
 import (
@@ -37,6 +46,17 @@ type Options struct {
 	// RetryAfter is the backoff hint attached to queue-full rejections
 	// (default 5s).
 	RetryAfter time.Duration
+	// JobTimeout bounds each run's execution time (measured from run
+	// start, not submission). Zero means no deadline. A JobSpec's
+	// timeout_s overrides it per job.
+	JobTimeout time.Duration
+	// DoneTTL is how long terminal jobs stay resident — report bytes,
+	// figures, and stream history remain served — before eviction
+	// (default 15m).
+	DoneTTL time.Duration
+	// DoneCap bounds how many terminal jobs stay resident regardless of
+	// age; the oldest are evicted first (default 256).
+	DoneCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +69,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 5 * time.Second
 	}
+	if o.DoneTTL <= 0 {
+		o.DoneTTL = 15 * time.Minute
+	}
+	if o.DoneCap < 1 {
+		o.DoneCap = 256
+	}
 	return o
 }
 
@@ -59,9 +85,23 @@ var (
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrDraining rejects submissions during graceful shutdown (HTTP 503).
 	ErrDraining = errors.New("service: shutting down")
+	// ErrUnknownJob reports an ID that was never seen (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrGone reports an ID whose job was evicted from the done-ring
+	// (HTTP 410): the report existed but has been retired.
+	ErrGone = errors.New("service: job evicted")
 	// errDropped fails queued jobs that shutdown could not start.
 	errDropped = errors.New("service: dropped by shutdown before starting")
 )
+
+// doneEntry is one slot of the done-ring: a terminal job and when it
+// became terminal. Entries hold the job pointer, not the ID, because a
+// canceled config may be resubmitted under the same deterministic ID
+// while its predecessor still awaits eviction.
+type doneEntry struct {
+	j  *Job
+	at time.Time
+}
 
 // Service owns the job store, the wait queue, and the worker pool.
 type Service struct {
@@ -74,13 +114,21 @@ type Service struct {
 	mu       sync.Mutex
 	byKey    map[core.RunConfig]*Job // canonical config -> job (dedup)
 	byID     map[string]*Job
-	order    []string // job IDs in submission order (for listing)
+	order    []*Job      // jobs in submission order (for listing)
+	doneRing []doneEntry // terminal jobs awaiting TTL/capacity eviction
+	tombs    map[string]bool
+	tombList []string // tombstone insertion order, for capping
 	draining bool
 
 	// runReport executes one job's pipeline and returns the rendered
 	// bodies. Tests stub it to exercise queueing without simulating.
-	runReport func(*Job) (jsonBody, mdBody []byte, err error)
+	runReport func(ctx context.Context, j *Job) (jsonBody, mdBody []byte, err error)
 }
+
+// maxTombstones caps how many evicted IDs are remembered for 410
+// responses; beyond this the oldest degrade to 404, which only misleads
+// clients that sat on an ID for thousands of evictions.
+const maxTombstones = 4096
 
 // New builds a service and starts its worker pool.
 func New(opts Options) *Service {
@@ -89,6 +137,7 @@ func New(opts Options) *Service {
 		metrics: NewMetrics(),
 		byKey:   map[core.RunConfig]*Job{},
 		byID:    map[string]*Job{},
+		tombs:   map[string]bool{},
 	}
 	s.queue = make(chan *Job, s.opts.QueueDepth)
 	s.runReport = s.buildReport
@@ -109,13 +158,22 @@ func (s *Service) RetryAfter() time.Duration { return s.opts.RetryAfter }
 // QueueDepth returns (current, capacity) of the wait queue.
 func (s *Service) QueueDepth() (int, int) { return len(s.queue), s.opts.QueueDepth }
 
-// Submit coalesces cfg onto an existing job or enqueues a new one.
-// deduped reports whether an existing job absorbed the submission.
-// ErrQueueFull and ErrDraining are the two rejection causes.
+// Submit coalesces cfg onto an existing job or enqueues a new one with
+// the service-default deadline.
 func (s *Service) Submit(cfg core.RunConfig) (job *Job, deduped bool, err error) {
+	return s.SubmitTimeout(cfg, 0)
+}
+
+// SubmitTimeout is Submit with a per-job deadline override (0 keeps
+// Options.JobTimeout). deduped reports whether an existing job absorbed
+// the submission — in that case the existing job's deadline stands.
+// ErrQueueFull and ErrDraining are the two rejection causes.
+func (s *Service) SubmitTimeout(cfg core.RunConfig, timeout time.Duration) (job *Job, deduped bool, err error) {
 	key := cfg.Canonical()
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(now)
 	if j, ok := s.byKey[key]; ok {
 		j.mu.Lock()
 		j.clients++
@@ -126,16 +184,23 @@ func (s *Service) Submit(cfg core.RunConfig) (job *Job, deduped bool, err error)
 	if s.draining {
 		return nil, false, ErrDraining
 	}
+	if timeout <= 0 {
+		timeout = s.opts.JobTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		ID:   jobID(key),
-		Cfg:  key,
-		Art:  core.ForConfig(key),
-		hub:  newStreamHub(),
-		done: make(chan struct{}),
+		ID:     jobID(key),
+		Cfg:    key,
+		Art:    core.ForConfig(key),
+		hub:    newStreamHub(),
+		done:   make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
 	}
 	j.state = StateQueued
 	j.clients = 1
-	j.submitted = time.Now()
+	j.timeout = timeout
+	j.submitted = now
 	// Route the artifact's window stream to this job's hub and the GC
 	// histogram before the run can start, so subscribers and /metrics see
 	// every window.
@@ -146,12 +211,13 @@ func (s *Service) Submit(cfg core.RunConfig) (job *Job, deduped bool, err error)
 	select {
 	case s.queue <- j:
 	default:
+		cancel()
 		s.metrics.incJobsRejected()
 		return nil, false, ErrQueueFull
 	}
 	s.byKey[key] = j
 	s.byID[j.ID] = j
-	s.order = append(s.order, j.ID)
+	s.order = append(s.order, j)
 	return j, false, nil
 }
 
@@ -159,19 +225,151 @@ func (s *Service) Submit(cfg core.RunConfig) (job *Job, deduped bool, err error)
 func (s *Service) Job(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(time.Now())
 	j, ok := s.byID[id]
 	return j, ok
 }
 
-// Jobs snapshots all jobs in submission order.
+// Evicted reports whether id names a job that existed but was evicted.
+func (s *Service) Evicted(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tombs[id]
+}
+
+// Jobs snapshots all resident jobs in submission order.
 func (s *Service) Jobs() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.byID[id])
-	}
+	s.sweepLocked(time.Now())
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
 	return out
+}
+
+// ResidentStats samples the retention gauges: how many jobs are resident
+// (any state) and how many bytes their stream histories hold. Scrapes
+// double as eviction ticks, so retention converges even on an idle
+// service that still gets monitored.
+func (s *Service) ResidentStats() (residentJobs, hubBytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(time.Now())
+	for _, j := range s.order {
+		hubBytes += j.hub.bytes()
+	}
+	return len(s.order), hubBytes
+}
+
+// Cancel releases one submission reference of job id. When the last
+// reference goes, an unfinished job is aborted: its context is cancelled
+// (stopping queued jobs immediately and running simulations mid-window)
+// and it retires in StateCanceled with no report. Finished jobs just
+// shed the reference. The post-release status is returned.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	now := time.Now()
+	s.mu.Lock()
+	s.sweepLocked(now)
+	j, ok := s.byID[id]
+	if !ok {
+		gone := s.tombs[id]
+		s.mu.Unlock()
+		if gone {
+			return JobStatus{}, ErrGone
+		}
+		return JobStatus{}, ErrUnknownJob
+	}
+	s.mu.Unlock()
+	s.release(j, now)
+	return j.Status(now), nil
+}
+
+// release drops one reference on j; the last release of an unfinished
+// job aborts it. Called by Cancel and by the HTTP layer when a blocking
+// submit client disconnects (its reference is consumed either way).
+func (s *Service) release(j *Job, now time.Time) {
+	j.mu.Lock()
+	if j.clients > 0 {
+		j.clients--
+	}
+	last := j.clients == 0
+	st := j.state
+	j.mu.Unlock()
+	if !last || terminal(st) {
+		return
+	}
+	// Last subscriber gone: abort. Cancelling the job context stops a
+	// running pipeline mid-window; a still-queued job retires right here
+	// (the worker skips non-queued jobs it pops).
+	j.cancel()
+	if st == StateQueued && j.finish(now, nil, nil, context.Canceled) {
+		s.metrics.incJobsCancelled()
+		s.noteTerminal(j, now)
+	}
+}
+
+// noteTerminal records a freshly-terminal job in the done-ring and, for
+// canceled/failed jobs, un-registers the config so a resubmission starts
+// a fresh run (their artifact is dropped from the run store — a memo
+// poisoned by ctx cancellation must not serve the stale error, and a
+// failed run's partial simulations should not pin memory).
+func (s *Service) noteTerminal(j *Job, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.State() {
+	case StateCanceled, StateFailed:
+		if s.byKey[j.Cfg] == j {
+			delete(s.byKey, j.Cfg)
+		}
+		core.Drop(j.Art)
+	}
+	s.doneRing = append(s.doneRing, doneEntry{j: j, at: now})
+	s.sweepLocked(now)
+}
+
+// sweepLocked evicts done-ring entries that are over capacity or past
+// the TTL. Eviction is lazy — driven by submissions, lookups, and
+// metrics scrapes — so there is no background timer goroutine to leak.
+func (s *Service) sweepLocked(now time.Time) {
+	for len(s.doneRing) > 0 {
+		e := s.doneRing[0]
+		if len(s.doneRing) <= s.opts.DoneCap && now.Sub(e.at) < s.opts.DoneTTL {
+			break
+		}
+		s.doneRing = s.doneRing[1:]
+		s.evictLocked(e.j)
+	}
+}
+
+// evictLocked forgets one terminal job: store maps, listing order, stream
+// history, and the run-store artifact all release their references, and
+// the ID leaves a tombstone so clients get 410 rather than 404. Identity
+// checks guard every map because a resubmitted config reuses the same
+// deterministic ID while the old job waits here.
+func (s *Service) evictLocked(j *Job) {
+	if s.byID[j.ID] == j {
+		delete(s.byID, j.ID)
+	}
+	if s.byKey[j.Cfg] == j {
+		delete(s.byKey, j.Cfg)
+	}
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	j.hub.release()
+	core.Drop(j.Art)
+	if !s.tombs[j.ID] {
+		s.tombs[j.ID] = true
+		s.tombList = append(s.tombList, j.ID)
+		if len(s.tombList) > maxTombstones {
+			delete(s.tombs, s.tombList[0])
+			s.tombList = s.tombList[1:]
+		}
+	}
+	s.metrics.incJobsEvicted()
 }
 
 // worker drains the queue. During shutdown, jobs that were still waiting
@@ -184,19 +382,32 @@ func (s *Service) worker() {
 		draining := s.draining
 		s.mu.Unlock()
 		if draining {
-			s.metrics.incJobsDropped()
-			j.finish(time.Now(), nil, nil, errDropped)
+			if j.finish(time.Now(), nil, nil, errDropped) {
+				s.metrics.incJobsDropped()
+				s.noteTerminal(j, time.Now())
+			}
 			continue
+		}
+		if j.State() != StateQueued {
+			continue // canceled while waiting; already retired
 		}
 		s.metrics.addInFlight(1)
 		j.markRunning(time.Now())
-		jsonBody, mdBody, err := s.runReport(j)
-		if err != nil {
-			s.metrics.incJobsFailed()
-		} else {
-			s.metrics.incJobsDone()
+		ctx, cancel := j.runContext()
+		jsonBody, mdBody, err := s.runReport(ctx, j)
+		cancel()
+		now := time.Now()
+		if j.finish(now, jsonBody, mdBody, err) {
+			switch {
+			case err == nil:
+				s.metrics.incJobsDone()
+			case isCancellation(err):
+				s.metrics.incJobsCancelled()
+			default:
+				s.metrics.incJobsFailed()
+			}
+			s.noteTerminal(j, now)
 		}
-		j.finish(time.Now(), jsonBody, mdBody, err)
 		s.metrics.addInFlight(-1)
 	}
 }
@@ -213,9 +424,10 @@ type reportBody struct {
 }
 
 // buildReport is the production job runner: the full characterization
-// pipeline over the shared artifact, rendered once.
-func (s *Service) buildReport(j *Job) ([]byte, []byte, error) {
-	rep, err := core.BuildReport(j.Cfg)
+// pipeline over the shared artifact, rendered once. ctx aborts it
+// mid-window; a cancelled build returns ctx's error and no bodies.
+func (s *Service) buildReport(ctx context.Context, j *Job) ([]byte, []byte, error) {
+	rep, err := core.BuildReportContext(ctx, j.Cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -246,8 +458,9 @@ func (s *Service) buildReport(j *Job) ([]byte, []byte, error) {
 
 // Shutdown drains gracefully: new submissions are rejected, queued jobs
 // that have not started are failed, and in-flight runs get until ctx's
-// deadline to finish. Returns ctx.Err() if the deadline expired with runs
-// still in flight (the process may then exit under them).
+// deadline to finish. If the deadline expires first, every unfinished
+// job's context is cancelled — running simulations abort at their next
+// window boundary — and ctx.Err() is returned without waiting for them.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -267,6 +480,15 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		s.mu.Lock()
+		resident := make([]*Job, len(s.order))
+		copy(resident, s.order)
+		s.mu.Unlock()
+		for _, j := range resident {
+			if !terminal(j.State()) {
+				j.cancel()
+			}
+		}
 		return ctx.Err()
 	}
 }

@@ -3,11 +3,14 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/sim"
 )
 
 // testCfg returns a distinct tiny config per seed; distinct seeds mean
@@ -20,17 +23,21 @@ func testCfg(seed int64) core.RunConfig {
 	return cfg
 }
 
-// blockingService builds a service whose runner blocks until released,
-// signalling each start. No simulations execute.
+// blockingService builds a service whose runner blocks until released or
+// cancelled, signalling each start. No simulations execute.
 func blockingService(t *testing.T, workers, queue int) (s *Service, started chan *Job, release chan struct{}) {
 	t.Helper()
 	s = New(Options{Workers: workers, QueueDepth: queue, RetryAfter: time.Second})
 	started = make(chan *Job, 16)
 	release = make(chan struct{})
-	s.runReport = func(j *Job) ([]byte, []byte, error) {
+	s.runReport = func(ctx context.Context, j *Job) ([]byte, []byte, error) {
 		started <- j
-		<-release
-		return []byte("{}\n"), []byte("| md |\n"), nil
+		select {
+		case <-release:
+			return []byte("{}\n"), []byte("| md |\n"), nil
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
 	}
 	return s, started, release
 }
@@ -155,7 +162,7 @@ func TestShutdownDeadlineExpires(t *testing.T) {
 func TestFailedRunMarksJobFailed(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	boom := errors.New("boom")
-	s.runReport = func(*Job) ([]byte, []byte, error) { return nil, nil, boom }
+	s.runReport = func(context.Context, *Job) ([]byte, []byte, error) { return nil, nil, boom }
 	j, _, err := s.Submit(testCfg(501))
 	if err != nil {
 		t.Fatal(err)
@@ -202,11 +209,13 @@ func TestMetricsExposition(t *testing.T) {
 	j := waitStart(t, started)
 	s.Submit(testCfg(601)) // dedup hit
 	var b strings.Builder
-	s.metrics.WriteTo(&b, 0, 1)
+	resident, hubBytes := s.ResidentStats()
+	s.metrics.WriteTo(&b, 0, 1, resident, hubBytes)
 	out := b.String()
 	for _, want := range []string{
 		"jasd_jobs_inflight 1",
 		"jasd_queue_capacity 1",
+		"jasd_resident_jobs 1",
 		"jasd_dedup_hits_total 1",
 		"# TYPE jasd_gc_pause_ms histogram",
 		"jasd_gc_pause_ms_bucket{le=\"+Inf\"}",
@@ -222,8 +231,206 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Reset()
-	s.metrics.WriteTo(&b, 0, 1)
+	s.metrics.WriteTo(&b, 0, 1, 0, 0)
 	if !strings.Contains(b.String(), "jasd_jobs_total{state=\"done\"} 1") {
 		t.Fatalf("done counter missing:\n%s", b.String())
+	}
+}
+
+// TestCancelRefcounted proves cancellation is reference-counted across a
+// deduplicated job: releasing all but the last subscriber leaves the run
+// untouched; the final release cancels the run's context mid-execution
+// and retires the job as canceled with no report.
+func TestCancelRefcounted(t *testing.T) {
+	s, started, release := blockingService(t, 1, 4)
+	defer close(release)
+	j, _, err := s.Submit(testCfg(701))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // three references total
+		if _, dedup, err := s.Submit(testCfg(701)); err != nil || !dedup {
+			t.Fatalf("dedup submit %d: dedup=%v err=%v", i, dedup, err)
+		}
+	}
+	waitStart(t, started)
+	for i := 0; i < 2; i++ {
+		st, err := s.Cancel(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateRunning {
+			t.Fatalf("state after cancel %d = %s, want running (refs remain)", i, st.State)
+		}
+	}
+	if _, err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if _, _, ok := j.Report(); ok {
+		t.Fatal("canceled job published a report")
+	}
+	// The canceled config is unregistered: resubmitting starts fresh.
+	j2, dedup, err := s.Submit(testCfg(701))
+	if err != nil || dedup {
+		t.Fatalf("resubmit after cancel: dedup=%v err=%v", dedup, err)
+	}
+	if j2 == j {
+		t.Fatal("resubmit reused the canceled job")
+	}
+	waitStart(t, started)
+	var b strings.Builder
+	s.metrics.WriteTo(&b, 0, 1, 0, 0)
+	if !strings.Contains(b.String(), "jasd_jobs_cancelled_total 1") {
+		t.Fatalf("cancellation not counted:\n%s", b.String())
+	}
+}
+
+// TestCancelQueued verifies a job cancelled before a worker picks it up
+// retires immediately and never starts executing.
+func TestCancelQueued(t *testing.T) {
+	s, started, release := blockingService(t, 1, 4)
+	defer close(release)
+	if _, _, err := s.Submit(testCfg(711)); err != nil {
+		t.Fatal(err)
+	}
+	running := waitStart(t, started)
+	queued, _, err := s.Submit(testCfg(712))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != StateCanceled {
+		t.Fatalf("queued job state after cancel = %s, want canceled", st)
+	}
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The worker must skip the cancelled queued job rather than run it.
+	select {
+	case j := <-started:
+		t.Fatalf("cancelled queued job %s started", j.ID)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestEvictionAndResubmit is the retention acceptance test: a terminal
+// job past the done-ring TTL is evicted on the next store access — its ID
+// answers Gone, its stream history is freed — and resubmitting the same
+// config re-executes the pipeline exactly once more.
+func TestEvictionAndResubmit(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4, DoneTTL: time.Millisecond})
+	var mu sync.Mutex
+	runs := 0
+	s.runReport = func(ctx context.Context, j *Job) ([]byte, []byte, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		j.hub.emit("request-level", sim.WindowStats{})
+		return []byte("{}\n"), []byte("| md |\n"), nil
+	}
+	j, _, err := s.Submit(testCfg(721))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, hubBytes := s.ResidentStats(); hubBytes == 0 {
+		t.Fatal("finished job's stream history should still be resident")
+	}
+	time.Sleep(5 * time.Millisecond) // pass the TTL; eviction is lazy
+
+	// Any store access sweeps: the job vanishes and leaves a tombstone.
+	if _, ok := s.Job(j.ID); ok {
+		t.Fatal("expired job still resident")
+	}
+	if !s.Evicted(j.ID) {
+		t.Fatal("evicted job left no tombstone")
+	}
+	if resident, hubBytes := s.ResidentStats(); resident != 0 || hubBytes != 0 {
+		t.Fatalf("after eviction resident=%d hubBytes=%d, want 0/0", resident, hubBytes)
+	}
+	if j.hub.len() != 1 {
+		t.Fatalf("event total lost on release: %d", j.hub.len())
+	}
+
+	// Resubmission of the evicted config re-simulates exactly once.
+	j2, dedup, err := s.Submit(testCfg(721))
+	if err != nil || dedup {
+		t.Fatalf("resubmit after eviction: dedup=%v err=%v", dedup, err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := runs
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("pipeline executed %d times, want 2 (once per eviction generation)", got)
+	}
+	var b strings.Builder
+	s.metrics.WriteTo(&b, 0, 1, 0, 0)
+	if !strings.Contains(b.String(), "jasd_jobs_evicted_total 1") {
+		t.Fatalf("eviction not counted:\n%s", b.String())
+	}
+}
+
+// TestNoGoroutineLeakAfterShutdown pins the subscriber-parking bug:
+// stream readers blocked in the hub's cond.Wait and workers must all be
+// gone once every job is terminal and Shutdown has drained.
+func TestNoGoroutineLeakAfterShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, started, release := blockingService(t, 1, 8)
+	running, _, err := s.Submit(testCfg(731))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStart(t, started)
+	queued, _, err := s.Submit(testCfg(732))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park subscribers on both hubs, past any event that will ever come.
+	var wg sync.WaitGroup
+	for _, j := range []*Job{running, queued} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				j.hub.next(context.Background(), 1<<30)
+			}(j)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // dropped job's closed hub must wake its parked subscribers
+	if err := queued.Err(); !errors.Is(err, errDropped) {
+		t.Fatalf("queued job err = %v, want errDropped", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

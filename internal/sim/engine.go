@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -85,7 +86,8 @@ type Engine struct {
 	gcInstrSim uint64
 	cpiEst     float64
 
-	finished    bool // set once Run completes; guards against re-running
+	finished    bool            // set once Run completes; guards against re-running
+	ctx         context.Context // cancellation for the window loop (nil = never)
 	lastCtr     counterSnapshot
 	queue       []queuedReq // arrivals not yet served (capacity carry-over)
 	diskFreeAt  float64     // disk array availability (I/O queueing)
@@ -188,9 +190,24 @@ func (e *Engine) Finished() bool { return e.finished }
 // Run executes the configured duration and returns the windows. A second
 // call returns ErrFinished.
 func (e *Engine) Run() ([]WindowStats, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the configured duration, aborting between requests
+// when ctx is cancelled: the engine checks ctx inside every window's serve
+// loop, so a long window stops mid-flight instead of running to its end.
+// An aborted engine never reports Finished and its windows are partial —
+// callers must discard it. For a ctx that is never cancelled, RunContext
+// is behaviourally identical to Run (observation only; the simulated
+// outcome is byte-for-byte the same).
+func (e *Engine) RunContext(ctx context.Context) ([]WindowStats, error) {
 	if e.finished {
 		return e.windows, ErrFinished
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
 	nWindows := int(e.cfg.DurationMS / e.cfg.WindowMS)
 	if cap(e.windows)-len(e.windows) < nWindows {
 		grown := make([]WindowStats, len(e.windows), len(e.windows)+nWindows)
@@ -198,6 +215,9 @@ func (e *Engine) Run() ([]WindowStats, error) {
 		e.windows = grown
 	}
 	for w := 0; w < nWindows; w++ {
+		if err := ctx.Err(); err != nil {
+			return e.windows, fmt.Errorf("sim: run aborted after %d windows: %w", len(e.windows), err)
+		}
 		if err := e.Step(); err != nil {
 			return e.windows, err
 		}
@@ -221,6 +241,15 @@ func (e *Engine) Step() error {
 	// behind the paper's negative completion-cycle correlation.
 	served := 0
 	for _, q := range e.queue {
+		// Cancellation point: a cancelled run stops between requests, so a
+		// window heavy with queued work (the expensive case in detail mode)
+		// aborts mid-window rather than running to its boundary. ctx.Err()
+		// is side-effect free, so uncancelled runs are unperturbed.
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return fmt.Errorf("sim: window %d aborted: %w", len(e.windows), err)
+			}
+		}
 		if e.coreFreeAt[e.earliestFreeCore()] >= winEnd {
 			break
 		}

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"jasworkload/internal/db"
@@ -440,5 +443,57 @@ func TestEngineAccessors(t *testing.T) {
 	}
 	if JVMJ9.String() == JVMSovereign.String() {
 		t.Fatal("variants share a name")
+	}
+}
+
+// TestEngineRunContextCancellation verifies the cancellation plumbing:
+// cancelling the run context stops the window loop (and the serve loop
+// inside a window) without recording partial windows, and a context that
+// is already cancelled executes nothing at all.
+func TestEngineRunContextCancellation(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 60_000, 20_000, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetWindowFunc(func(ws WindowStats) {
+		if ws.Index == 2 {
+			cancel()
+		}
+	})
+	if _, err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if n := len(e.Windows()); n != 3 {
+		t.Fatalf("windows after cancel = %d, want exactly the 3 completed ones", n)
+	}
+	if e.Finished() {
+		t.Fatal("aborted engine claims to have finished")
+	}
+
+	done, stop := context.WithCancel(context.Background())
+	stop()
+	e2 := shortEngine(t, smallSUT(t, 8), 60_000, 20_000, 0)
+	if _, err := e2.RunContext(done); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext = %v", err)
+	}
+	if len(e2.Windows()) != 0 {
+		t.Fatalf("pre-cancelled run executed %d windows", len(e2.Windows()))
+	}
+}
+
+// TestEngineRunContextMatchesRun guards determinism: an uncancelled
+// context must not perturb the simulation in any observable way.
+func TestEngineRunContextMatchesRun(t *testing.T) {
+	a := shortEngine(t, smallSUT(t, 8), 30_000, 10_000, 0)
+	wa, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := shortEngine(t, smallSUT(t, 8), 30_000, 10_000, 0)
+	wb, err := b.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wa, wb) {
+		t.Fatal("RunContext with a live context diverged from Run")
 	}
 }

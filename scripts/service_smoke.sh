@@ -2,8 +2,10 @@
 # Service smoke test (make service-smoke / make ci): start jasd on a
 # random port, submit the quick-scale run through jasctl, and require the
 # served markdown report to be byte-identical to the pinned golden file —
-# the serving layer must not perturb the deterministic pipeline. Also
-# checks that SIGTERM drains cleanly.
+# the serving layer must not perturb the deterministic pipeline. Then
+# cancel an in-flight run with jasctl cancel, require the RSS-proxy
+# metrics (resident jobs, hub bytes) to return to baseline once the
+# done-ring TTL evicts everything, and check that SIGTERM drains cleanly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,7 +21,9 @@ trap cleanup EXIT INT TERM
 $GO build -o "$tmp/jasd" ./cmd/jasd
 $GO build -o "$tmp/jasctl" ./cmd/jasctl
 
-"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -workers 2 2>"$tmp/jasd.log" &
+# -done-ttl is short so the retention assertions below can watch eviction
+# bring the resident gauges back to zero within the smoke run.
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -workers 2 -done-ttl 2s 2>"$tmp/jasd.log" &
 pid=$!
 
 i=0
@@ -49,6 +53,58 @@ for want in 'jasd_jobs_total{state="done"} 1' 'jasd_queue_depth 0' 'jasd_jops'; 
         exit 1
     fi
 done
+
+# Cancellation: submit a run far too long to finish, wait for it to start
+# producing windows, then cancel it. The run must retire as canceled (no
+# report) and the cancellation must be counted.
+"$tmp/jasctl" -addr "$addr" submit -scale quick -seed 2 -duration-ms 600000 >"$tmp/submit.json"
+id=$(grep -o '"id": "[^"]*"' "$tmp/submit.json" | head -1 | cut -d'"' -f4)
+if [ -z "$id" ]; then
+    echo "service-smoke: no job id in submit response" >&2
+    cat "$tmp/submit.json" >&2
+    exit 1
+fi
+i=0
+while ! "$tmp/jasctl" -addr "$addr" status "$id" | grep -q '"windows_streamed": [1-9]'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "service-smoke: long run produced no windows" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$tmp/jasctl" -addr "$addr" cancel "$id" >/dev/null
+i=0
+while ! "$tmp/jasctl" -addr "$addr" status "$id" | grep -q '"state": "canceled"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "service-smoke: cancelled run did not abort" >&2
+        "$tmp/jasctl" -addr "$addr" status "$id" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! "$tmp/jasctl" -addr "$addr" metrics | grep -qF 'jasd_jobs_cancelled_total 1'; then
+    echo "service-smoke: cancellation not counted" >&2
+    exit 1
+fi
+
+# Retention: after the done-ring TTL passes, both jobs (the finished
+# golden run and the cancelled one) are evicted, so the RSS-proxy gauges
+# fall back to their empty-service baseline.
+sleep 3
+"$tmp/jasctl" -addr "$addr" metrics >"$tmp/metrics_after.txt"
+for want in 'jasd_resident_jobs 0' 'jasd_hub_bytes 0' 'jasd_jobs_evicted_total 2'; do
+    if ! grep -qF "$want" "$tmp/metrics_after.txt"; then
+        echo "service-smoke: retention metrics missing '$want'" >&2
+        cat "$tmp/metrics_after.txt" >&2
+        exit 1
+    fi
+done
+if "$tmp/jasctl" -addr "$addr" status "$id" >/dev/null 2>&1; then
+    echo "service-smoke: evicted job still answers status" >&2
+    exit 1
+fi
 
 kill -TERM "$pid"
 wait "$pid"
