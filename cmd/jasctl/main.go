@@ -37,6 +37,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -219,6 +220,10 @@ func stream(addr string, args []string) error {
 		if err == nil {
 			return nil
 		}
+		var term *terminalError
+		if errors.As(err, &term) {
+			return term.err
+		}
 		retries++
 		if retries > maxRetries {
 			return err
@@ -227,6 +232,14 @@ func stream(addr string, args []string) error {
 		time.Sleep(time.Second)
 	}
 }
+
+// terminalError marks a stream failure no resume can fix: the server
+// answered with an error status (job unknown, evicted, bad offset)
+// rather than the connection dropping mid-stream.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
 
 // streamOnce runs one stream connection from event *seen, advancing
 // *seen per event line. It returns nil once the terminal line arrives
@@ -238,7 +251,9 @@ func streamOnce(addr, id string, seen *int) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return httpError(resp)
+		// The body here is a JSON error, not stream output: a 404/410
+		// means the job is gone and no resume can bring it back.
+		return &terminalError{httpError(resp)}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -104,7 +104,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// it is consumed when the response is written, or — if the client
 		// disconnects mid-wait — released then, so abandoned waits cannot
 		// pin a job forever (the last to go aborts the run).
-		defer s.release(job, time.Now())
+		defer func() { s.release(job, time.Now()) }()
 		s.serveReport(w, r, job, true)
 		return
 	}

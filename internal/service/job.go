@@ -161,12 +161,19 @@ func (j *Job) Report() (jsonBody, mdBody []byte, ok bool) {
 	return j.reportJSON, j.reportMD, true
 }
 
-// markRunning transitions queued→running.
-func (j *Job) markRunning(now time.Time) {
+// markRunning transitions queued→running. It returns false (and changes
+// nothing) when the job already left the queued state — a cancel racing
+// the worker's dequeue may have retired it first, and reviving a
+// terminal job here would let the worker close j.done a second time.
+func (j *Job) markRunning(now time.Time) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
 	j.state = StateRunning
 	j.started = now
-	j.mu.Unlock()
+	return true
 }
 
 // runContext derives the context the job's pipeline executes under: the

@@ -298,9 +298,28 @@ func (s *Service) release(j *Job, now time.Time) {
 	if !last || terminal(st) {
 		return
 	}
-	// Last subscriber gone: abort. Cancelling the job context stops a
-	// running pipeline mid-window; a still-queued job retires right here
-	// (the worker skips non-queued jobs it pops).
+	// Zero references on a live job: abort — but only after re-checking
+	// under s.mu, because a dedup submit increments clients under s.mu
+	// (SubmitTimeout's byKey hit) and may have revived the job between
+	// the decrement above and now. Unregistering byKey under the same
+	// lock makes the decision atomic: once the abort is committed, no
+	// later submit can coalesce onto the dying job.
+	s.mu.Lock()
+	j.mu.Lock()
+	if j.clients > 0 || terminal(j.state) {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	st = j.state
+	if s.byKey[j.Cfg] == j {
+		delete(s.byKey, j.Cfg)
+	}
+	j.mu.Unlock()
+	s.mu.Unlock()
+	// Cancelling the job context stops a running pipeline mid-window; a
+	// still-queued job retires right here (the worker's guarded
+	// markRunning skips it).
 	j.cancel()
 	if st == StateQueued && j.finish(now, nil, nil, context.Canceled) {
 		s.metrics.incJobsCancelled()
@@ -388,11 +407,10 @@ func (s *Service) worker() {
 			}
 			continue
 		}
-		if j.State() != StateQueued {
+		if !j.markRunning(time.Now()) {
 			continue // canceled while waiting; already retired
 		}
 		s.metrics.addInFlight(1)
-		j.markRunning(time.Now())
 		ctx, cancel := j.runContext()
 		jsonBody, mdBody, err := s.runReport(ctx, j)
 		cancel()

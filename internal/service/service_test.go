@@ -318,6 +318,78 @@ func TestCancelQueued(t *testing.T) {
 	}
 }
 
+// TestCancelDequeueRace hammers the window between a worker popping a
+// queued job and a cancel retiring it: markRunning must refuse to revive
+// a job the cancel already finished, or the worker's finish would close
+// j.done a second time and panic.
+func TestCancelDequeueRace(t *testing.T) {
+	s := New(Options{Workers: 4, QueueDepth: 64})
+	s.runReport = func(ctx context.Context, j *Job) ([]byte, []byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return []byte("{}\n"), []byte("| md |\n"), nil
+	}
+	for i := 0; i < 500; i++ {
+		var j *Job
+		for {
+			var err error
+			j, _, err = s.Submit(testCfg(int64(10_000 + i)))
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond) // let workers drain retired jobs
+		}
+		go s.Cancel(j.ID)
+		if err := j.Wait(context.Background()); err != nil && !isCancellation(err) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestReleaseRevivalRace pins the refcount revival race: a dedup submit
+// landing between the last release's decrement and its abort must either
+// coalesce onto a job that then survives, or get a fresh job — never hold
+// a live reference to a run aborted underneath it.
+func TestReleaseRevivalRace(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 64})
+	s.runReport = func(ctx context.Context, j *Job) ([]byte, []byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return []byte("{}\n"), []byte("| md |\n"), nil
+	}
+	cfg := testCfg(20_001)
+	for i := 0; i < 300; i++ {
+		j1, _, err := s.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revived := make(chan *Job, 1)
+		go func() {
+			j2, _, err := s.Submit(cfg)
+			if err != nil {
+				t.Error(err)
+				revived <- nil
+				return
+			}
+			revived <- j2
+		}()
+		s.release(j1, time.Now())
+		j2 := <-revived
+		if j2 == nil {
+			t.Fatalf("iteration %d: revival submit failed", i)
+		}
+		if err := j2.Wait(context.Background()); err != nil {
+			t.Fatalf("iteration %d: job with a live reference was aborted: %v", i, err)
+		}
+		s.release(j2, time.Now())
+	}
+}
+
 // TestEvictionAndResubmit is the retention acceptance test: a terminal
 // job past the done-ring TTL is evicted on the next store access — its ID
 // answers Gone, its stream history is freed — and resubmitting the same
