@@ -30,24 +30,37 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # The batched pipeline must be bit-equivalent to the per-instruction
-# reference; run that guard on its own so a failure names it directly.
+# reference, and the decoupled stage pipeline bit-equivalent to the fused
+# loop at every stage-buffer size; run those guards on their own so a
+# failure names them directly, then once more under the race detector so
+# the concurrent (rings) stage schedule is exercised for data races too.
 equiv:
 	$(GO) test -run 'TestDetailStreamEquivalence' ./internal/sim/
+	$(GO) test -run 'TestPipeline' ./internal/power4/
+	$(GO) test -race -run 'TestPipelineEquivalence|TestEnginePipelined' ./internal/power4/ ./internal/sim/
 
+# The floor check (JAS_BENCH_FLOOR=1) fails if the pipelined detail
+# stream is slower than the fused loop: pipelining must never be a
+# pessimization on the CI host.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig2|BenchmarkDetailStream|BenchmarkBuildReport' -benchtime 1x .
+	JAS_BENCH_FLOOR=1 $(GO) test -run 'TestPipelinedFloor' -count 1 .
 
 # Measured numbers for the README perf table: the stream benchmarks get
 # 5 runs of 6 iterations (min-of-5 rides out shared-host noise), the
 # full-report benchmark is too slow for that and gets 3 single-shot runs,
 # and the jasd server path (submit + dedup + cached-report serve, client
-# parallelism 1/4/8) gets 3 runs of 300 round trips.
+# parallelism 1/4/8) gets 3 runs of 300 round trips. BENCH_OUT names the
+# artifact; BENCH_BASELINE (a previous artifact) adds per-benchmark
+# min-vs-min speedup deltas to it.
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR3.json
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServeRuns' -benchtime 300x -count 3 ./internal/service/ ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_PR3.json
-	@cat BENCH_PR3.json
+	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -out $(BENCH_OUT)
+	@cat $(BENCH_OUT)
 
 # End-to-end smoke of the serving layer: real jasd on a random port,
 # jasctl submit, golden-report diff, /metrics sanity, SIGTERM drain.

@@ -17,6 +17,7 @@ import (
 
 	"jasworkload/internal/core"
 	"jasworkload/internal/isa"
+	"jasworkload/internal/power4"
 	"jasworkload/internal/server"
 	"jasworkload/internal/sim"
 )
@@ -285,7 +286,7 @@ var benchTrace []isa.Instr
 
 // benchDetailTrace records ~2M instructions of the real detail-mode
 // stream: the four request classes plus GC and idle work.
-func benchDetailTrace(b *testing.B) []isa.Instr {
+func benchDetailTrace(b testing.TB) []isa.Instr {
 	b.Helper()
 	if benchTrace != nil {
 		return benchTrace
@@ -314,7 +315,7 @@ func benchDetailTrace(b *testing.B) []isa.Instr {
 }
 
 // benchStreamCore builds a fresh consuming core for a stream benchmark.
-func benchStreamCore(b *testing.B) *sim.SUT {
+func benchStreamCore(b testing.TB) *sim.SUT {
 	b.Helper()
 	sut, err := sim.BuildSUT(sim.DefaultSUTConfig(30))
 	if err != nil {
@@ -323,10 +324,59 @@ func benchStreamCore(b *testing.B) *sim.SUT {
 	return sut
 }
 
+// benchPipeline streams the recorded trace through a detail pipeline in
+// the given configuration, with a Drain per iteration modelling the
+// engine's once-per-window barrier.
+func benchPipeline(b *testing.B, cfg power4.PipelineConfig) {
+	b.Helper()
+	trace := benchDetailTrace(b)
+	sut := benchStreamCore(b)
+	pipe, err := power4.NewPipeline(sut.Cores, sut.Hier, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipe.Close()
+	sink := pipe.Sink(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		isa.Replay(trace, sink, isa.DefaultBatchCap)
+		pipe.Drain()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
 // BenchmarkDetailStream measures the production detail-mode hot path:
-// the recorded stream delivered in batches through Core.ConsumeBatch
-// with the state-neutral fast paths enabled.
+// the recorded stream delivered through the decoupled pipeline with the
+// stage schedule auto-selected for the host — concurrent stage
+// goroutines when CPUs are available to overlap them, collapsed onto the
+// fused loop on single-CPU hosts (where any decoupling is pure
+// overhead). Fast paths enabled, as in production.
 func BenchmarkDetailStream(b *testing.B) {
+	benchPipeline(b, power4.PipelineConfig{})
+}
+
+// BenchmarkDetailStreamRings forces the concurrent three-stage schedule
+// regardless of host parallelism: the cost (or benefit) of ring handoffs
+// is DetailStreamRings vs DetailStreamFused.
+func BenchmarkDetailStreamRings(b *testing.B) {
+	benchPipeline(b, power4.PipelineConfig{Depth: power4.DefaultPipelineDepth})
+}
+
+// BenchmarkDetailStreamInline forces the decoupled stages to run
+// synchronously with no rings: DetailStreamInline vs DetailStreamFused
+// isolates the cost of stage decoupling itself (annotation traffic,
+// repeated decode) from the cost of the handoffs.
+func BenchmarkDetailStreamInline(b *testing.B) {
+	benchPipeline(b, power4.PipelineConfig{Inline: true})
+}
+
+// BenchmarkDetailStreamFused measures the single-threaded fused loop the
+// pipeline decouples — the SetPipelined(false) path: batches through
+// Core.ConsumeBatch, fast paths enabled. DetailStream/DetailStreamFused
+// is the pipelining speedup; the bench-smoke floor check requires it to
+// stay >= 1.
+func BenchmarkDetailStreamFused(b *testing.B) {
 	trace := benchDetailTrace(b)
 	sut := benchStreamCore(b)
 	c := sut.Cores[0]

@@ -9,6 +9,11 @@
 // Usage:
 //
 //	go test -run '^$' -bench X -benchmem -count 5 . | benchjson -o BENCH.json
+//
+// With -baseline PREV.json, each benchmark also carries its min-vs-min
+// speedup over the same benchmark in the previous summary
+// (baseline min ns/op ÷ current min ns/op; >1 means faster now), so a
+// PR's perf delta is readable straight from the checked-in artifact.
 package main
 
 import (
@@ -49,22 +54,58 @@ func newStat(xs []float64) *stat {
 }
 
 type entry struct {
-	Name        string `json:"name"`
-	Iterations  int64  `json:"iterations_per_run"`
-	NsPerOp     *stat  `json:"ns_per_op,omitempty"`
-	InstrPerSec *stat  `json:"instr_per_s,omitempty"`
-	RunsPerSec  *stat  `json:"runs_per_s,omitempty"`
-	BytesPerOp  *stat  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *stat  `json:"allocs_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations_per_run"`
+	NsPerOp     *stat   `json:"ns_per_op,omitempty"`
+	InstrPerSec *stat   `json:"instr_per_s,omitempty"`
+	RunsPerSec  *stat   `json:"runs_per_s,omitempty"`
+	BytesPerOp  *stat   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *stat   `json:"allocs_per_op,omitempty"`
+	VsBaseline  float64 `json:"speedup_vs_baseline,omitempty"`
 	samples     map[string][]float64
+}
+
+// loadBaseline reads a previous benchjson summary and returns each
+// benchmark's minimum ns/op, keyed by name.
+func loadBaseline(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev struct {
+		Benchmarks []struct {
+			Name    string `json:"name"`
+			NsPerOp *stat  `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	mins := make(map[string]float64, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		if b.NsPerOp != nil && b.NsPerOp.Min > 0 {
+			mins[b.Name] = b.NsPerOp.Min
+		}
+	}
+	return mins, nil
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	outLong := flag.String("out", "", "output file (alias of -o)")
+	baseline := flag.String("baseline", "", "previous summary JSON; adds per-benchmark min-vs-min speedups")
 	flag.Parse()
 	if *out == "" {
 		out = outLong
+	}
+
+	var baseMins map[string]float64
+	if *baseline != "" {
+		var err error
+		if baseMins, err = loadBaseline(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 
 	var order []string
@@ -129,17 +170,22 @@ func main() {
 		e.RunsPerSec = newStat(e.samples["runs/s"])
 		e.BytesPerOp = newStat(e.samples["B/op"])
 		e.AllocsPerOp = newStat(e.samples["allocs/op"])
+		if prev, ok := baseMins[name]; ok && e.NsPerOp != nil && e.NsPerOp.Min > 0 {
+			e.VsBaseline = prev / e.NsPerOp.Min
+		}
 		entries = append(entries, e)
 	}
 
 	summary := struct {
 		Go         string   `json:"go"`
 		Protocol   string   `json:"protocol"`
+		Baseline   string   `json:"baseline,omitempty"`
 		Benchmarks []*entry `json:"benchmarks"`
 		Speedup    float64  `json:"detail_stream_speedup,omitempty"`
 	}{
 		Go:         runtime.Version(),
-		Protocol:   "repeated runs per benchmark; cite min (least-contended sample) on noisy shared hosts",
+		Protocol:   "repeated runs per benchmark; cite min (least-contended sample) on noisy shared hosts; speedup_vs_baseline = baseline min ns/op over this min ns/op",
+		Baseline:   *baseline,
 		Benchmarks: entries,
 	}
 	// Headline ratio: reference (per-instruction, fast paths off) over

@@ -48,6 +48,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 5*time.Second, "Retry-After hint on queue-full rejections")
 	drain := flag.Duration("drain", 60*time.Second, "graceful-shutdown deadline for in-flight runs")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations per job (0 = one per CPU)")
+	pipelined := flag.Bool("pipelined", true, "run detail streams through the decoupled stage pipeline (results are bit-identical either way)")
 	addrfile := flag.String("addrfile", "", "write the resolved listen address to this file")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-run execution deadline (0 = none; timeout_s overrides per job)")
 	doneTTL := flag.Duration("done-ttl", 15*time.Minute, "how long terminal jobs stay resident before eviction")
@@ -58,6 +59,7 @@ func main() {
 	if *parallel > 0 {
 		core.SetParallelism(*parallel)
 	}
+	core.SetPipelined(*pipelined)
 
 	svc := service.New(service.Options{
 		Workers:    *workers,

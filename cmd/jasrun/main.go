@@ -33,6 +33,7 @@ func main() {
 	ir := flag.Int("ir", 0, "override the injection rate (0 = scale default)")
 	seed := flag.Int64("seed", 1, "deterministic run seed")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+	pipelined := flag.Bool("pipelined", true, "run the detail stream through the decoupled stage pipeline (results are bit-identical either way)")
 	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
 	markdown := flag.Bool("markdown", false, "emit the report as a markdown table (EXPERIMENTS.md format)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,6 +88,7 @@ func main() {
 	if *parallel > 0 {
 		core.SetParallelism(*parallel)
 	}
+	core.SetPipelined(*pipelined)
 
 	timing := log.New(os.Stderr, "jasrun: ", 0)
 	start := time.Now()

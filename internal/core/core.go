@@ -121,6 +121,7 @@ func (c RunConfig) newEngine(sut *sim.SUT, detailFrac float64) (*sim.Engine, err
 	ecfg.Seed = c.Seed
 	ecfg.DurationMS, ecfg.RampMS = c.durations()
 	ecfg.DetailFrac = detailFrac
+	ecfg.Pipelined = Pipelined()
 	return sim.NewEngine(ecfg, sut)
 }
 

@@ -36,6 +36,34 @@ func SetParallelism(n int) int {
 	return prev
 }
 
+// pipelined gates the decoupled detail pipeline inside each simulation.
+// It is a package knob rather than a RunConfig field on purpose: the
+// pipeline is bit-identical to the fused loop, so it must not perturb
+// canonical artifact keys (jasd job IDs hash the RunConfig). It composes
+// with SetParallelism — that knob bounds simulations run concurrently,
+// this one decides how each simulation's detail stream executes
+// internally.
+var pipelined = true
+
+// Pipelined reports whether detail-mode runs use the decoupled pipeline.
+func Pipelined() bool {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return pipelined
+}
+
+// SetPipelined enables or disables the decoupled detail pipeline for
+// subsequent runs and returns the previous setting. Counters and reports
+// are bit-identical either way; false restores the fused loop's
+// pre-change cost for reference measurements.
+func SetPipelined(enabled bool) bool {
+	parMu.Lock()
+	defer parMu.Unlock()
+	prev := pipelined
+	pipelined = enabled
+	return prev
+}
+
 // Group runs a set of tasks with bounded concurrency and collects the
 // first error (errgroup-style, without the external dependency).
 type Group struct {

@@ -44,8 +44,15 @@ type Table struct {
 	free []RowID
 	pk   map[Value]RowID
 
+	// Ordered key index for range scans. sortedKeys[:sortedLen] is
+	// sorted; inserts append to an unsorted tail that the next Scan
+	// sorts and merges in (O(tail log tail + n), not a full re-sort).
+	// Deletions leave stale keys in the prefix, so they force the next
+	// Scan to rebuild from pk — rare in this workload's traffic.
 	sortedKeys []Value
-	sortDirty  bool
+	sortedLen  int
+	deleted    bool
+	tailBuf    []Value // reindex scratch for the unsorted tail
 }
 
 // Name returns the table name.
@@ -168,7 +175,7 @@ func (d *Database) insertRow(t *Table, row Row) (RowID, error) {
 		id = RowID(len(t.rows) - 1)
 	}
 	t.pk[key] = id
-	t.sortDirty = true
+	t.sortedKeys = append(t.sortedKeys, key)
 	return id, nil
 }
 
@@ -182,7 +189,7 @@ func (d *Database) deleteRow(t *Table, key Value) (Row, error) {
 	t.rows[id] = nil
 	delete(t.pk, key)
 	t.free = append(t.free, id)
-	t.sortDirty = true
+	t.deleted = true
 	return old, nil
 }
 
@@ -200,6 +207,42 @@ func (d *Database) Get(table string, key Value) (Row, error) {
 	return append(Row(nil), t.rows[id]...), nil
 }
 
+// reindex restores the sorted-key invariant before a range scan.
+func (t *Table) reindex() {
+	if t.deleted {
+		t.sortedKeys = t.sortedKeys[:0]
+		for k := range t.pk {
+			t.sortedKeys = append(t.sortedKeys, k)
+		}
+		sort.Slice(t.sortedKeys, func(i, j int) bool { return t.sortedKeys[i] < t.sortedKeys[j] })
+		t.deleted = false
+		t.sortedLen = len(t.sortedKeys)
+		return
+	}
+	if len(t.sortedKeys) == t.sortedLen {
+		return
+	}
+	tail := append(t.tailBuf[:0], t.sortedKeys[t.sortedLen:]...)
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	// Backward merge of the sorted prefix with the scratch copy of the
+	// tail: the write cursor k stays strictly above the prefix read
+	// cursor (k >= i+j+1 > i), so no prefix key is clobbered unread.
+	keys := t.sortedKeys
+	i, k := t.sortedLen-1, len(keys)-1
+	for j := len(tail) - 1; j >= 0; {
+		if i >= 0 && keys[i] > tail[j] {
+			keys[k] = keys[i]
+			i--
+		} else {
+			keys[k] = tail[j]
+			j--
+		}
+		k--
+	}
+	t.tailBuf = tail[:0]
+	t.sortedLen = len(keys)
+}
+
 // Scan returns copies of rows with keys in [lo, hi], at most limit (0 = no
 // limit), in key order.
 func (d *Database) Scan(table string, lo, hi Value, limit int) ([]Row, error) {
@@ -207,14 +250,7 @@ func (d *Database) Scan(table string, lo, hi Value, limit int) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.sortDirty {
-		t.sortedKeys = t.sortedKeys[:0]
-		for k := range t.pk {
-			t.sortedKeys = append(t.sortedKeys, k)
-		}
-		sort.Slice(t.sortedKeys, func(i, j int) bool { return t.sortedKeys[i] < t.sortedKeys[j] })
-		t.sortDirty = false
-	}
+	t.reindex()
 	start := sort.Search(len(t.sortedKeys), func(i int) bool { return t.sortedKeys[i] >= lo })
 	var out []Row
 	for i := start; i < len(t.sortedKeys) && t.sortedKeys[i] <= hi; i++ {

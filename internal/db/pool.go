@@ -102,10 +102,14 @@ func NewBufferPool(region *mem.Region, pageBytes uint64, storage Storage) (*Buff
 		region:    region,
 		pageBytes: pageBytes,
 		frames:    make([]PageID, n),
-		present:   make(map[PageID]int, n),
-		dirty:     make([]bool, n),
-		clock:     make([]bool, n),
-		storage:   storage,
+		// Sized to the resident working set as it grows, not to frame
+		// count: a 2 GB region at 4 KB pages would pre-bucket ~19 MB of
+		// map for half a million frames, while a run only ever pays for
+		// the pages it actually touches.
+		present: make(map[PageID]int),
+		dirty:   make([]bool, n),
+		clock:   make([]bool, n),
+		storage: storage,
 	}
 	for i := range bp.frames {
 		bp.frames[i] = PageID{Table: -1}

@@ -1,9 +1,12 @@
 package hpm
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"jasworkload/internal/isa"
+	"jasworkload/internal/mem"
 	"jasworkload/internal/power4"
 )
 
@@ -57,6 +60,118 @@ func TestStreamMuxRotation(t *testing.T) {
 	}
 	if sm.Err() != nil || sm2.Err() != nil {
 		t.Fatal(sm.Err(), sm2.Err())
+	}
+}
+
+// coreSource adapts a live simulated core to CounterSource.
+type coreSource struct{ c *power4.Core }
+
+func (s coreSource) Counters() power4.Counters { return s.c.Counters() }
+
+// TestStreamMuxPipelinedParity: a StreamMux multiplexing HPM groups over
+// the decoupled detail pipeline must produce byte-identical samples to
+// one multiplexing over the fused loop, at every stage-buffer size. The
+// composition contract is the engine's: deliver the batch to the model,
+// drain the pipeline (counters publish only at barriers), then advance
+// the mux so due rotations sample the drained counters.
+func TestStreamMuxPipelinedParity(t *testing.T) {
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compact stream with enough class variety to move every group's
+	// counters: line-local ALU runs, page-local loads, stores, branches.
+	rng := rand.New(rand.NewSource(42))
+	trace := make([]isa.Instr, 0, 40_000)
+	pc, ea := layout.JITCode.Base, layout.JavaHeap.Base
+	for len(trace) < 40_000 {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			trace = append(trace, isa.Instr{Class: isa.ClassALU, PC: pc})
+		case r < 7:
+			ea = layout.JavaHeap.Base + uint64(rng.Intn(1<<14))*8
+			trace = append(trace, isa.Instr{Class: isa.ClassLoad, PC: pc, EA: ea, Size: 8})
+		case r < 8:
+			trace = append(trace, isa.Instr{Class: isa.ClassStore, PC: pc, EA: ea, Size: 8})
+		default:
+			taken := rng.Intn(2) == 0
+			trace = append(trace, isa.Instr{Class: isa.ClassBranchCond, PC: pc, Taken: taken, Target: pc + 16})
+		}
+		pc += 4
+	}
+	const window = 2048
+
+	type variant struct {
+		name string
+		cfg  *power4.PipelineConfig // nil = fused
+	}
+	variants := []variant{
+		{"fused", nil},
+		{"pipelined cap=7 depth=2", &power4.PipelineConfig{BatchCap: 7, Depth: 2}},
+		{"pipelined cap=256 depth=4", &power4.PipelineConfig{BatchCap: 256, Depth: 4}},
+		{"pipelined inline", &power4.PipelineConfig{Inline: true}},
+	}
+	type result struct {
+		windows int
+		samples map[string][]Sample
+	}
+	results := make([]result, len(variants))
+	for vi, v := range variants {
+		h, err := power4.NewHierarchy(power4.DefaultTopologyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := power4.NewCore(power4.DefaultCoreConfig(0), h, layout.Space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink isa.BatchSink = c
+		drain := func() {}
+		if v.cfg != nil {
+			pipe, err := power4.NewPipeline([]*power4.Core{c}, h, *v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pipe.Close()
+			sink = pipe.Sink(0)
+			drain = pipe.Drain
+		}
+		mux, err := NewMultiplexer(coreSource{c}, StandardGroups(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := NewStreamMux(mux, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(trace); off += window {
+			end := off + window
+			if end > len(trace) {
+				end = len(trace)
+			}
+			sink.ConsumeBatch(trace[off:end])
+			drain()
+			sm.ConsumeBatch(trace[off:end])
+		}
+		if sm.Err() != nil {
+			t.Fatal(sm.Err())
+		}
+		results[vi] = result{windows: mux.Windows(), samples: make(map[string][]Sample)}
+		for _, g := range StandardGroups() {
+			results[vi].samples[g.Name] = mux.Samples(g.Name)
+		}
+	}
+	want := results[0]
+	if want.windows == 0 {
+		t.Fatal("no rotations fired; the parity check is hollow")
+	}
+	for vi := 1; vi < len(results); vi++ {
+		if results[vi].windows != want.windows {
+			t.Errorf("%s: %d windows, fused %d", variants[vi].name, results[vi].windows, want.windows)
+		}
+		if !reflect.DeepEqual(results[vi].samples, want.samples) {
+			t.Errorf("%s: samples diverged from fused", variants[vi].name)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package isa
+
+import "testing"
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Send(i)
+		}
+		r.Close()
+	}()
+	for i := 0; i < 100; i++ {
+		got, ok := r.Recv()
+		if !ok || got != i {
+			t.Fatalf("recv %d: got %d ok=%v", i, got, ok)
+		}
+	}
+	if _, ok := r.Recv(); ok {
+		t.Fatal("recv after close+drain should report !ok")
+	}
+	<-done
+}
+
+func TestRingMinDepth(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("depth 0 should clamp to 1, got %d", r.Cap())
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	allocs := 0
+	p := NewPool(2, func() *int { allocs++; v := new(int); return v })
+	if p.Size() != 2 || allocs != 2 {
+		t.Fatalf("size=%d allocs=%d", p.Size(), allocs)
+	}
+	a := p.Get()
+	b := p.Get()
+	p.Put(a)
+	p.Put(b)
+	// Round trips must reuse the same two items, never alloc again.
+	for i := 0; i < 10; i++ {
+		v := p.Get()
+		if v != a && v != b {
+			t.Fatal("pool returned a foreign item")
+		}
+		p.Put(v)
+	}
+	if allocs != 2 {
+		t.Fatalf("pool allocated after construction: %d", allocs)
+	}
+}
+
+func TestAnnotatedSyncAnn(t *testing.T) {
+	a := NewAnnotated[uint32](4)
+	if cap(a.Ins) != 4 || cap(a.Ann) != 4 {
+		t.Fatalf("caps %d/%d", cap(a.Ins), cap(a.Ann))
+	}
+	a.Ins = append(a.Ins, Instr{}, Instr{}, Instr{})
+	a.SyncAnn()
+	if len(a.Ann) != 3 {
+		t.Fatalf("SyncAnn len = %d", len(a.Ann))
+	}
+	// Growth beyond the original capacity must work too.
+	for i := 0; i < 10; i++ {
+		a.Ins = append(a.Ins, Instr{})
+	}
+	a.SyncAnn()
+	if len(a.Ann) != len(a.Ins) {
+		t.Fatalf("SyncAnn after growth: %d vs %d", len(a.Ann), len(a.Ins))
+	}
+	a.Reset()
+	if a.Len() != 0 || len(a.Ann) != 0 {
+		t.Fatal("Reset did not empty the container")
+	}
+	if NewAnnotated[byte](0).Ins == nil || cap(NewAnnotated[byte](0).Ins) != DefaultBatchCap {
+		t.Fatal("default capacity should be DefaultBatchCap")
+	}
+}

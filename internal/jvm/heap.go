@@ -99,6 +99,13 @@ type Heap struct {
 	allocated uint64 // bytes currently allocated to objects
 	gcSeq     int
 	events    []GCEvent
+
+	// GC scratch space, retained across collections so steady-state
+	// collects allocate nothing (they are the hottest allocation sites
+	// in a full report build otherwise).
+	markScratch  []ObjID
+	spanScratch  []span
+	mergeScratch []span
 }
 
 // NewHeap builds a heap over the given region.
@@ -270,7 +277,7 @@ func (h *Heap) Collect(nowMS float64) GCEvent {
 	// --- Mark ---
 	var liveBytes uint64
 	var liveObjs int
-	stack := make([]ObjID, 0, 1024)
+	stack := h.markScratch[:0]
 	for id := range h.roots {
 		if h.objects[id].alive && h.objects[id].marked != h.epoch {
 			h.objects[id].marked = h.epoch
@@ -291,10 +298,11 @@ func (h *Heap) Collect(nowMS float64) GCEvent {
 			}
 		}
 	}
+	h.markScratch = stack
 	markMS := (h.cfg.MarkNsPerObj*float64(liveObjs) + h.cfg.MarkNsPerByte*float64(liveBytes)) / 1e6
 
 	// --- Sweep ---
-	var freedSpans []span
+	freedSpans := h.spanScratch[:0]
 	var freed uint64
 	var deadObjs int
 	for i := range h.objects {
@@ -310,6 +318,7 @@ func (h *Heap) Collect(nowMS float64) GCEvent {
 	}
 	h.allocated -= freed
 	h.coalesce(freedSpans)
+	h.spanScratch = freedSpans
 	sweepMS := (h.cfg.SweepNsPerObj*float64(deadObjs) + h.cfg.SweepNsPerByte*float64(h.region.Size)) / 1e6
 
 	h.liveBytes = liveBytes
@@ -334,21 +343,34 @@ func (h *Heap) Collect(nowMS float64) GCEvent {
 // merged chunks: anything >= MinReuseBytes becomes allocatable; smaller
 // remains dark matter.
 func (h *Heap) coalesce(freed []span) {
-	all := make([]span, 0, len(h.free)+len(h.dark)+len(freed))
-	all = append(all, h.free...)
-	all = append(all, h.dark...)
-	all = append(all, freed...)
-	sort.Slice(all, func(i, j int) bool { return all[i].addr < all[j].addr })
-	merged := all[:0]
-	for _, s := range all {
+	// free and dark are address-sorted invariants; only the freshly freed
+	// spans (ordered by object id, not address) need sorting. A 3-way
+	// merge then visits every span once, coalescing adjacent ones as they
+	// stream out, instead of re-sorting the whole span population.
+	sort.Slice(freed, func(i, j int) bool { return freed[i].addr < freed[j].addr })
+	merged := h.mergeScratch[:0]
+	a, b, c := h.free, h.dark, freed
+	for len(a) > 0 || len(b) > 0 || len(c) > 0 {
+		var s span
+		switch {
+		case len(a) > 0 && (len(b) == 0 || a[0].addr <= b[0].addr) && (len(c) == 0 || a[0].addr <= c[0].addr):
+			s, a = a[0], a[1:]
+		case len(b) > 0 && (len(c) == 0 || b[0].addr <= c[0].addr):
+			s, b = b[0], b[1:]
+		default:
+			s, c = c[0], c[1:]
+		}
 		if n := len(merged); n > 0 && merged[n-1].addr+merged[n-1].size == s.addr {
 			merged[n-1].size += s.size
 		} else {
 			merged = append(merged, s)
 		}
 	}
+	// Every input span has been consumed into the merge scratch, so the
+	// free and dark backing arrays are dead values here and safe to
+	// refill in place.
 	h.free = h.free[:0]
-	h.dark = nil
+	h.dark = h.dark[:0]
 	for _, s := range merged {
 		if s.size >= h.cfg.MinReuseBytes {
 			h.free = append(h.free, s)
@@ -356,6 +378,7 @@ func (h *Heap) coalesce(freed []span) {
 			h.dark = append(h.dark, s)
 		}
 	}
+	h.mergeScratch = merged[:0]
 	h.next = 0
 }
 

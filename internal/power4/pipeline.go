@@ -1,0 +1,950 @@
+package power4
+
+import (
+	"fmt"
+	"runtime"
+
+	"jasworkload/internal/isa"
+	"jasworkload/internal/mem"
+)
+
+// This file decouples the per-instruction detail model into three
+// concurrently executing pipeline stages connected by bounded SPSC batch
+// rings:
+//
+//	producer (trace replay)                 stage-2 goroutine            stage-3 goroutine
+//	┌──────────────────────────┐  ring1   ┌──────────────────────┐  ring2  ┌──────────────────────┐
+//	│ copy batch + decode +    │ ───────▶ │ translation + caches │ ──────▶ │ cycle accounting +   │
+//	│ branch model (stage 1)   │          │ + coherence directory│         │ HPM counter merge    │
+//	└──────────────────────────┘          └──────────────────────┘         └──────────────────────┘
+//
+// The invariant that makes the result bit-identical to the fused loop at
+// any ring depth or batch size: every piece of mutable model state is
+// owned by exactly one stage, and every stage consumes batches in trace
+// order (the rings are FIFO and each stage is internally sequential).
+// Stage 1 owns the branch predictors and the return-stack counter; stage
+// 2 owns the L1s, MMU, prefetcher, translation memo, fast-path registers,
+// reservations and the shared Hierarchy; stage 3 owns the counters and
+// the four fractional cycle/dispatch accumulators. A state machine fed
+// the same inputs in the same order produces the same outputs, so each
+// stage individually matches its fused counterpart; stages communicate
+// only through per-instruction annotations (flags, burst length, drained
+// prefetch counts) that carry exactly what the fused loop would have
+// passed between those lines of code in a register. Integer counter
+// updates commute, and the order-sensitive float accumulations all live
+// in stage 3, which replays the fused loop's exact charge sequence from
+// the annotations.
+//
+// There is ONE pipeline per SUT, not per core: the Hierarchy (L2s, L3s,
+// directory, reservation ledger) is shared across cores and the engine
+// emits core streams globally sequentially, so stage 2 must see all
+// cores' accesses in that one global order. Batches are single-core runs
+// of the stream, tagged with the core index.
+
+// annot carries per-instruction facts from the stage that computed them
+// to the stages that account for them.
+type annot struct {
+	flags  uint32
+	burst  uint32 // load-miss burst length after this miss (valid on D-miss)
+	prefL1 uint8  // prefetches drained toward L1 by this access
+	prefL2 uint8  // prefetches drained toward L2
+}
+
+// annot flag bits. The I-side and D-side sets are disjoint so one flags
+// word serves both; the source fields hold DataSource values.
+const (
+	aMispred uint32 = 1 << iota // branch mispredicted (stage 1)
+
+	aFastI     // I-fetch took the same-line fast path
+	aUnmappedI // PC outside every region: fetch did nothing else
+	aIERATMiss
+	aITLBMiss
+	aISLBMiss
+	aL1IHit   // mapped fetch hit the L1I
+	aIHideSeq // I-miss to the sequential next line (front-end prefetch hides most)
+
+	aFastL     // load took the repeat-line fast path
+	aUnmappedD // EA outside every region: access did nothing else
+	aDERATMiss
+	aDTLBMiss
+	aDSLBMiss
+	aL1DHit    // load hit the L1D
+	aCovered   // a prefetch stream covered this access
+	aPrefAlloc // the miss allocated a new prefetch stream
+	aStoreHit  // store probe hit the L1D
+	aStcxOK    // store-conditional succeeded
+
+	// Source fields: 2 bits of collapsed I-fetch source, 4 bits of
+	// DataSource for loads.
+	iSrcShift = 20
+	dSrcShift = 24
+)
+
+const (
+	iSrcL2  uint32 = iota // FetchInst collapsed source: L2-class
+	iSrcL3                // L3-class
+	iSrcMem               // memory
+)
+
+// stageBatch is the unit of work flowing through the rings: a pooled,
+// core-tagged annotated batch. A batch with a non-nil drain channel is a
+// barrier marker — it carries no instructions; stage 3 publishes the
+// accounting state back to the cores and closes the channel.
+type stageBatch struct {
+	isa.Annotated[annot]
+	drain chan struct{}
+}
+
+// acctState is stage 3's private accounting state for one core: the
+// counters plus the fractional cycle/dispatch accumulators, mirroring the
+// corresponding Core fields. Keeping a pipeline-local copy (rather than
+// writing the Core's fields from the stage-3 goroutine) avoids false
+// sharing with the stage-2 fields that live in the same cache lines; the
+// state is copied back into the Core at every drain barrier.
+type acctState struct {
+	ctr      Counters
+	cycFrac  float64
+	compFrac float64
+	dispFrac float64
+	kcycFrac float64
+	acc      batchAcc
+}
+
+func (a *acctState) loadFrom(c *Core) {
+	a.ctr = c.ctr
+	a.cycFrac, a.compFrac = c.cycFrac, c.compFrac
+	a.dispFrac, a.kcycFrac = c.dispFrac, c.kcycFrac
+	a.acc = batchAcc{}
+}
+
+func (a *acctState) storeTo(c *Core) {
+	c.ctr = a.ctr
+	c.cycFrac, c.compFrac = a.cycFrac, a.compFrac
+	c.dispFrac, c.kcycFrac = a.dispFrac, a.kcycFrac
+}
+
+// The charge helpers are verbatim copies of Core.chargeBase/chargeStall/
+// flushCycles/addDispatch over the local state: the float operation
+// sequence must match the fused loop exactly for bit-equality.
+
+func (a *acctState) chargeBase(cy float64, kernel bool) {
+	a.cycFrac += cy
+	a.compFrac += cy
+	if kernel {
+		a.kcycFrac += cy
+	}
+	if a.cycFrac >= 1 || a.compFrac >= 1 || a.kcycFrac >= 1 {
+		a.flushCycles()
+	}
+}
+
+func (a *acctState) chargeStall(cy float64, kernel bool) {
+	a.cycFrac += cy
+	if kernel {
+		a.kcycFrac += cy
+	}
+	if a.cycFrac >= 1 || a.kcycFrac >= 1 {
+		a.flushCycles()
+	}
+}
+
+func (a *acctState) flushCycles() {
+	if a.cycFrac >= 1 {
+		n := uint64(a.cycFrac)
+		a.ctr.Add(EvCycles, n)
+		a.cycFrac -= float64(n)
+	}
+	if a.compFrac >= 1 {
+		n := uint64(a.compFrac)
+		a.ctr.Add(EvCycWithCompletion, n)
+		a.compFrac -= float64(n)
+	}
+	if a.kcycFrac >= 1 {
+		n := uint64(a.kcycFrac)
+		a.ctr.Add(EvKernelCycles, n)
+		a.kcycFrac -= float64(n)
+	}
+}
+
+func (a *acctState) addDispatch(n float64) {
+	a.dispFrac += n
+	if a.dispFrac >= 1 {
+		k := uint64(a.dispFrac)
+		a.ctr.Add(EvInstDispatched, k)
+		a.dispFrac -= float64(k)
+	}
+}
+
+// addPrefetch mirrors drainPrefetch's counter half (early-out when the
+// drain was empty, then both adds).
+func (a *acctState) addPrefetch(an *annot) {
+	if an.prefL1 == 0 && an.prefL2 == 0 {
+		return
+	}
+	a.ctr.Add(EvL1DPrefetch, uint64(an.prefL1))
+	a.ctr.Add(EvL2Prefetch, uint64(an.prefL2))
+}
+
+// PipelineConfig sizes the decoupled pipeline.
+type PipelineConfig struct {
+	// BatchCap is the number of instructions per stage batch (the
+	// split-invariance knob; default isa.DefaultBatchCap).
+	BatchCap int
+	// Depth is the ring capacity in batches between adjacent stages.
+	// Depth > 0 forces concurrent stage goroutines at that depth. Depth 0
+	// selects automatically: concurrent at DefaultPipelineDepth when the
+	// host can actually overlap stages (GOMAXPROCS > 1), inline otherwise.
+	Depth int
+	// Inline forces the stages to run synchronously on the caller's
+	// goroutine: each batch flows branch → memory → accounting in one
+	// call, with no rings and no copy of the caller's batch. The stage
+	// functions, their order, and the state partition are identical to
+	// the concurrent mode, so the counters are bit-equal by construction;
+	// what changes is only where the stages execute. Forcing Inline is
+	// how the tests (and DESIGN.md's measurements) isolate the cost of
+	// stage decoupling itself from the cost of the ring handoffs.
+	Inline bool
+}
+
+// DefaultPipelineDepth is the default stage-ring depth in batches.
+const DefaultPipelineDepth = 4
+
+// Pipeline runs the detail model for a set of cores over a shared
+// Hierarchy in three decoupled stages. Feed instructions through the
+// per-core sinks from Sink; call Drain to publish counters at a
+// consistent point; Close stops the stage goroutines. The pipeline is
+// the sole consumer while attached: feeding a member core directly
+// between Drain and Close would race with stage 2 and desynchronize the
+// stage-3 accounting copy.
+type Pipeline struct {
+	cores []*Core
+	hier  *Hierarchy
+	cfg   PipelineConfig
+
+	ring1 *isa.Ring[*stageBatch]
+	ring2 *isa.Ring[*stageBatch]
+	free  *isa.Pool[*stageBatch]
+	acct  []acctState
+	sinks []pipeSink
+	cur   *stageBatch
+	done  chan struct{}
+
+	inline bool
+	direct bool    // stages collapsed onto the fused loop (1-CPU hosts)
+	ann    []annot // inline-mode annotation scratch, len BatchCap
+	closed bool
+}
+
+// NewPipeline starts the stage goroutines for cores over hier. The
+// current counter state of every core is carried into the pipeline, so
+// attaching mid-run continues from the cores' totals.
+func NewPipeline(cores []*Core, hier *Hierarchy, cfg PipelineConfig) (*Pipeline, error) {
+	if len(cores) == 0 || hier == nil {
+		return nil, fmt.Errorf("power4: pipeline needs cores and a hierarchy")
+	}
+	if cfg.BatchCap <= 0 {
+		cfg.BatchCap = isa.DefaultBatchCap
+	}
+	direct := false
+	if !cfg.Inline && cfg.Depth <= 0 && runtime.GOMAXPROCS(0) == 1 {
+		// No spare CPU to overlap stages on. Decoupled execution — even
+		// inline, with no rings — still pays for communicating between
+		// stages through annotation memory instead of registers, so the
+		// fastest correct stage schedule on one CPU is the fused loop
+		// itself: collapse to direct dispatch. Counters are trivially
+		// bit-equal (it is the same code), and pipelining never becomes
+		// a pessimization on a host that cannot exploit it.
+		direct = true
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultPipelineDepth
+	}
+	p := &Pipeline{
+		cores:  cores,
+		hier:   hier,
+		cfg:    cfg,
+		acct:   make([]acctState, len(cores)),
+		sinks:  make([]pipeSink, len(cores)),
+		inline: cfg.Inline,
+		direct: direct,
+	}
+	for i := range cores {
+		p.sinks[i] = pipeSink{p: p, core: i}
+	}
+	if p.direct {
+		// All model state stays on the cores; there is nothing to start
+		// and nothing to publish at barriers.
+		return p, nil
+	}
+	for i := range cores {
+		p.acct[i].loadFrom(cores[i])
+	}
+	if p.inline {
+		p.ann = make([]annot, cfg.BatchCap)
+		// One spare batch buffers the per-instruction Consume path.
+		p.free = isa.NewPool(1, func() *stageBatch {
+			return &stageBatch{Annotated: isa.Annotated[annot]{
+				Ins: make([]isa.Instr, 0, cfg.BatchCap),
+				Ann: make([]annot, 0, cfg.BatchCap),
+			}}
+		})
+		return p, nil
+	}
+	p.ring1 = isa.NewRing[*stageBatch](cfg.Depth)
+	p.ring2 = isa.NewRing[*stageBatch](cfg.Depth)
+	p.done = make(chan struct{})
+	// Pool size covers every in-flight slot — the producer's current
+	// batch, both rings, and one batch in hand per stage goroutine — so a
+	// correctly plumbed pipeline recycles forever without allocating and
+	// Get never blocks.
+	p.free = isa.NewPool(2*cfg.Depth+3, func() *stageBatch {
+		return &stageBatch{Annotated: isa.Annotated[annot]{
+			Ins: make([]isa.Instr, 0, cfg.BatchCap),
+			Ann: make([]annot, 0, cfg.BatchCap),
+		}}
+	})
+	go p.stage2()
+	go p.stage3()
+	return p, nil
+}
+
+// Sink returns the stream entry point for one core. The sink implements
+// isa.Sink, isa.BatchSink and CoreID (for emitter core affinity), and is
+// stable across calls.
+func (p *Pipeline) Sink(core int) isa.BatchSink { return &p.sinks[core] }
+
+// Mode reports the stage schedule the pipeline selected: "rings"
+// (concurrent stage goroutines), "inline" (decoupled stages run
+// synchronously), or "direct" (collapsed onto the fused loop because the
+// host has no CPU to overlap stages on).
+func (p *Pipeline) Mode() string {
+	switch {
+	case p.direct:
+		return "direct"
+	case p.inline:
+		return "inline"
+	default:
+		return "rings"
+	}
+}
+
+// pipeSink is the per-core front end: it tags instructions with the core
+// index and feeds the shared stage-1 state.
+type pipeSink struct {
+	p    *Pipeline
+	core int
+}
+
+// CoreID reports the core this sink feeds (emitter affinity).
+func (s *pipeSink) CoreID() int { return s.core }
+
+// Consume implements isa.Sink.
+func (s *pipeSink) Consume(ins *isa.Instr) { s.p.feedOne(s.core, ins) }
+
+// ConsumeBatch implements isa.BatchSink.
+func (s *pipeSink) ConsumeBatch(b isa.Batch) { s.p.feed(s.core, b) }
+
+// fill returns the current stage-1 batch for core, sealing first when the
+// stream switched cores (batches are single-core runs).
+func (p *Pipeline) fill(core int) *stageBatch {
+	if p.cur != nil && p.cur.Core != core {
+		p.seal()
+	}
+	if p.cur == nil {
+		sb := p.free.Get()
+		sb.Core = core
+		p.cur = sb
+	}
+	return p.cur
+}
+
+// feed delivers a caller batch to the stages. In concurrent mode it is
+// copied into pooled stage batches (the caller reuses its backing array,
+// so the copy is mandatory); in inline mode the stages run directly over
+// the caller's memory — synchronous execution needs no stable copy.
+func (p *Pipeline) feed(core int, b isa.Batch) {
+	if p.direct {
+		p.cores[core].ConsumeBatch(b)
+		return
+	}
+	if p.inline {
+		p.seal() // flush any buffered per-instruction feed first
+		for len(b) > 0 {
+			n := p.cfg.BatchCap
+			if n > len(b) {
+				n = len(b)
+			}
+			p.runChunk(core, b[:n], p.ann[:n])
+			b = b[n:]
+		}
+		return
+	}
+	for len(b) > 0 {
+		sb := p.fill(core)
+		room := p.cfg.BatchCap - len(sb.Ins)
+		if room > len(b) {
+			room = len(b)
+		}
+		sb.Ins = append(sb.Ins, b[:room]...)
+		b = b[room:]
+		if len(sb.Ins) >= p.cfg.BatchCap {
+			p.seal()
+		}
+	}
+}
+
+func (p *Pipeline) feedOne(core int, ins *isa.Instr) {
+	if p.direct {
+		p.cores[core].Consume(ins)
+		return
+	}
+	sb := p.fill(core)
+	sb.Ins = append(sb.Ins, *ins)
+	if len(sb.Ins) >= p.cfg.BatchCap {
+		p.seal()
+	}
+}
+
+// runChunk is the inline mode's whole pipeline: the same three stage
+// functions the goroutines run, in the same order, over one single-core
+// chunk.
+func (p *Pipeline) runChunk(core int, ins []isa.Instr, ann []annot) {
+	c := p.cores[core]
+	c.stageBranch(ins, ann)
+	c.stageMemory(ins, ann)
+	c.stageAccount(ins, ann, &p.acct[core])
+}
+
+// seal runs stage 1 (branch model) over the current batch and hands it to
+// stage 2 — or, inline, runs all stages and recycles the batch.
+func (p *Pipeline) seal() {
+	sb := p.cur
+	p.cur = nil
+	if sb == nil {
+		return
+	}
+	if len(sb.Ins) == 0 {
+		p.free.Put(sb)
+		return
+	}
+	if p.inline {
+		sb.SyncAnn()
+		p.runChunk(sb.Core, sb.Ins, sb.Ann)
+		sb.Reset()
+		p.free.Put(sb)
+		return
+	}
+	sb.SyncAnn()
+	p.cores[sb.Core].stageBranch(sb.Ins, sb.Ann)
+	p.ring1.Send(sb)
+}
+
+// Drain is the window barrier: it seals the partial batch, pushes a
+// marker through both rings, and returns once stage 3 has published
+// every core's counters and fractional accumulators back onto the Core
+// structs. The happens-before chain through the marker also makes all
+// stage-2 state (unmapped counts, cache contents) visible to the caller.
+func (p *Pipeline) Drain() {
+	if p.direct {
+		return // counters already live on the cores
+	}
+	p.seal()
+	if p.inline {
+		for i := range p.cores {
+			p.acct[i].storeTo(p.cores[i])
+		}
+		return
+	}
+	m := &stageBatch{drain: make(chan struct{})}
+	p.ring1.Send(m)
+	<-m.drain
+}
+
+// Close drains the pipeline and stops the stage goroutines. The sinks
+// must not be fed after Close.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.Drain()
+	if p.direct || p.inline {
+		return
+	}
+	p.ring1.Close()
+	<-p.done
+}
+
+// stage2 consumes stage-1 batches in order, running the translation /
+// cache / coherence half of the model and annotating each instruction
+// with what stage 3 needs to charge for it.
+func (p *Pipeline) stage2() {
+	for {
+		sb, ok := p.ring1.Recv()
+		if !ok {
+			p.ring2.Close()
+			return
+		}
+		if sb.drain == nil {
+			p.cores[sb.Core].stageMemory(sb.Ins, sb.Ann)
+		}
+		p.ring2.Send(sb)
+	}
+}
+
+// stage3 consumes stage-2 batches in order, replaying the fused loop's
+// cycle-accounting sequence from the annotations into the per-core
+// accounting state. Markers publish that state back onto the cores.
+func (p *Pipeline) stage3() {
+	defer close(p.done)
+	for {
+		sb, ok := p.ring2.Recv()
+		if !ok {
+			return
+		}
+		if sb.drain != nil {
+			for i := range p.cores {
+				p.acct[i].storeTo(p.cores[i])
+			}
+			close(sb.drain)
+			continue
+		}
+		p.cores[sb.Core].stageAccount(sb.Ins, sb.Ann, &p.acct[sb.Core])
+		sb.Reset()
+		p.free.Put(sb)
+	}
+}
+
+// ---------------------------------------------------------------- stage 1
+
+// stageBranch runs the branch model over a batch: the predictors and the
+// return-stack counter are the only mutable state the producer side
+// touches, in trace order, exactly as the fused loop would.
+func (c *Core) stageBranch(ins []isa.Instr, ann []annot) {
+	for i := range ins {
+		in := &ins[i]
+		var f uint32
+		switch in.Class {
+		case isa.ClassBranchCond:
+			if !c.cond.Predict(in.PC, in.Taken) {
+				f = aMispred
+			}
+		case isa.ClassBranchIndirect:
+			if in.Return {
+				c.returnSeq++
+				if c.returnSeq%32 == 0 {
+					f = aMispred
+				}
+			} else if !c.target.Predict(in.PC, in.Target) {
+				f = aMispred
+			}
+		}
+		ann[i] = annot{flags: f}
+	}
+}
+
+// ---------------------------------------------------------------- stage 2
+
+// stageMemory runs the translation / cache / coherence half of the model
+// over a batch. Every structure it touches — L1s, MMU, prefetcher,
+// translation memo, fast-path registers, reservations, and the shared
+// Hierarchy — is touched in the same order as the fused loop, so the
+// state evolution (and therefore every hit/miss outcome recorded in the
+// annotations) is identical.
+func (c *Core) stageMemory(ins []isa.Instr, ann []annot) {
+	for i := range ins {
+		in := &ins[i]
+		an := &ann[i]
+		if c.fastI && !c.noFast && in.PC>>7 == c.lastIPC>>7 {
+			an.flags |= aFastI
+			c.lastIPC = in.PC
+		} else {
+			c.memFetch(in, an)
+		}
+		switch in.Class {
+		case isa.ClassLoad:
+			c.memLoad(in, an)
+		case isa.ClassStore:
+			c.memStore(in, an)
+		case isa.ClassLarx:
+			c.memLoad(in, an)
+			c.reservation = in.EA >> 7
+			c.hasResv = true
+		case isa.ClassStcx:
+			ok := c.hasResv && c.reservation == in.EA>>7
+			if ok {
+				if tr, mapped := c.translate(in.EA); mapped {
+					ok = !c.hier.ReservationLost(c.cfg.ID, tr.RA>>7)
+				}
+			}
+			if ok {
+				an.flags |= aStcxOK
+			}
+			c.hasResv = false
+			c.memStore(in, an)
+		}
+	}
+}
+
+// memFetch is fetch's structural half: translation, MMU, L1I and deeper
+// levels, recording outcomes instead of charging for them.
+func (c *Core) memFetch(in *isa.Instr, an *annot) {
+	tr, ok := c.translate(in.PC)
+	if !ok {
+		c.unmapped++
+		c.fastI = false
+		an.flags |= aUnmappedI
+		return
+	}
+	c.fastI = true
+	c.lastIPC = in.PC
+	res := c.mmu.Inst(tr)
+	if res.ERATMiss {
+		an.flags |= aIERATMiss
+	}
+	if res.TLBMiss {
+		an.flags |= aITLBMiss
+	}
+	if res.SLBMiss {
+		an.flags |= aISLBMiss
+	}
+	line := tr.RA >> 7
+	if c.l1i.Lookup(tr.RA) {
+		an.flags |= aL1IHit
+		c.lastILine = line
+		return
+	}
+	if line == c.lastILine+1 {
+		an.flags |= aIHideSeq
+	}
+	c.lastILine = line
+	src := c.hier.FetchInst(c.cfg.ID, tr.RA)
+	c.l1i.Insert(tr.RA)
+	switch src {
+	case SrcL2:
+		an.flags |= iSrcL2 << iSrcShift
+	case SrcL3:
+		an.flags |= iSrcL3 << iSrcShift
+	default:
+		an.flags |= iSrcMem << iSrcShift
+	}
+}
+
+// memTranslateData is dataTranslate's structural half.
+func (c *Core) memTranslateData(in *isa.Instr, an *annot) (tr mem.Translation, ok bool) {
+	if c.fastD && !c.noFast && in.EA>>12 == c.lastDEA>>12 {
+		tr = c.lastDTr
+		tr.RA += in.EA - c.lastDEA
+		c.lastDEA = in.EA
+		c.lastDTr = tr
+		return tr, true
+	}
+	tr, ok = c.translate(in.EA)
+	if !ok {
+		c.unmapped++
+		c.fastD = false
+		an.flags |= aUnmappedD
+		return tr, false
+	}
+	c.fastD = true
+	c.lastDEA = in.EA
+	c.lastDTr = tr
+	res := c.mmu.Data(tr)
+	if res.ERATMiss {
+		an.flags |= aDERATMiss
+	}
+	if res.TLBMiss {
+		an.flags |= aDTLBMiss
+	}
+	if res.SLBMiss {
+		an.flags |= aDSLBMiss
+	}
+	return tr, true
+}
+
+// memLoad is load's structural half.
+func (c *Core) memLoad(in *isa.Instr, an *annot) {
+	if c.fastL && !c.noFast && in.EA>>7 == c.lastLEA>>7 && c.fastD && in.EA>>12 == c.lastDEA>>12 {
+		an.flags |= aFastL
+		c.sinceMiss++
+		if c.sinceMiss > 12 {
+			c.burst = 0
+		}
+		return
+	}
+	tr, ok := c.memTranslateData(in, an)
+	if !ok {
+		return
+	}
+	line := tr.RA >> 7
+	if c.l1d.Lookup(tr.RA) {
+		an.flags |= aL1DHit
+		res := c.pref.OnAccess(line, false)
+		if res.Covered {
+			an.flags |= aCovered
+			c.memDrainPrefetch(tr.RA, an)
+			c.fastL = false
+		} else {
+			c.fastL = true
+			c.lastLEA = in.EA
+		}
+		c.sinceMiss++
+		if c.sinceMiss > 12 {
+			c.burst = 0
+		}
+		return
+	}
+	c.fastL = false
+	if c.sinceMiss <= 12 {
+		c.burst++
+	} else {
+		c.burst = 1
+	}
+	c.sinceMiss = 0
+	an.burst = uint32(c.burst)
+	pres := c.pref.OnAccess(line, true)
+	if pres.Allocated {
+		an.flags |= aPrefAlloc
+	}
+	c.memDrainPrefetch(tr.RA, an)
+	src := c.hier.Load(c.cfg.ID, tr.RA)
+	c.l1d.Insert(tr.RA)
+	if pres.Covered {
+		an.flags |= aCovered
+	}
+	an.flags |= uint32(src) << dSrcShift
+}
+
+// memStore is store's structural half.
+func (c *Core) memStore(in *isa.Instr, an *annot) {
+	tr, ok := c.memTranslateData(in, an)
+	if !ok {
+		return
+	}
+	if c.l1d.Probe(tr.RA) {
+		an.flags |= aStoreHit
+	}
+	c.hier.Store(c.cfg.ID, tr.RA)
+}
+
+// memDrainPrefetch is drainPrefetch's structural half: the cache fills
+// happen here, the counter adds are recorded for stage 3.
+func (c *Core) memDrainPrefetch(ra uint64, an *annot) {
+	l1, l2, _ := c.pref.Take()
+	an.prefL1, an.prefL2 = uint8(l1), uint8(l2)
+	if l1 == 0 && l2 == 0 {
+		return
+	}
+	for i := uint64(1); i <= l1; i++ {
+		c.l1d.Insert(ra + i*128)
+	}
+	for i := uint64(1); i <= l2; i++ {
+		c.hier.PrefetchFill(c.cfg.ID, ra+i*128, i > 2)
+	}
+}
+
+// ---------------------------------------------------------------- stage 3
+
+// stageAccount replays the fused loop's accounting over a batch: the
+// same counter increments and — critically — the same float-operation
+// sequence on the cycle/dispatch accumulators, reconstructed from the
+// annotations.
+func (c *Core) stageAccount(ins []isa.Instr, ann []annot, a *acctState) {
+	p := &c.cfg.Penalties
+	for i := range ins {
+		in := &ins[i]
+		an := &ann[i]
+		f := an.flags
+
+		a.acc.inst++
+		if in.Kernel {
+			a.acc.kinst++
+		}
+		switch {
+		case in.Class.IsMemory():
+			a.addDispatch(p.DispatchMem)
+		case in.Class.IsBranch():
+			a.addDispatch(p.DispatchBranch)
+		default:
+			a.addDispatch(p.DispatchALU)
+		}
+		a.chargeBase(p.BaseCPI, in.Kernel)
+
+		// I-side, in fetch's order.
+		if f&aFastI != 0 {
+			a.acc.ifetchL1++
+		} else if f&aUnmappedI == 0 {
+			if f&aIERATMiss != 0 {
+				a.ctr.Inc(EvIERATMiss)
+				a.chargeStall(p.DERATMiss, in.Kernel)
+			}
+			if f&aITLBMiss != 0 {
+				a.ctr.Inc(EvITLBMiss)
+				a.chargeStall(p.TLBWalk, in.Kernel)
+			}
+			if f&aISLBMiss != 0 {
+				a.ctr.Inc(EvSLBMiss)
+				a.chargeStall(p.SLBWalk, in.Kernel)
+			}
+			if f&aL1IHit != 0 {
+				a.acc.ifetchL1++
+			} else {
+				a.ctr.Inc(EvL1IMiss)
+				hide := 1.0
+				if f&aIHideSeq != 0 {
+					hide = 0.2
+				}
+				switch (f >> iSrcShift) & 3 {
+				case iSrcL2:
+					a.ctr.Inc(EvIFetchL2)
+					a.chargeStall(p.IMissL2*hide, in.Kernel)
+				case iSrcL3:
+					a.ctr.Inc(EvIFetchL3)
+					a.chargeStall(p.IMissL3*hide, in.Kernel)
+				default:
+					a.ctr.Inc(EvIFetchMem)
+					a.chargeStall(p.IMissMem*hide, in.Kernel)
+				}
+			}
+		}
+
+		switch in.Class {
+		case isa.ClassLoad:
+			a.acc.loads++
+			c.accountLoad(in, an, a)
+		case isa.ClassStore:
+			a.acc.stores++
+			c.accountStore(in, an, a)
+		case isa.ClassBranchCond:
+			a.acc.brCond++
+			if f&aMispred != 0 {
+				a.ctr.Inc(EvBrCondMispred)
+				a.chargeStall(p.CondMispred, in.Kernel)
+				a.addDispatch(p.WrongPathDispatch)
+			}
+		case isa.ClassBranchIndirect:
+			a.acc.brInd++
+			if f&aMispred != 0 {
+				a.ctr.Inc(EvBrTargetMispred)
+				a.chargeStall(p.TargetMispred, in.Kernel)
+				a.addDispatch(p.WrongPathDispatch)
+			}
+		case isa.ClassLarx:
+			a.acc.loads++
+			a.ctr.Inc(EvLarx)
+			c.accountLoad(in, an, a)
+		case isa.ClassSync:
+			a.ctr.Inc(EvSyncCount)
+			drain := p.SyncDrainUser
+			if in.Kernel {
+				drain = p.SyncDrainKernel
+				a.ctr.Add(EvKernelSyncSRQCycles, uint64(drain))
+			}
+			a.ctr.Add(EvSyncSRQCycles, uint64(drain))
+			a.chargeStall(drain, in.Kernel)
+		case isa.ClassStcx:
+			a.acc.stores++
+			a.ctr.Inc(EvStcx)
+			if f&aStcxOK == 0 {
+				a.ctr.Inc(EvStcxFail)
+			}
+			c.accountStore(in, an, a)
+			a.chargeStall(p.StcxCost, in.Kernel)
+		}
+	}
+	a.acc.flush(&a.ctr)
+}
+
+// accountDTrans replays dataTranslate's charges. Flags are only set when
+// the slow path ran, so the fast-path and unmapped cases fall through
+// charge-free exactly as in the fused loop.
+func accountDTrans(f uint32, kernel bool, p *Penalties, a *acctState) {
+	if f&aDERATMiss != 0 {
+		a.ctr.Inc(EvDERATMiss)
+		a.chargeStall(p.DERATMiss, kernel)
+		a.addDispatch(p.DERATMiss / p.RetryDispatchDiv)
+	}
+	if f&aDTLBMiss != 0 {
+		a.ctr.Inc(EvDTLBMiss)
+		a.chargeStall(p.TLBWalk, kernel)
+	}
+	if f&aDSLBMiss != 0 {
+		a.ctr.Inc(EvSLBMiss)
+		a.chargeStall(p.SLBWalk, kernel)
+	}
+}
+
+// accountLoad replays load's charges from the annotations.
+func (c *Core) accountLoad(in *isa.Instr, an *annot, a *acctState) {
+	p := &c.cfg.Penalties
+	f := an.flags
+	if f&aFastL != 0 {
+		a.addDispatch(p.SpecAheadDispatch)
+		return
+	}
+	accountDTrans(f, in.Kernel, p, a)
+	if f&aUnmappedD != 0 {
+		return
+	}
+	if f&aL1DHit != 0 {
+		a.addDispatch(p.SpecAheadDispatch)
+		if f&aCovered != 0 {
+			a.addPrefetch(an)
+		}
+		return
+	}
+	a.ctr.Inc(EvL1DLoadMiss)
+	if f&aPrefAlloc != 0 {
+		a.ctr.Inc(EvPrefStreamAlloc)
+	}
+	a.addPrefetch(an)
+	var lat float64
+	switch DataSource((f >> dSrcShift) & 15) {
+	case SrcL2:
+		a.ctr.Inc(EvDataFromL2)
+		lat = p.L2Latency
+	case SrcL25Shr:
+		a.ctr.Inc(EvDataFromL25Shr)
+		lat = p.RemoteL2
+	case SrcL25Mod:
+		a.ctr.Inc(EvDataFromL25Shr) // same bucket; our topology never produces it
+		lat = p.RemoteL2
+	case SrcL275Shr:
+		a.ctr.Inc(EvDataFromL275Shr)
+		lat = p.RemoteL2
+	case SrcL275Mod:
+		a.ctr.Inc(EvDataFromL275Mod)
+		lat = p.RemoteL2
+	case SrcL3:
+		a.ctr.Inc(EvDataFromL3)
+		lat = p.L3Latency
+	case SrcL35:
+		a.ctr.Inc(EvDataFromL35)
+		lat = p.RemoteL3
+	default:
+		a.ctr.Inc(EvDataFromMem)
+		lat = p.MemLatency
+	}
+	exposure := p.LoadExposure + p.BurstExposure*float64(int(an.burst)-1)
+	if exposure > 1 {
+		exposure = 1
+	}
+	if f&aCovered != 0 {
+		exposure = p.PrefCovered
+	}
+	a.chargeStall(lat*exposure, in.Kernel)
+}
+
+// accountStore replays store's charges from the annotations.
+func (c *Core) accountStore(in *isa.Instr, an *annot, a *acctState) {
+	p := &c.cfg.Penalties
+	f := an.flags
+	accountDTrans(f, in.Kernel, p, a)
+	if f&aUnmappedD != 0 {
+		return
+	}
+	if f&aStoreHit == 0 {
+		a.ctr.Inc(EvL1DStoreMiss)
+		a.chargeStall(p.StoreMissCost, in.Kernel)
+	}
+}

@@ -1,0 +1,199 @@
+package power4
+
+import (
+	"testing"
+
+	"jasworkload/internal/isa"
+	"jasworkload/internal/mem"
+)
+
+// freshSystem builds n cores over one shared hierarchy.
+func freshSystem(t *testing.T, n int) ([]*Core, *Hierarchy, *mem.Layout) {
+	t.Helper()
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(DefaultTopologyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := make([]*Core, n)
+	for i := range cores {
+		cores[i], err = NewCore(DefaultCoreConfig(i), h, layout.Space)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cores, h, layout
+}
+
+// interleave chops each core's trace into chunks and returns the global
+// feed order: core 0 chunk 0, core 1 chunk 0, ..., core 0 chunk 1, ...
+// This is the shape the engine produces — per-core runs interleaved at
+// request granularity over the shared hierarchy.
+func interleave(traces [][]isa.Instr, chunk int) (order []int, chunks [][]isa.Instr) {
+	pos := make([]int, len(traces))
+	for {
+		progressed := false
+		for c := range traces {
+			if pos[c] >= len(traces[c]) {
+				continue
+			}
+			end := pos[c] + chunk
+			if end > len(traces[c]) {
+				end = len(traces[c])
+			}
+			order = append(order, c)
+			chunks = append(chunks, traces[c][pos[c]:end])
+			pos[c] = end
+			progressed = true
+		}
+		if !progressed {
+			return order, chunks
+		}
+	}
+}
+
+// TestPipelineEquivalence is the tentpole guarantee: a multi-core stream
+// over a shared hierarchy produces bit-identical HPM counters whether it
+// runs through the fused loop or the decoupled three-stage pipeline — at
+// every tested stage-buffer size and ring depth, including mid-stream
+// drain barriers.
+func TestPipelineEquivalence(t *testing.T) {
+	const nCores = 4
+	layout, err := mem.NewLayout(mem.DefaultLayoutConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([][]isa.Instr, nCores)
+	for c := range traces {
+		traces[c] = synthTrace(layout, 60_000, int64(c+1))
+	}
+	order, chunks := interleave(traces, 777)
+
+	// Fused reference: same global feed order.
+	refCores, _, _ := freshSystem(t, nCores)
+	for i, c := range order {
+		refCores[c].ConsumeBatch(chunks[i])
+	}
+	want := make([]Counters, nCores)
+	for i, c := range refCores {
+		want[i] = c.Counters()
+	}
+
+	for _, cfg := range []PipelineConfig{
+		{BatchCap: 1, Depth: 1},
+		{BatchCap: 7, Depth: 2},
+		{BatchCap: 256, Depth: 4},
+		{BatchCap: 4096, Depth: 4},
+		{BatchCap: 1, Inline: true},
+		{BatchCap: 256, Inline: true},
+		{BatchCap: 4096, Inline: true},
+	} {
+		cores, hier, _ := freshSystem(t, nCores)
+		pipe, err := NewPipeline(cores, hier, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range order {
+			pipe.Sink(c).ConsumeBatch(chunks[i])
+			// Periodic drain barriers (the engine drains once per window):
+			// they must be invisible to the final counts.
+			if i%97 == 0 {
+				pipe.Drain()
+			}
+		}
+		pipe.Close()
+		for ci, c := range cores {
+			got := c.Counters()
+			for _, ev := range AllEvents() {
+				if got.Get(ev) != want[ci].Get(ev) {
+					t.Errorf("cap=%d depth=%d core %d: %v = %d, fused %d",
+						cfg.BatchCap, cfg.Depth, ci, ev, got.Get(ev), want[ci].Get(ev))
+				}
+			}
+			if c.UnmappedAccesses() != refCores[ci].UnmappedAccesses() {
+				t.Errorf("cap=%d core %d: unmapped = %d, fused %d",
+					cfg.BatchCap, ci, c.UnmappedAccesses(), refCores[ci].UnmappedAccesses())
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestPipelineDrainBarrier: counters published at a drain barrier must
+// equal the fused loop's counters at the same stream position — the
+// engine reads per-window CPI at exactly these points, and the CPI
+// feedback loop makes any divergence compound into different scheduling.
+func TestPipelineDrainBarrier(t *testing.T) {
+	cores, hier, layout := freshSystem(t, 2)
+	refCores, _, _ := freshSystem(t, 2)
+	traces := [][]isa.Instr{
+		synthTrace(layout, 30_000, 11),
+		synthTrace(layout, 30_000, 12),
+	}
+	order, chunks := interleave(traces, 500)
+
+	pipe, err := NewPipeline(cores, hier, PipelineConfig{BatchCap: 64, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	for i, c := range order {
+		pipe.Sink(c).ConsumeBatch(chunks[i])
+		refCores[c].ConsumeBatch(chunks[i])
+		pipe.Drain()
+		var got, want Counters
+		for k := range cores {
+			g, w := cores[k].Counters(), refCores[k].Counters()
+			got.AddAll(&g)
+			want.AddAll(&w)
+		}
+		if got != want {
+			t.Fatalf("chunk %d: drained aggregate diverged from fused", i)
+		}
+	}
+}
+
+// TestPipelineConsume: the per-instruction Sink path must feed the same
+// pipeline state as ConsumeBatch.
+func TestPipelineConsume(t *testing.T) {
+	cores, hier, layout := freshSystem(t, 1)
+	refCores, _, _ := freshSystem(t, 1)
+	trace := synthTrace(layout, 20_000, 5)
+
+	pipe, err := NewPipeline(cores, hier, PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := pipe.Sink(0)
+	if sink.(interface{ CoreID() int }).CoreID() != 0 {
+		t.Fatal("pipeline sink must expose CoreID for emitter affinity")
+	}
+	for i := range trace {
+		sink.Consume(&trace[i])
+		refCores[0].Consume(&trace[i])
+	}
+	pipe.Close()
+	if cores[0].Counters() != refCores[0].Counters() {
+		t.Fatal("per-instruction pipeline feed diverged from fused")
+	}
+}
+
+// TestPipelineCloseIdempotent: Close twice must not hang or panic, and a
+// drained pipeline's batches must all have returned to the pool (no
+// steady-state allocation).
+func TestPipelineCloseIdempotent(t *testing.T) {
+	cores, hier, layout := freshSystem(t, 1)
+	trace := synthTrace(layout, 5_000, 9)
+	pipe, err := NewPipeline(cores, hier, PipelineConfig{BatchCap: 32, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isa.Replay(trace, pipe.Sink(0), 64)
+	pipe.Close()
+	pipe.Close()
+}

@@ -65,11 +65,39 @@ func TestDetailStreamEquivalence(t *testing.T) {
 		return core.Counters()
 	}
 
+	// The pipelined path: the same trace fed through the decoupled
+	// three-stage pipeline, at several stage-buffer sizes (batch-boundary
+	// and ring-depth invariance is part of the guarantee).
+	runPipelined := func(batchCap, depth int) power4.Counters {
+		sut, err := BuildSUT(DefaultSUTConfig(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := power4.NewPipeline(sut.Cores, sut.Hier, power4.PipelineConfig{BatchCap: batchCap, Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		isa.Replay(trace, pipe.Sink(0), isa.DefaultBatchCap)
+		pipe.Close()
+		return sut.Cores[0].Counters()
+	}
+
 	want := run(false, false) // the pre-change model
-	got := run(true, true)    // the production path
+	got := run(true, true)    // the fused production path
 	for _, ev := range power4.AllEvents() {
 		if got.Get(ev) != want.Get(ev) {
 			t.Errorf("%v: batched+fast = %d, reference = %d", ev, got.Get(ev), want.Get(ev))
+		}
+	}
+	for _, pc := range []struct{ cap, depth int }{
+		{1, 1}, {7, 2}, {256, 4}, {4096, 4},
+	} {
+		gotP := runPipelined(pc.cap, pc.depth)
+		for _, ev := range power4.AllEvents() {
+			if gotP.Get(ev) != want.Get(ev) {
+				t.Errorf("pipelined cap=%d depth=%d: %v = %d, reference = %d",
+					pc.cap, pc.depth, ev, gotP.Get(ev), want.Get(ev))
+			}
 		}
 	}
 

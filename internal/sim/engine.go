@@ -28,6 +28,12 @@ type EngineConfig struct {
 	// sampled-fidelity knob described in DESIGN.md.
 	DetailFrac float64
 
+	// Pipelined runs the detail stream through the decoupled three-stage
+	// power4.Pipeline instead of the fused per-core loop. Counters are
+	// bit-identical either way (the pipeline's ordering invariant); only
+	// wall-clock time differs. Ignored when DetailFrac is 0.
+	Pipelined bool
+
 	WarmJIT bool // pre-compile the hot profile before t=0 (the paper's long warmup)
 	Seed    int64
 }
@@ -42,6 +48,7 @@ func DefaultEngineConfig() EngineConfig {
 		InstrScale: 256,
 		NominalCPI: 3.0,
 		DetailFrac: 0,
+		Pipelined:  true,
 		WarmJIT:    true,
 		Seed:       1,
 	}
@@ -86,8 +93,9 @@ type Engine struct {
 	gcInstrSim uint64
 	cpiEst     float64
 
-	finished    bool            // set once Run completes; guards against re-running
-	ctx         context.Context // cancellation for the window loop (nil = never)
+	finished    bool             // set once Run completes; guards against re-running
+	pipe        *power4.Pipeline // decoupled detail pipeline (nil = fused loop)
+	ctx         context.Context  // cancellation for the window loop (nil = never)
 	lastCtr     counterSnapshot
 	queue       []queuedReq // arrivals not yet served (capacity carry-over)
 	diskFreeAt  float64     // disk array availability (I/O queueing)
@@ -208,6 +216,21 @@ func (e *Engine) RunContext(ctx context.Context) ([]WindowStats, error) {
 		ctx = context.Background()
 	}
 	e.ctx = ctx
+	// Detail mode runs the instruction stream through the decoupled
+	// pipeline for the whole duration; it is drained at every window
+	// barrier (Step) and torn down on every exit path, so an aborted run
+	// leaks no stage goroutines.
+	if e.cfg.Pipelined && e.cfg.DetailFrac > 0 && e.pipe == nil {
+		pipe, err := power4.NewPipeline(e.sut.Cores, e.sut.Hier, power4.PipelineConfig{})
+		if err != nil {
+			return e.windows, err
+		}
+		e.pipe = pipe
+		defer func() {
+			e.pipe.Close()
+			e.pipe = nil
+		}()
+	}
 	nWindows := int(e.cfg.DurationMS / e.cfg.WindowMS)
 	if cap(e.windows)-len(e.windows) < nWindows {
 		grown := make([]WindowStats, len(e.windows), len(e.windows)+nWindows)
@@ -300,6 +323,13 @@ func (e *Engine) Step() error {
 
 	// Measured CPI feedback (detail mode).
 	if e.cfg.DetailFrac > 0 {
+		if e.pipe != nil {
+			// Window barrier: the pipeline publishes every in-flight
+			// instruction's counters before the read below, so the CPI the
+			// capacity feedback sees is exactly what the fused loop would
+			// have accumulated by this point in the stream.
+			e.pipe.Drain()
+		}
 		ctr := e.sut.AggregateCounters()
 		dc := ctr.Get(power4.EvCycles) - e.lastCtr.cycles
 		di := ctr.Get(power4.EvInstCompleted) - e.lastCtr.inst
@@ -394,7 +424,7 @@ func (e *Engine) serve(at float64, rt server.RequestType, ws *WindowStats, winEn
 func (e *Engine) execute(at float64, rt server.RequestType, core int) (server.Result, error) {
 	var sink isa.Sink
 	if e.cfg.DetailFrac > 0 {
-		sink = e.sut.Cores[core]
+		sink = e.detailSink(core)
 	}
 	for attempt := 0; ; attempt++ {
 		res, err := e.sut.Server.Execute(at, rt, sink, e.cfg.DetailFrac)
@@ -453,9 +483,19 @@ func (e *Engine) emitGCTrace(pauseMS float64) {
 	if per == 0 {
 		return
 	}
-	for _, c := range e.sut.Cores {
-		e.sut.Server.EmitGC(c, per)
+	for i := range e.sut.Cores {
+		e.sut.Server.EmitGC(e.detailSink(i), per)
 	}
+}
+
+// detailSink returns the instruction sink for one core: the pipeline's
+// per-core front end while a pipeline is attached, the core itself
+// otherwise.
+func (e *Engine) detailSink(core int) isa.Sink {
+	if e.pipe != nil {
+		return e.pipe.Sink(core)
+	}
+	return e.sut.Cores[core]
 }
 
 // MeanUtilization returns mean busy fraction over steady-state windows.

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"jasworkload/internal/power4"
+)
+
+// TestEnginePipelinedEquivalence is the whole-run determinism guard: a
+// full detail-mode engine run must produce byte-identical windows and
+// counters whether the stream runs through the decoupled pipeline or the
+// fused loop. This exercises the window drain barrier — the per-window
+// CPI read feeds the capacity model, so a counter that lagged the
+// barrier by even one batch would change scheduling and cascade into
+// different windows.
+func TestEnginePipelinedEquivalence(t *testing.T) {
+	run := func(pipelined bool) ([]WindowStats, []power4.Counters) {
+		sut := smallSUT(t, 8)
+		ecfg := DefaultEngineConfig()
+		ecfg.DurationMS = 12_000
+		ecfg.RampMS = 2_000
+		ecfg.DetailFrac = 0.02
+		ecfg.Pipelined = pipelined
+		e, err := NewEngine(ecfg, sut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		perCore := make([]power4.Counters, len(sut.Cores))
+		for i, c := range sut.Cores {
+			perCore[i] = c.Counters()
+		}
+		return e.Windows(), perCore
+	}
+
+	fusedWin, fusedCtr := run(false)
+	pipeWin, pipeCtr := run(true)
+
+	if !reflect.DeepEqual(fusedWin, pipeWin) {
+		for i := range fusedWin {
+			if i < len(pipeWin) && !reflect.DeepEqual(fusedWin[i], pipeWin[i]) {
+				t.Fatalf("window %d diverged:\nfused %+v\npiped %+v", i, fusedWin[i], pipeWin[i])
+			}
+		}
+		t.Fatalf("window counts diverged: fused %d, pipelined %d", len(fusedWin), len(pipeWin))
+	}
+	for i := range fusedCtr {
+		if fusedCtr[i] != pipeCtr[i] {
+			for _, ev := range power4.AllEvents() {
+				if fusedCtr[i].Get(ev) != pipeCtr[i].Get(ev) {
+					t.Errorf("core %d %v: fused %d, pipelined %d",
+						i, ev, fusedCtr[i].Get(ev), pipeCtr[i].Get(ev))
+				}
+			}
+		}
+	}
+	// The run must actually have exercised detail mode.
+	var total power4.Counters
+	for i := range fusedCtr {
+		total.AddAll(&fusedCtr[i])
+	}
+	if total.Get(power4.EvInstCompleted) == 0 {
+		t.Fatal("detail run completed no instructions; the equivalence is hollow")
+	}
+}
+
+// TestEnginePipelineTeardown: an engine abandoned after RunContext (both
+// completed and aborted runs) must leave no pipeline attached — Step
+// called on a finished engine or a fresh engine must keep working against
+// the fused path.
+func TestEnginePipelineTeardown(t *testing.T) {
+	sut := smallSUT(t, 8)
+	e := shortEngine(t, sut, 3_000, 1_000, 0.02)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.pipe != nil {
+		t.Fatal("pipeline survived RunContext")
+	}
+}

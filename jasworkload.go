@@ -135,3 +135,13 @@ func Parallelism() int { return core.Parallelism() }
 // returns the previous value. n < 1 resets to the number of CPUs.
 // Results are bit-identical at any setting; only wall clock changes.
 func SetParallelism(n int) int { return core.SetParallelism(n) }
+
+// Pipelined reports whether detail-mode simulation runs its decoupled
+// stage pipeline (the default) or the fused per-instruction loop.
+func Pipelined() bool { return core.Pipelined() }
+
+// SetPipelined selects between the decoupled detail pipeline and the
+// fused loop for subsequent runs, returning the previous setting. HPM
+// counters and reports are bit-identical either way; only execution
+// shape (and wall clock on hosts with spare CPUs) changes.
+func SetPipelined(enabled bool) bool { return core.SetPipelined(enabled) }
