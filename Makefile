@@ -1,13 +1,15 @@
 # Tier-1 is what the roadmap requires green: build + tests.
 # `make ci` is the tier-1+ gate: formatting, vet, build, the full test
 # suite under the race detector with shuffled test order (exercising the
-# parallel experiment scheduler and the jasd worker pool), a one-shot
-# benchmark smoke of the Figure 2 pipeline, and the jasd service smoke
-# (real daemon on a random port, golden-report diff, graceful drain).
+# parallel experiment scheduler and the jasd worker pool), the workload
+# pack calibration gate (quick-scale scalars + report vs testdata
+# goldens for all three packs), a one-shot benchmark smoke of the
+# Figure 2 pipeline, and the jasd service smoke (real daemon on a
+# random port, golden-report diff, graceful drain).
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv bench-smoke bench-json report service-smoke
+.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke
 
 all: build test
 
@@ -39,6 +41,16 @@ equiv:
 	$(GO) test -run 'TestPipeline' ./internal/power4/
 	$(GO) test -race -run 'TestPipelineEquivalence|TestEnginePipelined' ./internal/power4/ ./internal/sim/
 
+# The workload-pack calibration gate: every registered scenario pack
+# (jas2004, dataanalytics, virtweb) re-derives its quick-scale headline
+# scalars and full markdown report and must match the pinned goldens
+# under testdata/ byte for byte. jas2004's report golden is
+# testdata/golden_report_quick.md itself, so this doubles as the
+# zero-behaviour-change guard for the workload refactor. Regenerate
+# deliberately with `go run ./cmd/calibrate -update -workload all`.
+calibrate:
+	$(GO) run ./cmd/calibrate -check -workload all
+
 # The floor check (JAS_BENCH_FLOOR=1) fails if the pipelined detail
 # stream is slower than the fused loop: pipelining must never be a
 # pessimization on the CI host.
@@ -53,8 +65,8 @@ bench-smoke:
 # parallelism 1/4/8) gets 3 runs of 300 round trips. BENCH_OUT names the
 # artifact; BENCH_BASELINE (a previous artifact) adds per-benchmark
 # min-vs-min speedup deltas to it.
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR5.json
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . && \
@@ -67,7 +79,7 @@ bench-json:
 service-smoke:
 	sh scripts/service_smoke.sh
 
-ci: fmt vet build race equiv bench-smoke service-smoke
+ci: fmt vet build race equiv calibrate bench-smoke service-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

@@ -20,6 +20,7 @@ import (
 	"jasworkload/internal/power4"
 	"jasworkload/internal/server"
 	"jasworkload/internal/sim"
+	"jasworkload/internal/workload"
 )
 
 func quickCfg() Config { return DefaultConfig(ScaleQuick) }
@@ -324,12 +325,18 @@ func benchStreamCore(b testing.TB) *sim.SUT {
 	return sut
 }
 
-// benchPipeline streams the recorded trace through a detail pipeline in
-// the given configuration, with a Drain per iteration modelling the
-// engine's once-per-window barrier.
+// benchPipeline streams the recorded jas2004 trace through a detail
+// pipeline in the given configuration, with a Drain per iteration
+// modelling the engine's once-per-window barrier.
 func benchPipeline(b *testing.B, cfg power4.PipelineConfig) {
 	b.Helper()
-	trace := benchDetailTrace(b)
+	benchPipelineTrace(b, benchDetailTrace(b), cfg)
+}
+
+// benchPipelineTrace is benchPipeline over an explicit trace, so packs
+// other than jas2004 can reuse the same consumption harness.
+func benchPipelineTrace(b *testing.B, trace []isa.Instr, cfg power4.PipelineConfig) {
+	b.Helper()
 	sut := benchStreamCore(b)
 	pipe, err := power4.NewPipeline(sut.Cores, sut.Hier, cfg)
 	if err != nil {
@@ -354,6 +361,55 @@ func benchPipeline(b *testing.B, cfg power4.PipelineConfig) {
 // overhead). Fast paths enabled, as in production.
 func BenchmarkDetailStream(b *testing.B) {
 	benchPipeline(b, power4.PipelineConfig{})
+}
+
+// benchTraceDA caches the dataanalytics-pack stream the same way
+// benchTrace caches jas2004's.
+var benchTraceDA []isa.Instr
+
+// benchDetailTraceDA records ~2M instructions of the dataanalytics
+// pack's detail stream: batch-heavy classes with large sequential scans
+// and a skewed method profile, cycled round-robin plus GC and idle work.
+func benchDetailTraceDA(b testing.TB) []isa.Instr {
+	b.Helper()
+	if benchTraceDA != nil {
+		return benchTraceDA
+	}
+	w, err := workload.Get("dataanalytics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := sim.DefaultSUTConfig(30)
+	scfg.App = server.AppFor(w)
+	scfg.Profile = w.TuneProfile(scfg.Profile)
+	sut, err := sim.BuildSUT(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &isa.Recorder{}
+	n := sut.Server.App().NumClasses()
+	now := 0.0
+	for i := 0; len(rec.Trace) < 2_000_000; i++ {
+		if _, err := sut.Server.Execute(now, server.RequestType(i%n), rec, 0.2); err != nil {
+			b.Fatal(err)
+		}
+		now += 33
+		if i%16 == 15 {
+			sut.Server.EmitGC(rec, 20_000)
+			sut.Server.EmitIdle(rec, 5_000)
+		}
+	}
+	benchTraceDA = rec.Trace
+	return benchTraceDA
+}
+
+// BenchmarkDetailStreamDataAnalytics is BenchmarkDetailStream over the
+// dataanalytics pack's stream: same production pipeline, different
+// instruction mix (scan-dominated data references, higher allocation
+// rate), so the two legs together show how stream consumption cost
+// tracks workload character rather than a single pinned trace.
+func BenchmarkDetailStreamDataAnalytics(b *testing.B) {
+	benchPipelineTrace(b, benchDetailTraceDA(b), power4.PipelineConfig{})
 }
 
 // BenchmarkDetailStreamRings forces the concurrent three-stage schedule

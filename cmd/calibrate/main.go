@@ -7,24 +7,67 @@
 //   - a per-event CPI-contribution table (event rate x worst-case penalty),
 //     which shows where the model's cycles go.
 //
+// It is also the calibration gate for the workload packs: with -check it
+// re-derives each pack's quick-scale headline scalars and full markdown
+// report and diffs them against the pinned goldens under testdata/, so a
+// model or pack change that moves any pack's numbers fails CI until the
+// goldens are deliberately regenerated with -update. jas2004's report
+// golden is testdata/golden_report_quick.md itself — the same file the
+// repo's golden test pins — so the default pack's gate is byte-identity
+// with the pre-refactor output, not a separate copy that could drift.
+//
 // Usage:
 //
-//	calibrate [-scale quick|standard] [-seed N]
+//	calibrate [-scale quick|standard] [-seed N] [-workload NAME|all]
+//	          [-check] [-update] [-golden-dir DIR]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"jasworkload/internal/core"
 	"jasworkload/internal/power4"
+	"jasworkload/internal/workload"
+	_ "jasworkload/internal/workload/packs"
 )
+
+// gatedPacks are the packs the -check/-update gate pins. trade6 is the
+// cross-check foil, exercised (and therefore pinned) through every pack's
+// report, so it does not need a gate of its own.
+var gatedPacks = []string{"jas2004", "dataanalytics", "virtweb"}
 
 func main() {
 	scale := flag.String("scale", "quick", "run scale: quick or standard")
 	seed := flag.Int64("seed", 1, "deterministic run seed")
+	workloadName := flag.String("workload", "", "workload pack (default jas2004); \"all\" gates every pack with -check/-update")
+	check := flag.Bool("check", false, "diff quick-scale scalars + report against the testdata goldens; exit 1 on drift")
+	update := flag.Bool("update", false, "regenerate the testdata goldens instead of diffing")
+	goldenDir := flag.String("golden-dir", "testdata", "directory holding the calibration goldens")
 	flag.Parse()
+
+	if *check || *update {
+		packs := gatedPacks
+		if *workloadName != "" && *workloadName != "all" {
+			packs = []string{*workloadName}
+		}
+		failed := false
+		for _, name := range packs {
+			if err := gatePack(name, *seed, *goldenDir, *update); err != nil {
+				fmt.Fprintf(os.Stderr, "calibrate: %s: %v\n", name, err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := core.ScaleQuick
 	if *scale == "standard" {
@@ -32,6 +75,7 @@ func main() {
 	}
 	cfg := core.DefaultRunConfig(sc)
 	cfg.Seed = *seed
+	cfg.Workload = *workloadName
 
 	// One detail run from the shared artifact layer carries every standard
 	// HPM group, so no group list is needed here.
@@ -41,28 +85,119 @@ func main() {
 		os.Exit(1)
 	}
 	c := d.SUT.AggregateCounters()
+	printHeadline(os.Stdout, c)
+	printTable(os.Stdout, c)
+}
+
+// gatePack runs one pack's quick-scale calibration and either pins
+// (update=true) or verifies its two goldens: the headline scalars and the
+// full markdown report.
+func gatePack(name string, seed int64, dir string, update bool) error {
+	if _, err := workload.Get(name); err != nil {
+		return err
+	}
+	cfg := core.DefaultRunConfig(core.ScaleQuick)
+	cfg.Seed = seed
+	cfg.Workload = name
+	art := core.ForConfig(cfg)
+
+	d, err := art.Detail()
+	if err != nil {
+		return err
+	}
+	var scal bytes.Buffer
+	printHeadline(&scal, d.SUT.AggregateCounters())
+
+	rep, err := core.BuildReport(cfg)
+	if err != nil {
+		return err
+	}
+
+	scalPath := filepath.Join(dir, "golden_calibrate_quick_"+name+".txt")
+	repPath := filepath.Join(dir, "golden_report_quick_"+name+".md")
+	if name == workload.DefaultName {
+		// The default pack is pinned by the repo's original report golden:
+		// the gate and the golden test must agree on one file.
+		repPath = filepath.Join(dir, "golden_report_quick.md")
+	}
+
+	if update {
+		if err := os.WriteFile(scalPath, scal.Bytes(), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(repPath, []byte(rep.Markdown()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("calibrate: %s: wrote %s, %s\n", name, scalPath, repPath)
+		return nil
+	}
+
+	if err := diffGolden(scalPath, scal.String()); err != nil {
+		return err
+	}
+	if err := diffGolden(repPath, rep.Markdown()); err != nil {
+		return err
+	}
+	fmt.Printf("calibrate: %s: scalars + report match goldens\n", name)
+	return nil
+}
+
+// diffGolden compares got against the golden file, naming the first
+// differing line so a drift report is actionable without a local diff.
+func diffGolden(path, got string) error {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("missing golden (run with -update to create it): %w", err)
+	}
+	if string(want) == got {
+		return nil
+	}
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Errorf("drift from %s at line %d:\n  golden: %s\n  got:    %s", path, i+1, w, g)
+		}
+	}
+	return fmt.Errorf("drift from %s (length only)", path)
+}
+
+// printHeadline writes the calibration scalars: the rates the paper's
+// Tables 3-5 pin and the tuning loop watches.
+func printHeadline(w io.Writer, c power4.Counters) {
 	inst := float64(c.Get(power4.EvInstCompleted))
-	fmt.Printf("instructions=%.3e  CPI=%.2f  dispatched/completed=%.2f\n", inst, c.CPI(), c.SpeculationRate())
-	fmt.Printf("miss/load=%.3f  miss/store=%.3f  cond-miss=%.3f  target-miss=%.3f\n",
+	fmt.Fprintf(w, "instructions=%.3e  CPI=%.2f  dispatched/completed=%.2f\n", inst, c.CPI(), c.SpeculationRate())
+	fmt.Fprintf(w, "miss/load=%.3f  miss/store=%.3f  cond-miss=%.3f  target-miss=%.3f\n",
 		c.Ratio(power4.EvL1DLoadMiss, power4.EvLoads),
 		c.Ratio(power4.EvL1DStoreMiss, power4.EvStores),
 		c.Ratio(power4.EvBrCondMispred, power4.EvBrCond),
 		c.Ratio(power4.EvBrTargetMispred, power4.EvBrIndirect))
 	lm := float64(c.Get(power4.EvL1DLoadMiss))
-	fmt.Printf("sources: L2=%.2f L2.75shr=%.3f L2.75mod=%.3f L3=%.2f L3.5=%.3f mem=%.3f\n",
+	fmt.Fprintf(w, "sources: L2=%.2f L2.75shr=%.3f L2.75mod=%.3f L3=%.2f L3.5=%.3f mem=%.3f\n",
 		float64(c.Get(power4.EvDataFromL2))/lm,
 		float64(c.Get(power4.EvDataFromL275Shr))/lm,
 		float64(c.Get(power4.EvDataFromL275Mod))/lm,
 		float64(c.Get(power4.EvDataFromL3))/lm,
 		float64(c.Get(power4.EvDataFromL35))/lm,
 		float64(c.Get(power4.EvDataFromMem))/lm)
-	fmt.Printf("DERAT=1/%.0f  DTLB/DERAT=%.2f  IERAT=1/%.0f  ITLB=1/%.0f  L1I=1/%.0f\n\n",
+	fmt.Fprintf(w, "DERAT=1/%.0f  DTLB/DERAT=%.2f  IERAT=1/%.0f  ITLB=1/%.0f  L1I=1/%.0f\n\n",
 		inst/float64(c.Get(power4.EvDERATMiss)),
 		c.Ratio(power4.EvDTLBMiss, power4.EvDERATMiss),
 		inst/float64(c.Get(power4.EvIERATMiss)),
 		inst/float64(c.Get(power4.EvITLBMiss)),
 		inst/float64(c.Get(power4.EvL1IMiss)))
+}
 
+// printTable writes the per-event CPI-contribution table.
+func printTable(w io.Writer, c power4.Counters) {
+	inst := float64(c.Get(power4.EvInstCompleted))
 	p := power4.DefaultPenalties()
 	rows := []struct {
 		name string
@@ -86,11 +221,11 @@ func main() {
 		{"ifetch from memory", power4.EvIFetchMem, p.IMissMem},
 		{"SYNC drain", power4.EvSyncCount, p.SyncDrainUser},
 	}
-	fmt.Println("event                  rate           max CPI contribution (rate x penalty)")
+	fmt.Fprintln(w, "event                  rate           max CPI contribution (rate x penalty)")
 	for _, r := range rows {
 		n := float64(c.Get(r.ev))
-		fmt.Printf("%-20s  1/%-11.0f  %.3f\n", r.name, inst/n, n*r.pen/inst)
+		fmt.Fprintf(w, "%-20s  1/%-11.0f  %.3f\n", r.name, inst/n, n*r.pen/inst)
 	}
-	fmt.Println("\n(loads and I-fetches are partially hidden by the out-of-order window and")
-	fmt.Println("prefetching; the contribution column is the unhidden worst case.)")
+	fmt.Fprintln(w, "\n(loads and I-fetches are partially hidden by the out-of-order window and")
+	fmt.Fprintln(w, "prefetching; the contribution column is the unhidden worst case.)")
 }

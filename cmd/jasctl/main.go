@@ -7,8 +7,8 @@
 // Commands:
 //
 //	submit  [-scale quick] [-ir N] [-seed N] [-heap-mb N] [-heap-page 4K|16M]
-//	        [-duration-ms N] [-ramp-ms N] [-timeout D] [-retries N]
-//	        [-wait] [-format json|md]
+//	        [-duration-ms N] [-ramp-ms N] [-workload NAME] [-timeout D]
+//	        [-retries N] [-wait] [-format json|md]
 //	        submit a run; prints the job status, or (with -wait) blocks and
 //	        prints the finished report. -timeout sets the run's execution
 //	        deadline (timeout_s). With -retries, queue-full rejections are
@@ -26,6 +26,7 @@
 //	figure  <id> <fig> [-format json|md]
 //	        fetch one figure (fig2..fig10, tprof, vmstat, locking, scalars,
 //	        crosschecks, largepages)
+//	workloads                list the server's registered workload packs
 //	metrics                  dump the Prometheus /metrics exposition
 //
 // Exit status 4 means the server rejected the submission with 429 (queue
@@ -73,6 +74,8 @@ func main() {
 		err = stream(*addr, args)
 	case "figure":
 		err = figure(*addr, args)
+	case "workloads":
+		err = raw(*addr + "/v1/workloads")
 	case "metrics":
 		err = raw(*addr + "/metrics")
 	default:
@@ -85,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|metrics [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|workloads|metrics [flags]")
 	os.Exit(2)
 }
 
@@ -99,6 +102,7 @@ func submit(addr string, args []string) error {
 	heapPage := fs.String("heap-page", "", "heap page size: 4K or 16M")
 	durationMS := fs.Float64("duration-ms", 0, "run duration override, ms")
 	rampMS := fs.Float64("ramp-ms", 0, "ramp override, ms")
+	workloadName := fs.String("workload", "", "workload pack (server default jas2004; see GET /v1/workloads)")
 	timeout := fs.Duration("timeout", 0, "run execution deadline (0 = server default)")
 	retries := fs.Int("retries", 0, "retry queue-full rejections up to N times, honoring Retry-After")
 	wait := fs.Bool("wait", false, "block until the run finishes and print its report")
@@ -123,6 +127,9 @@ func submit(addr string, args []string) error {
 	}
 	if *rampMS > 0 {
 		spec["ramp_ms"] = *rampMS
+	}
+	if *workloadName != "" {
+		spec["workload"] = *workloadName
 	}
 	if *timeout > 0 {
 		spec["timeout_s"] = timeout.Seconds()

@@ -13,6 +13,7 @@
 // Usage:
 //
 //	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-parallel N]
+//	       [-workload NAME] [-list-workloads]
 //	       [-figures] [-markdown] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -26,12 +27,15 @@ import (
 	"time"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/service"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "run scale: quick, standard, or full")
 	ir := flag.Int("ir", 0, "override the injection rate (0 = scale default)")
 	seed := flag.Int64("seed", 1, "deterministic run seed")
+	workloadName := flag.String("workload", "", "workload pack to run (default jas2004; see -list-workloads)")
+	listWorkloads := flag.Bool("list-workloads", false, "list the registered workload packs and exit")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	pipelined := flag.Bool("pipelined", true, "run the detail stream through the decoupled stage pipeline (results are bit-identical either way)")
 	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
@@ -39,6 +43,18 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *listWorkloads {
+		// The same registry jasd serves on GET /v1/workloads.
+		for _, wi := range service.ListWorkloads() {
+			def := ""
+			if wi.Default {
+				def = " (default)"
+			}
+			fmt.Printf("%-16s %d classes%s  %s\n", wi.Name, wi.Classes, def, wi.Description)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -82,6 +98,7 @@ func main() {
 	}
 	cfg := core.DefaultRunConfig(sc)
 	cfg.Seed = *seed
+	cfg.Workload = *workloadName
 	if *ir > 0 {
 		cfg.IR = *ir
 	}

@@ -8,6 +8,7 @@ import (
 
 	"jasworkload/internal/hpm"
 	"jasworkload/internal/sim"
+	"jasworkload/internal/workload"
 )
 
 // This file is the run-artifact layer. An Artifact is the set of completed
@@ -61,6 +62,9 @@ type Artifact struct {
 func (c RunConfig) canonical() RunConfig {
 	c.DurationMS, c.RampMS = c.durations()
 	c.DetailFrac = c.detail()
+	if c.Workload == "" {
+		c.Workload = workload.DefaultName
+	}
 	return c
 }
 

@@ -14,7 +14,13 @@ import (
 
 	"jasworkload/internal/hpm"
 	"jasworkload/internal/mem"
+	"jasworkload/internal/server"
 	"jasworkload/internal/sim"
+	"jasworkload/internal/workload"
+
+	// Register every shipped workload pack; the jas2004 and trade6 packs
+	// come in transitively through internal/server.
+	_ "jasworkload/internal/workload/packs"
 )
 
 // Scale selects how closely a run matches the paper's dimensions versus a
@@ -44,6 +50,11 @@ type RunConfig struct {
 	// with the heap). Fix it when sweeping heap sizes so the live set
 	// stays constant, as in the heapsweep example.
 	BaselineCacheBytes uint64
+
+	// Workload names the registered workload pack driving the run ("" =
+	// the default jas2004 pack). It is part of the canonical config, so
+	// artifacts, job IDs, and reports key on it.
+	Workload string
 
 	// Overrides (0 = per-scale default).
 	DurationMS float64
@@ -100,13 +111,26 @@ func (c RunConfig) detail() float64 {
 	return 0.015
 }
 
+// workload resolves the run's workload pack against the registry.
+func (c RunConfig) workload() (workload.Workload, error) {
+	return workload.Get(c.Workload)
+}
+
 // buildSUT assembles the SUT per the run config.
 func (c RunConfig) buildSUT() (*sim.SUT, error) {
+	w, err := c.workload()
+	if err != nil {
+		return nil, err
+	}
 	scfg := sim.DefaultSUTConfig(c.IR)
 	scfg.Seed = c.Seed
 	scfg.HeapBytes = c.HeapBytes
 	scfg.HeapPageSize = c.HeapPageSize
 	scfg.BaselineCacheBytes = c.BaselineCacheBytes
+	scfg.App = server.AppFor(w)
+	// Pack-specific method-profile skew first, then the quick-scale
+	// universe shrink, so the default pack stays byte-identical.
+	scfg.Profile = w.TuneProfile(scfg.Profile)
 	if c.Scale == ScaleQuick {
 		scfg.Profile.NumMethods = 850
 		scfg.Profile.WarmSet = 60

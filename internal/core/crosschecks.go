@@ -8,6 +8,7 @@ import (
 	"jasworkload/internal/jvm"
 	"jasworkload/internal/server"
 	"jasworkload/internal/sim"
+	"jasworkload/internal/workload"
 )
 
 // CrossChecks reproduces the paper's two robustness checks:
@@ -18,7 +19,11 @@ import (
 //     Sovereign JVM, little CPU time is spent on garbage collection";
 //     Sovereign shows a higher CPU utilization at the same injection rate.
 type CrossChecks struct {
-	Jas2004GCShare float64 // % of runtime in GC, J9 + jas2004
+	// Workload names the pack of the baseline (and Sovereign) runs; the
+	// Trade6 comparison always runs the trade6 pack.
+	Workload string
+
+	Jas2004GCShare float64 // % of runtime in GC, J9 + the config's pack
 	Trade6GCShare  float64 // % of runtime in GC, J9 + Trade6
 
 	J9Util           float64
@@ -28,15 +33,16 @@ type CrossChecks struct {
 	SovereignJOPS    float64
 }
 
-// runVariant executes a request-level run with the given app and JVM.
-func runVariant(ctx context.Context, cfg RunConfig, app *server.App, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
+// runVariant executes a request-level run with the given workload and JVM.
+func runVariant(ctx context.Context, cfg RunConfig, w workload.Workload, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
 	noteSim("variant")
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes
 	scfg.HeapPageSize = cfg.HeapPageSize
-	scfg.App = app
+	scfg.App = server.AppFor(w)
 	scfg.JVM = v
+	scfg.Profile = w.TuneProfile(scfg.Profile)
 	if cfg.Scale == ScaleQuick {
 		scfg.Profile.NumMethods = 850
 		scfg.Profile.WarmSet = 60
@@ -79,6 +85,15 @@ func (a *Artifact) CrossChecksContext(ctx context.Context) (CrossChecks, error) 
 func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
 	var res CrossChecks
 	cfg := a.Cfg
+	res.Workload = cfg.Workload
+	w, err := cfg.workload()
+	if err != nil {
+		return res, err
+	}
+	t6, err := workload.Get("trade6")
+	if err != nil {
+		return res, err
+	}
 	g := NewGroup(Parallelism())
 	g.Go(func() error {
 		rl, err := a.RequestLevelContext(ctx)
@@ -94,15 +109,15 @@ func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
 	})
 	g.Go(func() error {
 		var err error
-		if res.Trade6GCShare, _, _, err = runVariant(ctx, cfg, server.Trade6App(), sim.JVMJ9); err != nil {
+		if res.Trade6GCShare, _, _, err = runVariant(ctx, cfg, t6, sim.JVMJ9); err != nil {
 			return fmt.Errorf("trade6/J9: %w", err)
 		}
 		return nil
 	})
 	g.Go(func() error {
 		var err error
-		if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(ctx, cfg, server.Jas2004App(), sim.JVMSovereign); err != nil {
-			return fmt.Errorf("jas2004/Sovereign: %w", err)
+		if res.SovereignGCShare, res.SovereignUtil, res.SovereignJOPS, err = runVariant(ctx, cfg, w, sim.JVMSovereign); err != nil {
+			return fmt.Errorf("%s/Sovereign: %w", w.Name(), err)
 		}
 		return nil
 	})
@@ -114,10 +129,14 @@ func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
 
 // String renders the cross-check table.
 func (c CrossChecks) String() string {
+	name := c.Workload
+	if name == "" {
+		name = workload.DefaultName
+	}
 	var b strings.Builder
 	b.WriteString("Cross-checks (Sections 3.1, 4.1.1, 6)\n")
-	fmt.Fprintf(&b, "GC share of runtime: jas2004/J9 %.2f%%, Trade6/J9 %.2f%%, jas2004/Sovereign %.2f%%\n",
-		c.Jas2004GCShare, c.Trade6GCShare, c.SovereignGCShare)
+	fmt.Fprintf(&b, "GC share of runtime: %s/J9 %.2f%%, Trade6/J9 %.2f%%, %s/Sovereign %.2f%%\n",
+		name, c.Jas2004GCShare, c.Trade6GCShare, name, c.SovereignGCShare)
 	fmt.Fprintf(&b, "  (paper: all small — \"<2%%\"; Trade6 shows \"a similar small GC runtime overhead\")\n")
 	fmt.Fprintf(&b, "CPU utilization at the same IR: J9 %.0f%%, Sovereign %.0f%%\n",
 		100*c.J9Util, 100*c.SovereignUtil)

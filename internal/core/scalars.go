@@ -122,18 +122,21 @@ func (a *Artifact) runScalars(ctx context.Context) (ScalarsResult, error) {
 // runDiskStarved executes the 2-spindle comparison run.
 func runDiskStarved(ctx context.Context, cfg RunConfig) (iowaitShare, util float64, pass bool, err error) {
 	noteSim("variant")
+	w, err := cfg.workload()
+	if err != nil {
+		return 0, 0, false, err
+	}
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes
 	scfg.HeapPageSize = cfg.HeapPageSize
+	scfg.App = server.AppFor(w)
+	scfg.Profile = w.TuneProfile(scfg.Profile)
 	scfg.Storage = db.DefaultDiskModel()
 	// The paper's disk-starved runs had a database far larger than RAM
-	// could cache; size the buffer pool to a fraction of the IR-scaled data
-	// so page traffic reaches the two spindles.
-	sz := db.SizesFor(db.DefaultScaleConfig(cfg.IR))
-	pages := sz.Customers/32 + sz.Vehicles/64*2 + sz.Orders/32 + sz.OrderLines/48 +
-		sz.Parts/64 + sz.WorkOrders/32 + 2
-	poolBytes := uint64(pages) * 4096 / 24
+	// could cache; size the buffer pool to a fraction of the pack's
+	// IR-scaled working set so page traffic reaches the two spindles.
+	poolBytes := uint64(w.PoolPages(cfg.IR)) * 4096 / 24
 	if poolBytes < 64<<10 {
 		poolBytes = 64 << 10
 	}

@@ -57,15 +57,16 @@ func runRequestLevel(ctx context.Context, cfg RunConfig, winFn sim.WindowFunc) (
 // ---------------------------------------------------------------- Figure 2
 
 // Fig2Result is the benchmark-throughput figure: one series per request
-// class, bucketed over the run.
+// class of the deployed workload pack, bucketed over the run.
 type Fig2Result struct {
 	BucketSeconds int
-	Series        [server.NumRequestTypes]*stats.Series
+	ClassNames    []string
+	Series        []*stats.Series
 	// SteadyMean/CV summarize the post-ramp behaviour the paper calls out:
 	// "the transaction rate ... stabilizes relatively quickly, and remains
 	// fairly constant throughout execution".
-	SteadyMean [server.NumRequestTypes]float64
-	SteadyCV   [server.NumRequestTypes]float64
+	SteadyMean []float64
+	SteadyCV   []float64
 	JOPS       float64
 	AuditPass  bool
 }
@@ -79,26 +80,34 @@ func (r *RequestLevelRun) Fig2() Fig2Result {
 
 func (r *RequestLevelRun) computeFig2() Fig2Result {
 	const bucketSec = 10
-	res := Fig2Result{BucketSeconds: bucketSec}
+	app := r.SUT.Server.App()
+	n := app.NumClasses()
+	res := Fig2Result{
+		BucketSeconds: bucketSec,
+		ClassNames:    app.ClassNames(),
+		Series:        make([]*stats.Series, n),
+		SteadyMean:    make([]float64, n),
+		SteadyCV:      make([]float64, n),
+	}
 	ws := r.Engine.Windows()
-	for rt := 0; rt < server.NumRequestTypes; rt++ {
-		res.Series[rt] = stats.NewSeries(server.RequestType(rt).String()+" /s", bucketSec*1000)
+	for rt := 0; rt < n; rt++ {
+		res.Series[rt] = stats.NewSeries(res.ClassNames[rt]+" /s", bucketSec*1000)
 	}
 	for start := 0; start < len(ws); start += bucketSec {
 		end := start + bucketSec
 		if end > len(ws) {
 			break
 		}
-		for rt := 0; rt < server.NumRequestTypes; rt++ {
-			var n int
+		for rt := 0; rt < n; rt++ {
+			var cnt int
 			for _, w := range ws[start:end] {
-				n += w.Completions[rt]
+				cnt += w.Completions[rt]
 			}
-			res.Series[rt].Append(float64(n) / bucketSec)
+			res.Series[rt].Append(float64(cnt) / bucketSec)
 		}
 	}
 	steady := steadyStart(r.Cfg) / bucketSec
-	for rt := 0; rt < server.NumRequestTypes; rt++ {
+	for rt := 0; rt < n; rt++ {
 		if steady < res.Series[rt].Len() {
 			s := res.Series[rt].Slice(steady, res.Series[rt].Len())
 			res.SteadyMean[rt] = stats.Mean(s.Values)
@@ -114,12 +123,12 @@ func (r *RequestLevelRun) computeFig2() Fig2Result {
 func (f Fig2Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 2: Benchmark Throughput\n")
-	for rt := 0; rt < server.NumRequestTypes; rt++ {
+	for rt := range f.Series {
 		if f.Series[rt] != nil && f.Series[rt].Len() > 1 {
 			b.WriteString(f.Series[rt].ASCIIPlot(60, 6))
 		}
 		fmt.Fprintf(&b, "  steady %-14s %6.2f req/s (CV %.3f)\n",
-			server.RequestType(rt), f.SteadyMean[rt], f.SteadyCV[rt])
+			f.ClassNames[rt], f.SteadyMean[rt], f.SteadyCV[rt])
 	}
 	fmt.Fprintf(&b, "JOPS = %.1f, audit pass = %v\n", f.JOPS, f.AuditPass)
 	return b.String()

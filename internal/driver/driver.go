@@ -4,6 +4,9 @@
 // requests under 2 s, 90% of RMI requests under 5 s), and computes the
 // JOPS metric. Like the real driver, it runs "outside" the SUT and does
 // not consume SUT resources.
+//
+// The driver is workload-agnostic: classes are indices into the arrival
+// rates and deadline slices the active workload pack supplies.
 package driver
 
 import (
@@ -12,7 +15,6 @@ import (
 	"math"
 	"math/rand"
 
-	"jasworkload/internal/server"
 	"jasworkload/internal/stats"
 )
 
@@ -25,16 +27,18 @@ const (
 
 // Config parameterizes the driver.
 type Config struct {
-	IR   int
-	Mix  server.Mix
-	Seed int64
+	IR int
+	// Rates are the per-class arrival rates in requests/second per unit of
+	// IR, indexed by class.
+	Rates []float64
+	Seed  int64
 }
 
 // Driver generates Poisson arrivals per request class.
 type Driver struct {
 	cfg  Config
 	rng  *rand.Rand
-	sent [server.NumRequestTypes]uint64
+	sent []uint64
 }
 
 // New builds a driver.
@@ -42,15 +46,26 @@ func New(cfg Config) (*Driver, error) {
 	if cfg.IR <= 0 {
 		return nil, fmt.Errorf("driver: bad injection rate %d", cfg.IR)
 	}
-	if cfg.Mix.TotalPerIR() <= 0 {
+	var total float64
+	for _, r := range cfg.Rates {
+		if r < 0 {
+			return nil, fmt.Errorf("driver: negative class rate %v", r)
+		}
+		total += r
+	}
+	if total <= 0 {
 		return nil, errors.New("driver: empty mix")
 	}
-	return &Driver{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Driver{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		sent: make([]uint64, len(cfg.Rates)),
+	}, nil
 }
 
 // Arrival is one injected request with its offset within the window.
 type Arrival struct {
-	Type     server.RequestType
+	Class    int
 	OffsetMS float64
 }
 
@@ -59,14 +74,14 @@ type Arrival struct {
 // makes the long-run rate constant, as in the benchmark.
 func (d *Driver) Window(windowMS float64) []Arrival {
 	var out []Arrival
-	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
-		rate := float64(d.cfg.IR) * d.cfg.Mix.RatePerIR[rt] // per second
+	for class, perIR := range d.cfg.Rates {
+		rate := float64(d.cfg.IR) * perIR // per second
 		mean := rate * windowMS / 1000
 		n := d.poisson(mean)
 		for i := 0; i < n; i++ {
-			out = append(out, Arrival{Type: rt, OffsetMS: d.rng.Float64() * windowMS})
+			out = append(out, Arrival{Class: class, OffsetMS: d.rng.Float64() * windowMS})
 		}
-		d.sent[rt] += uint64(n)
+		d.sent[class] += uint64(n)
 	}
 	// Insertion sort by offset (windows are small).
 	for i := 1; i < len(out); i++ {
@@ -102,41 +117,38 @@ func (d *Driver) poisson(mean float64) int {
 }
 
 // Sent returns per-class injected request counts.
-func (d *Driver) Sent() [server.NumRequestTypes]uint64 { return d.sent }
+func (d *Driver) Sent() []uint64 { return d.sent }
 
 // Tracker accumulates response times and completions for the audit.
 type Tracker struct {
-	resp      [server.NumRequestTypes][]float64
-	completed [server.NumRequestTypes]uint64
+	resp      [][]float64
+	completed []uint64
+	deadlines []float64
 	failed    uint64
 	startMS   float64
 	endMS     float64
-	web       [server.NumRequestTypes]bool
 }
 
 // NewTracker creates a tracker for a measurement interval starting at
-// startMS (ramp-up excluded), with jas2004's web/RMI class split.
-func NewTracker(startMS float64) *Tracker {
-	t := &Tracker{startMS: startMS, endMS: startMS}
-	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
-		t.web[rt] = rt.IsWeb()
+// startMS (ramp-up excluded), auditing each class against its run-rule
+// deadline.
+func NewTracker(startMS float64, deadlines []float64) *Tracker {
+	return &Tracker{
+		resp:      make([][]float64, len(deadlines)),
+		completed: make([]uint64, len(deadlines)),
+		deadlines: deadlines,
+		startMS:   startMS,
+		endMS:     startMS,
 	}
-	return t
-}
-
-// NewTrackerForApp creates a tracker whose audit deadlines follow the
-// application's web/RMI classification.
-func NewTrackerForApp(startMS float64, web [server.NumRequestTypes]bool) *Tracker {
-	return &Tracker{startMS: startMS, endMS: startMS, web: web}
 }
 
 // Record logs one completed request.
-func (t *Tracker) Record(rt server.RequestType, completionMS, responseMS float64) {
+func (t *Tracker) Record(class int, completionMS, responseMS float64) {
 	if completionMS < t.startMS {
 		return // ramp-up: excluded from the audit
 	}
-	t.resp[rt] = append(t.resp[rt], responseMS)
-	t.completed[rt]++
+	t.resp[class] = append(t.resp[class], responseMS)
+	t.completed[class]++
 	if completionMS > t.endMS {
 		t.endMS = completionMS
 	}
@@ -146,7 +158,7 @@ func (t *Tracker) Record(rt server.RequestType, completionMS, responseMS float64
 func (t *Tracker) RecordFailure() { t.failed++ }
 
 // Completed returns per-class completion counts in the measured interval.
-func (t *Tracker) Completed() [server.NumRequestTypes]uint64 { return t.completed }
+func (t *Tracker) Completed() []uint64 { return t.completed }
 
 // JOPS returns jAppServer-Operations-per-Second over the measured interval.
 func (t *Tracker) JOPS() float64 {
@@ -163,7 +175,7 @@ func (t *Tracker) JOPS() float64 {
 
 // ClassAudit is the per-class audit result.
 type ClassAudit struct {
-	Type       server.RequestType
+	Class      int
 	Count      uint64
 	P90MS      float64
 	MeanMS     float64
@@ -172,22 +184,21 @@ type ClassAudit struct {
 }
 
 // Audit evaluates the run rules and returns per-class results plus the
-// overall pass verdict. A run with no completed requests fails.
+// overall pass verdict. A class with no completed requests fails its
+// audit (its quantile is unmeasurable), and a run with no completed
+// requests — or more than 1% failures — fails overall.
 func (t *Tracker) Audit() ([]ClassAudit, bool) {
-	out := make([]ClassAudit, 0, server.NumRequestTypes)
+	out := make([]ClassAudit, 0, len(t.deadlines))
 	pass := true
 	var total uint64
-	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
-		ca := ClassAudit{Type: rt, Count: t.completed[rt], DeadlineMS: RMIDeadlineMS}
-		if t.web[rt] {
-			ca.DeadlineMS = WebDeadlineMS
-		}
-		if len(t.resp[rt]) > 0 {
-			p90, err := stats.Quantile(t.resp[rt], QuantileReq)
+	for class, deadline := range t.deadlines {
+		ca := ClassAudit{Class: class, Count: t.completed[class], DeadlineMS: deadline}
+		if len(t.resp[class]) > 0 {
+			p90, err := stats.Quantile(t.resp[class], QuantileReq)
 			if err == nil {
 				ca.P90MS = p90
 			}
-			ca.MeanMS = stats.Mean(t.resp[rt])
+			ca.MeanMS = stats.Mean(t.resp[class])
 			ca.Pass = ca.P90MS <= ca.DeadlineMS
 		}
 		pass = pass && ca.Pass

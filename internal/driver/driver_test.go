@@ -3,40 +3,51 @@ package driver
 import (
 	"math"
 	"testing"
+)
 
-	"jasworkload/internal/server"
+// jasRates/jasDeadlines mirror the default jas2004 pack (three web classes
+// at 2 s, one RMI class at 5 s) without importing it: the driver is
+// workload-agnostic and the tests exercise it the same way.
+var (
+	jasRates     = []float64{0.25, 0.25, 0.50, 0.60}
+	jasDeadlines = []float64{WebDeadlineMS, WebDeadlineMS, WebDeadlineMS, RMIDeadlineMS}
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{IR: 0, Mix: server.DefaultMix()}); err == nil {
+	if _, err := New(Config{IR: 0, Rates: jasRates}); err == nil {
 		t.Fatal("IR 0 accepted")
 	}
 	if _, err := New(Config{IR: 10}); err == nil {
 		t.Fatal("empty mix accepted")
 	}
+	if _, err := New(Config{IR: 10, Rates: []float64{0.5, -0.1}}); err == nil {
+		t.Fatal("negative class rate accepted")
+	}
+	if _, err := New(Config{IR: 10, Rates: []float64{0, 0}}); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
 }
 
 func TestWindowRates(t *testing.T) {
-	d, err := New(Config{IR: 40, Mix: server.DefaultMix(), Seed: 1})
+	d, err := New(Config{IR: 40, Rates: jasRates, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var counts [server.NumRequestTypes]int
+	counts := make([]int, len(jasRates))
 	const windows = 600 // 10 minutes of 1s windows
 	for w := 0; w < windows; w++ {
 		for _, a := range d.Window(1000) {
-			counts[a.Type]++
+			counts[a.Class]++
 			if a.OffsetMS < 0 || a.OffsetMS >= 1000 {
 				t.Fatalf("offset %v outside window", a.OffsetMS)
 			}
 		}
 	}
-	mix := server.DefaultMix()
-	for rt := server.RequestType(0); rt < server.RequestType(server.NumRequestTypes); rt++ {
-		want := 40 * mix.RatePerIR[rt] * windows
-		got := float64(counts[rt])
+	for class, perIR := range jasRates {
+		want := 40 * perIR * windows
+		got := float64(counts[class])
 		if math.Abs(got-want) > want*0.08 {
-			t.Errorf("%v: %v arrivals, want ~%v", rt, got, want)
+			t.Errorf("class %d: %v arrivals, want ~%v", class, got, want)
 		}
 	}
 	// Total ~1.6 JOPS per IR injected.
@@ -59,7 +70,7 @@ func TestWindowRates(t *testing.T) {
 }
 
 func TestWindowSorted(t *testing.T) {
-	d, _ := New(Config{IR: 100, Mix: server.DefaultMix(), Seed: 2})
+	d, _ := New(Config{IR: 100, Rates: jasRates, Seed: 2})
 	for w := 0; w < 20; w++ {
 		arr := d.Window(1000)
 		for i := 1; i < len(arr); i++ {
@@ -71,7 +82,7 @@ func TestWindowSorted(t *testing.T) {
 }
 
 func TestPoissonLargeMean(t *testing.T) {
-	d, _ := New(Config{IR: 1000, Mix: server.DefaultMix(), Seed: 3})
+	d, _ := New(Config{IR: 1000, Rates: jasRates, Seed: 3})
 	var n int
 	for w := 0; w < 50; w++ {
 		n += len(d.Window(1000))
@@ -83,12 +94,12 @@ func TestPoissonLargeMean(t *testing.T) {
 }
 
 func TestTrackerJOPSAndAudit(t *testing.T) {
-	tr := NewTracker(1000)
+	tr := NewTracker(1000, jasDeadlines)
 	// 100 requests over 10 seconds, all fast.
 	for i := 0; i < 100; i++ {
-		rt := server.RequestType(i % server.NumRequestTypes)
+		class := i % len(jasDeadlines)
 		at := 1000 + float64(i)*100
-		tr.Record(rt, at+100, 150)
+		tr.Record(class, at+100, 150)
 	}
 	jops := tr.JOPS()
 	if jops < 9 || jops > 11.5 {
@@ -98,34 +109,31 @@ func TestTrackerJOPSAndAudit(t *testing.T) {
 	if !pass {
 		t.Fatal("fast run failed audit")
 	}
-	if len(audits) != server.NumRequestTypes {
+	if len(audits) != len(jasDeadlines) {
 		t.Fatalf("audit classes = %d", len(audits))
 	}
 	for _, a := range audits {
 		if !a.Pass || a.P90MS > a.DeadlineMS {
-			t.Fatalf("class %v failed: %+v", a.Type, a)
+			t.Fatalf("class %v failed: %+v", a.Class, a)
 		}
-		if a.Type.IsWeb() && a.DeadlineMS != WebDeadlineMS {
-			t.Fatal("web deadline wrong")
-		}
-		if !a.Type.IsWeb() && a.DeadlineMS != RMIDeadlineMS {
-			t.Fatal("RMI deadline wrong")
+		if a.DeadlineMS != jasDeadlines[a.Class] {
+			t.Fatal("deadline not taken from the configured slice")
 		}
 	}
 }
 
 func TestTrackerAuditFailsSlowWeb(t *testing.T) {
-	tr := NewTracker(0)
+	tr := NewTracker(0, jasDeadlines)
 	for i := 0; i < 100; i++ {
 		// 85% fast, 15% very slow: p90 over the 2s web deadline.
 		resp := 100.0
 		if i%7 == 0 {
 			resp = 30000
 		}
-		tr.Record(server.ReqBrowse, float64(i)*10+10, resp)
-		tr.Record(server.ReqCreateVehicle, float64(i)*10+10, 100)
-		tr.Record(server.ReqPurchase, float64(i)*10+10, 100)
-		tr.Record(server.ReqManage, float64(i)*10+10, 100)
+		tr.Record(2, float64(i)*10+10, resp)
+		tr.Record(3, float64(i)*10+10, 100)
+		tr.Record(0, float64(i)*10+10, 100)
+		tr.Record(1, float64(i)*10+10, 100)
 	}
 	_, pass := tr.Audit()
 	if pass {
@@ -134,19 +142,19 @@ func TestTrackerAuditFailsSlowWeb(t *testing.T) {
 }
 
 func TestTrackerExcludesRampUp(t *testing.T) {
-	tr := NewTracker(5000)
-	tr.Record(server.ReqBrowse, 4000, 100) // during ramp-up
-	if tr.Completed()[server.ReqBrowse] != 0 {
+	tr := NewTracker(5000, jasDeadlines)
+	tr.Record(2, 4000, 100) // during ramp-up
+	if tr.Completed()[2] != 0 {
 		t.Fatal("ramp-up request counted")
 	}
-	tr.Record(server.ReqBrowse, 6000, 100)
-	if tr.Completed()[server.ReqBrowse] != 1 {
+	tr.Record(2, 6000, 100)
+	if tr.Completed()[2] != 1 {
 		t.Fatal("steady-state request not counted")
 	}
 }
 
 func TestTrackerEmptyFails(t *testing.T) {
-	tr := NewTracker(0)
+	tr := NewTracker(0, jasDeadlines)
 	if _, pass := tr.Audit(); pass {
 		t.Fatal("empty run passed")
 	}
@@ -156,17 +164,89 @@ func TestTrackerEmptyFails(t *testing.T) {
 }
 
 func TestTrackerFailureBudget(t *testing.T) {
-	tr := NewTracker(0)
+	tr := NewTracker(0, jasDeadlines)
 	for i := 0; i < 100; i++ {
-		tr.Record(server.ReqBrowse, float64(i+1)*10, 50)
-		tr.Record(server.ReqPurchase, float64(i+1)*10, 50)
-		tr.Record(server.ReqManage, float64(i+1)*10, 50)
-		tr.Record(server.ReqCreateVehicle, float64(i+1)*10, 50)
+		tr.Record(2, float64(i+1)*10, 50)
+		tr.Record(0, float64(i+1)*10, 50)
+		tr.Record(1, float64(i+1)*10, 50)
+		tr.Record(3, float64(i+1)*10, 50)
 	}
 	for i := 0; i < 10; i++ {
 		tr.RecordFailure()
 	}
 	if _, pass := tr.Audit(); pass {
 		t.Fatal("run with >1% failures passed")
+	}
+}
+
+// A p90 exactly at the deadline is a pass: the run rules bound the
+// quantile inclusively. Every response sits exactly on the limit, so any
+// quantile definition yields p90 == deadline.
+func TestTrackerAuditP90ExactlyAtLimit(t *testing.T) {
+	tr := NewTracker(0, []float64{WebDeadlineMS})
+	for i := 0; i < 100; i++ {
+		tr.Record(0, float64(i+1)*10, WebDeadlineMS)
+	}
+	audits, pass := tr.Audit()
+	if !pass {
+		t.Fatal("p90 exactly at the deadline failed the audit")
+	}
+	if audits[0].P90MS != WebDeadlineMS {
+		t.Fatalf("p90 = %v, want %v", audits[0].P90MS, WebDeadlineMS)
+	}
+	// One millisecond over the limit must flip the verdict.
+	tr2 := NewTracker(0, []float64{WebDeadlineMS})
+	for i := 0; i < 100; i++ {
+		tr2.Record(0, float64(i+1)*10, WebDeadlineMS+1)
+	}
+	if _, pass := tr2.Audit(); pass {
+		t.Fatal("p90 over the deadline passed the audit")
+	}
+}
+
+// A class that never completes a request has an unmeasurable quantile: it
+// must fail its own audit and drag the overall verdict down even when the
+// other classes are fast.
+func TestTrackerAuditZeroCompletionClass(t *testing.T) {
+	tr := NewTracker(0, jasDeadlines)
+	for i := 0; i < 100; i++ {
+		tr.Record(0, float64(i+1)*10, 50)
+		tr.Record(1, float64(i+1)*10, 50)
+		tr.Record(2, float64(i+1)*10, 50)
+		// class 3 never completes
+	}
+	audits, pass := tr.Audit()
+	if pass {
+		t.Fatal("run with a zero-completion class passed")
+	}
+	if audits[3].Pass || audits[3].Count != 0 {
+		t.Fatalf("zero-completion class audit: %+v", audits[3])
+	}
+	for class := 0; class < 3; class++ {
+		if !audits[class].Pass {
+			t.Fatalf("fast class %d failed: %+v", class, audits[class])
+		}
+	}
+}
+
+// A single-class pack is a legal workload: the audit must size to one
+// class and judge it alone.
+func TestTrackerAuditSingleClassPack(t *testing.T) {
+	tr := NewTracker(0, []float64{RMIDeadlineMS})
+	for i := 0; i < 50; i++ {
+		tr.Record(0, float64(i+1)*100, 400)
+	}
+	audits, pass := tr.Audit()
+	if !pass {
+		t.Fatal("single-class run failed")
+	}
+	if len(audits) != 1 {
+		t.Fatalf("audit classes = %d, want 1", len(audits))
+	}
+	if audits[0].Class != 0 || audits[0].Count != 50 || audits[0].DeadlineMS != RMIDeadlineMS {
+		t.Fatalf("single-class audit: %+v", audits[0])
+	}
+	if tr.JOPS() < 9 || tr.JOPS() > 11 {
+		t.Fatalf("JOPS = %v, want ~10", tr.JOPS())
 	}
 }

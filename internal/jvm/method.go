@@ -78,6 +78,9 @@ type ProfileConfig struct {
 	WarmShare  float64 // fraction of JITed time in the warm set
 	TopCap     float64 // max weight of the single hottest method
 	Seed       int64
+	// ComponentMix is the share of JITed time per component, indexed by
+	// Component. The zero value selects the paper's measured mix.
+	ComponentMix [NumComponents]float64
 }
 
 // DefaultProfileConfig returns the paper-calibrated configuration.
@@ -91,8 +94,8 @@ func DefaultProfileConfig() ProfileConfig {
 	}
 }
 
-// componentMix is the share of JITed time per component.
-var componentMix = map[Component]float64{
+// defaultComponentMix is the paper's share of JITed time per component.
+var defaultComponentMix = [NumComponents]float64{
 	CompWebSphere: 0.42,
 	CompEJS:       0.18,
 	CompJavaLib:   0.16,
@@ -109,6 +112,20 @@ func GenerateMethods(cfg ProfileConfig) ([]*Method, error) {
 	}
 	if cfg.WarmShare <= 0 || cfg.WarmShare >= 1 || cfg.TopCap <= 0 {
 		return nil, fmt.Errorf("jvm: bad profile shares %+v", cfg)
+	}
+	mix := cfg.ComponentMix
+	if mix == ([NumComponents]float64{}) {
+		mix = defaultComponentMix
+	}
+	var mixSum float64
+	for _, v := range mix {
+		if v < 0 {
+			return nil, fmt.Errorf("jvm: negative component share in %v", mix)
+		}
+		mixSum += v
+	}
+	if mixSum <= 0 {
+		return nil, fmt.Errorf("jvm: component mix sums to %v", mixSum)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -146,7 +163,7 @@ func GenerateMethods(cfg ProfileConfig) ([]*Method, error) {
 	// Assign components. The hottest method is the paper's char-to-byte
 	// converter (a Java library conversion routine).
 	methods := make([]*Method, cfg.NumMethods)
-	compOf := makeComponentAssigner(rng)
+	compOf := makeComponentAssigner(rng, mix)
 	for i := range methods {
 		comp := compOf()
 		name := fmt.Sprintf("%s.m%04d", componentNames[comp], i)
@@ -172,14 +189,14 @@ func GenerateMethods(cfg ProfileConfig) ([]*Method, error) {
 	return methods, nil
 }
 
-// makeComponentAssigner returns a sampler over components matching
-// componentMix.
-func makeComponentAssigner(rng *rand.Rand) func() Component {
+// makeComponentAssigner returns a sampler over components matching the
+// given mix.
+func makeComponentAssigner(rng *rand.Rand, mix [NumComponents]float64) func() Component {
 	comps := make([]Component, 0, NumComponents)
 	cum := make([]float64, 0, NumComponents)
 	var c float64
 	for comp := Component(0); comp < numComponents; comp++ {
-		c += componentMix[comp]
+		c += mix[comp]
 		comps = append(comps, comp)
 		cum = append(cum, c)
 	}

@@ -4,28 +4,40 @@ import (
 	"fmt"
 
 	"jasworkload/internal/db"
+	"jasworkload/internal/workload"
+	"jasworkload/internal/workload/jas2004"
+	"jasworkload/internal/workload/trade6"
 )
 
-// App is a deployable J2EE application: per-class display names, the
-// transaction scripts, and the database schema/access layer. The paper's
-// primary workload is jas2004; Section 6 cross-checks the GC findings on
-// Trade6, "another J2EE workload", which is also provided.
+// App is a deployable J2EE application: the request classes and database
+// hooks of one workload pack, in the form the server executes. Build one
+// with AppFor; the paper's primary workload is jas2004, and Section 6
+// cross-checks the GC findings on Trade6, "another J2EE workload".
 type App struct {
 	Name string
-	// Names are the per-class display names (the four curves of Figure 2
-	// for jas2004).
-	Names [NumRequestTypes]string
-	// Web marks classes that arrive through the web container (2 s
-	// response-time rule) rather than RMI (5 s).
-	Web [NumRequestTypes]bool
-	// Mix is the steady-state arrival mix.
-	Mix Mix
-	// Scripts are the per-class transaction shapes.
-	Scripts [NumRequestTypes]script
+	// Classes are the request classes in arrival-accounting order; the
+	// server's RequestType values index this slice.
+	Classes []workload.Class
+	// Alloc shapes the transient allocation size distribution.
+	Alloc workload.AllocProfile
 	// LoadDB populates the schema at the given injection-rate scale.
 	LoadDB func(d *db.Database, ir int, seed int64) error
 	// RunDB performs one request's database transaction.
-	RunDB func(s *Server, rt RequestType) error
+	RunDB func(ctx *workload.DBCtx, class int) error
+	// PoolPages estimates the working set in 4 KB database pages at an IR.
+	PoolPages func(ir int) int
+}
+
+// AppFor builds the server-side form of a workload pack.
+func AppFor(w workload.Workload) *App {
+	return &App{
+		Name:      w.Name(),
+		Classes:   w.Classes(),
+		Alloc:     w.Alloc(),
+		LoadDB:    w.LoadDB,
+		RunDB:     w.RunDB,
+		PoolPages: w.PoolPages,
+	}
 }
 
 // Validate checks the app is complete.
@@ -36,86 +48,67 @@ func (a *App) Validate() error {
 	if a.Name == "" || a.LoadDB == nil || a.RunDB == nil {
 		return fmt.Errorf("server: app %q incomplete", a.Name)
 	}
-	for rt := 0; rt < NumRequestTypes; rt++ {
-		if a.Names[rt] == "" {
-			return fmt.Errorf("server: app %q class %d unnamed", a.Name, rt)
+	if len(a.Classes) == 0 || len(a.Classes) > workload.MaxClasses {
+		return fmt.Errorf("server: app %q has %d classes (want 1..%d)",
+			a.Name, len(a.Classes), workload.MaxClasses)
+	}
+	for i, c := range a.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("server: app %q class %d unnamed", a.Name, i)
 		}
-		if a.Scripts[rt].baseInstr <= 0 || a.Scripts[rt].methodCalls <= 0 {
-			return fmt.Errorf("server: app %q class %d has an empty script", a.Name, rt)
+		if c.BaseInstr <= 0 || c.MethodCalls <= 0 {
+			return fmt.Errorf("server: app %q class %d has an empty script", a.Name, i)
 		}
 	}
-	if a.Mix.TotalPerIR() <= 0 {
+	if a.TotalPerIR() <= 0 {
 		return fmt.Errorf("server: app %q has an empty mix", a.Name)
 	}
 	return nil
 }
 
+// NumClasses returns the number of request classes.
+func (a *App) NumClasses() int { return len(a.Classes) }
+
+// ClassNames returns the per-class display names.
+func (a *App) ClassNames() []string {
+	out := make([]string, len(a.Classes))
+	for i, c := range a.Classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Rates returns the per-class arrival rates in requests/second per IR.
+func (a *App) Rates() []float64 {
+	out := make([]float64, len(a.Classes))
+	for i, c := range a.Classes {
+		out[i] = c.RatePerIR
+	}
+	return out
+}
+
+// Deadlines returns the per-class run-rule response-time limits in ms.
+func (a *App) Deadlines() []float64 {
+	out := make([]float64, len(a.Classes))
+	for i, c := range a.Classes {
+		out[i] = c.Deadline()
+	}
+	return out
+}
+
+// TotalPerIR returns total requests/second per unit of IR (the JOPS/IR
+// ratio when all requests succeed).
+func (a *App) TotalPerIR() float64 {
+	var t float64
+	for _, c := range a.Classes {
+		t += c.RatePerIR
+	}
+	return t
+}
+
 // Jas2004App returns the paper's primary workload.
-func Jas2004App() *App {
-	return &App{
-		Name: "jas2004",
-		Names: [NumRequestTypes]string{
-			"Purchase", "Manage", "Browse", "CreateVehicle",
-		},
-		Web:     [NumRequestTypes]bool{true, true, true, false},
-		Mix:     DefaultMix(),
-		Scripts: scripts,
-		LoadDB: func(d *db.Database, ir int, seed int64) error {
-			cfg := db.DefaultScaleConfig(ir)
-			cfg.Seed = seed
-			return db.Load(d, cfg)
-		},
-		RunDB: func(s *Server, rt RequestType) error { return s.runJasDBScript(rt) },
-	}
-}
+func Jas2004App() *App { return AppFor(jas2004.Pack()) }
 
-// trade6Scripts: the trading workload is read-heavier (quotes dominate),
-// allocates a little less per request, and leans harder on the Java
-// library (serialization of market data).
-var trade6Scripts = [NumRequestTypes]script{
-	// Buy
-	{
-		baseInstr: 110000, jitterFrac: 0.25, allocBytes: 430 << 10, allocObjects: 110,
-		webShare: 0.10, dbShare: 0.24, kernelShare: 0.17, jitedShareOfWAS: 0.50,
-		methodCalls: 85, persistCrumbs: 2,
-	},
-	// Sell
-	{
-		baseInstr: 105000, jitterFrac: 0.25, allocBytes: 410 << 10, allocObjects: 105,
-		webShare: 0.10, dbShare: 0.24, kernelShare: 0.17, jitedShareOfWAS: 0.50,
-		methodCalls: 80, persistCrumbs: 2,
-	},
-	// Quote
-	{
-		baseInstr: 55000, jitterFrac: 0.3, allocBytes: 300 << 10, allocObjects: 80,
-		webShare: 0.13, dbShare: 0.18, kernelShare: 0.16, jitedShareOfWAS: 0.54,
-		methodCalls: 45, persistCrumbs: 0,
-	},
-	// Portfolio
-	{
-		baseInstr: 90000, jitterFrac: 0.25, allocBytes: 390 << 10, allocObjects: 100,
-		webShare: 0.11, dbShare: 0.22, kernelShare: 0.16, jitedShareOfWAS: 0.52,
-		methodCalls: 70, persistCrumbs: 1,
-	},
-}
-
-// Trade6App returns the Trade6-like trading workload the paper cross-checks
-// its GC observations on (Section 6). All four classes are web-facing.
-func Trade6App() *App {
-	return &App{
-		Name: "trade6",
-		Names: [NumRequestTypes]string{
-			"Buy", "Sell", "Quote", "Portfolio",
-		},
-		Web: [NumRequestTypes]bool{true, true, true, true},
-		Mix: Mix{RatePerIR: [NumRequestTypes]float64{
-			0.25, // Buy
-			0.20, // Sell
-			0.85, // Quote
-			0.30, // Portfolio
-		}},
-		Scripts: trade6Scripts,
-		LoadDB:  func(d *db.Database, ir int, seed int64) error { return db.LoadTrade(d, ir, seed) },
-		RunDB:   func(s *Server, rt RequestType) error { return s.runTradeDBScript(rt) },
-	}
-}
+// Trade6App returns the Trade6-like trading workload the paper
+// cross-checks its GC observations on (Section 6).
+func Trade6App() *App { return AppFor(trade6.Pack()) }

@@ -3,9 +3,9 @@ package server
 import (
 	"fmt"
 
-	"jasworkload/internal/db"
 	"jasworkload/internal/isa"
 	"jasworkload/internal/jvm"
+	"jasworkload/internal/workload"
 )
 
 // Execute runs one request to completion at simulated time nowMS.
@@ -18,7 +18,10 @@ import (
 // On jvm.ErrHeapFull the engine must collect and retry; the request's
 // database work is rolled back.
 func (s *Server) Execute(nowMS float64, rt RequestType, sink isa.Sink, detailFrac float64) (Result, error) {
-	sc := s.app.Scripts[rt]
+	if int(rt) >= len(s.app.Classes) {
+		return Result{}, fmt.Errorf("server: app %q has no request class %d", s.app.Name, rt)
+	}
+	sc := s.app.Classes[rt]
 	res := Result{Type: rt}
 
 	// Container pools: saturation is recorded as contention (the paper's
@@ -43,7 +46,7 @@ func (s *Server) Execute(nowMS float64, rt RequestType, sink isa.Sink, detailFra
 
 	// Database work.
 	before := s.dbase.TouchCount()
-	err := s.app.RunDB(s, rt)
+	err := s.app.RunDB(&s.dbctx, int(rt))
 	res.DBOps = s.dbase.TouchCount() - before
 	if err != nil {
 		return res, err
@@ -57,7 +60,7 @@ func (s *Server) Execute(nowMS float64, rt RequestType, sink isa.Sink, detailFra
 	defer s.heap.RemoveRoot(cluster[0])
 
 	// Method invocations through the JIT.
-	methods := s.drawMethods(rt, sc.methodCalls)
+	methods := s.drawMethods(rt, sc.MethodCalls)
 	var jitedBody, totalBody uint64
 	for _, id := range methods {
 		s.jit.Invoke(id)
@@ -73,13 +76,13 @@ func (s *Server) Execute(nowMS float64, rt RequestType, sink isa.Sink, detailFra
 	}
 
 	// Instruction accounting.
-	total := float64(sc.baseInstr) * s.cpuFactor * (1 + sc.jitterFrac*(2*s.rng.Float64()-1))
-	wasShare := 1 - sc.webShare - sc.dbShare - sc.kernelShare
+	total := float64(sc.BaseInstr) * s.cpuFactor * (1 + sc.JitterFrac*(2*s.rng.Float64()-1))
+	wasShare := 1 - sc.WebShare - sc.DBShare - sc.KernelShare
 	res.Instructions = uint64(total)
-	res.Segments[SegWebServer] = uint64(total * sc.webShare)
-	res.Segments[SegDB2] = uint64(total * sc.dbShare)
-	res.Segments[SegKernel] = uint64(total * sc.kernelShare)
-	res.Segments[SegWASJit] = uint64(total * wasShare * sc.jitedShareOfWAS * warmFrac)
+	res.Segments[SegWebServer] = uint64(total * sc.WebShare)
+	res.Segments[SegDB2] = uint64(total * sc.DBShare)
+	res.Segments[SegKernel] = uint64(total * sc.KernelShare)
+	res.Segments[SegWASJit] = uint64(total * wasShare * sc.JITedShareOfWAS * warmFrac)
 	res.Segments[SegWASNative] = uint64(total*wasShare) - res.Segments[SegWASJit]
 	res.LockAcquires = int(total / 600) // LARX every ~600 instructions
 
@@ -91,7 +94,7 @@ func (s *Server) Execute(nowMS float64, rt RequestType, sink isa.Sink, detailFra
 }
 
 // touchSession finds or creates the user's session.
-func (s *Server) touchSession(nowMS float64, sc script, res *Result) error {
+func (s *Server) touchSession(nowMS float64, sc workload.Class, res *Result) error {
 	users := s.cfg.IR * 30
 	uid := s.rng.Intn(users)
 	sess, ok := s.sessions[uid]
@@ -105,7 +108,7 @@ func (s *Server) touchSession(nowMS float64, sc script, res *Result) error {
 		// Small conversational records attached to the session; they die
 		// with it much later, leaving small holes between long-lived
 		// neighbors — dark matter.
-		for i := 0; i < sc.persistCrumbs; i++ {
+		for i := 0; i < sc.PersistCrumbs; i++ {
 			crumb, err := s.heap.Alloc(uint32(96 + s.rng.Intn(160)))
 			if err != nil {
 				return err
@@ -144,25 +147,27 @@ func (s *Server) expireSessions(nowMS float64) {
 }
 
 // allocCluster performs the request's transient allocations; the first
-// object is the rooted cluster head referencing the rest.
-func (s *Server) allocCluster(sc script, res *Result) ([]jvm.ObjID, error) {
+// object is the rooted cluster head referencing the rest. Sizes follow
+// the app's allocation profile.
+func (s *Server) allocCluster(sc workload.Class, res *Result) ([]jvm.ObjID, error) {
 	head, err := s.heap.Alloc(256)
 	if err != nil {
 		return nil, err
 	}
 	s.heap.AddRoot(head)
-	cluster := make([]jvm.ObjID, 1, sc.allocObjects+1)
+	cluster := make([]jvm.ObjID, 1, sc.AllocObjects+1)
 	cluster[0] = head
 	res.AllocBytes += 256
-	for i := 0; i < sc.allocObjects; i++ {
+	ap := s.app.Alloc
+	for i := 0; i < sc.AllocObjects; i++ {
 		var size uint32
 		switch r := s.rng.Float64(); {
-		case r < 0.70:
-			size = uint32(64 + s.rng.Intn(448))
-		case r < 0.95:
-			size = uint32(1024 + s.rng.Intn(7168))
+		case r < ap.SmallCum:
+			size = uint32(ap.SmallBase + s.rng.Intn(ap.SmallSpan))
+		case r < ap.MediumCum:
+			size = uint32(ap.MediumBase + s.rng.Intn(ap.MediumSpan))
 		default:
-			size = uint32(16384 + s.rng.Intn(49152))
+			size = uint32(ap.LargeBase + s.rng.Intn(ap.LargeSpan))
 		}
 		id, err := s.heap.Alloc(size)
 		if err != nil {
@@ -176,7 +181,7 @@ func (s *Server) allocCluster(sc script, res *Result) ([]jvm.ObjID, error) {
 	return cluster, nil
 }
 
-// drawMethods samples the request's method invocations from the type's
+// drawMethods samples the request's method invocations from the class's
 // profile sampler.
 func (s *Server) drawMethods(rt RequestType, n int) []jvm.MethodID {
 	out := make([]jvm.MethodID, n)
@@ -186,118 +191,4 @@ func (s *Server) drawMethods(rt RequestType, n int) []jvm.MethodID {
 		out[i] = ids[a.Draw(s.rng)]
 	}
 	return out
-}
-
-// runJasDBScript performs a jas2004 request's database transaction.
-func (s *Server) runJasDBScript(rt RequestType) error {
-	switch rt {
-	case ReqPurchase:
-		return s.dbPurchase()
-	case ReqManage:
-		return s.dbManage()
-	case ReqBrowse:
-		return s.dbBrowse()
-	case ReqCreateVehicle:
-		return s.dbCreateVehicle()
-	default:
-		return fmt.Errorf("server: unknown request type %d", rt)
-	}
-}
-
-func (s *Server) sizes() db.Sizes { return db.SizesFor(db.DefaultScaleConfig(s.cfg.IR)) }
-
-func (s *Server) dbPurchase() error {
-	sz := s.sizes()
-	tx := s.dbase.Begin()
-	if _, err := tx.Get(db.TCustomers, db.Value(s.rng.Intn(sz.Customers))); err != nil {
-		return abortWith(tx, err)
-	}
-	model := db.Value(s.rng.Intn(sz.Vehicles))
-	if _, err := tx.Get(db.TVehicles, model); err != nil {
-		return abortWith(tx, err)
-	}
-	if _, err := tx.Get(db.TVehicles, db.Value(s.rng.Intn(sz.Vehicles))); err != nil {
-		return abortWith(tx, err)
-	}
-	s.orderSeq++
-	key := db.Value(sz.Orders) + s.orderSeq
-	if err := tx.Insert(db.TOrders, db.Row{key, db.Value(s.rng.Intn(sz.Customers)), 0, 12000}); err != nil {
-		return abortWith(tx, err)
-	}
-	for l := 0; l < 3; l++ {
-		lineKey := key*8 + db.Value(l) + db.Value(sz.OrderLines)
-		if err := tx.Insert(db.TOrderLines, db.Row{lineKey, key, model, 1}); err != nil {
-			return abortWith(tx, err)
-		}
-	}
-	if err := tx.Update(db.TInventory, model, 1, db.Value(s.rng.Intn(400))); err != nil {
-		return abortWith(tx, err)
-	}
-	return tx.Commit()
-}
-
-func (s *Server) dbManage() error {
-	sz := s.sizes()
-	tx := s.dbase.Begin()
-	if _, err := tx.Get(db.TCustomers, db.Value(s.rng.Intn(sz.Customers))); err != nil {
-		return abortWith(tx, err)
-	}
-	lo := db.Value(s.rng.Intn(sz.Orders))
-	rows, err := s.dbase.Scan(db.TOrders, lo, lo+40, 10)
-	if err != nil {
-		return abortWith(tx, err)
-	}
-	if len(rows) > 0 {
-		if err := tx.Update(db.TOrders, rows[0][0], 2, 1); err != nil {
-			return abortWith(tx, err)
-		}
-	}
-	return tx.Commit()
-}
-
-func (s *Server) dbBrowse() error {
-	sz := s.sizes()
-	lo := db.Value(s.rng.Intn(sz.Vehicles))
-	if _, err := s.dbase.Scan(db.TVehicles, lo, lo+20, 13); err != nil {
-		return err
-	}
-	for i := 0; i < 3; i++ {
-		if _, err := s.dbase.Get(db.TInventory, db.Value(s.rng.Intn(sz.Vehicles))); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (s *Server) dbCreateVehicle() error {
-	sz := s.sizes()
-	tx := s.dbase.Begin()
-	wo := db.Value(s.rng.Intn(sz.WorkOrders))
-	if _, err := tx.Get(db.TWorkOrders, wo); err != nil {
-		return abortWith(tx, err)
-	}
-	if err := tx.Update(db.TWorkOrders, wo, 3, 1); err != nil {
-		return abortWith(tx, err)
-	}
-	for i := 0; i < 5; i++ {
-		if _, err := tx.Get(db.TParts, db.Value(s.rng.Intn(sz.Parts))); err != nil {
-			return abortWith(tx, err)
-		}
-	}
-	model := db.Value(s.rng.Intn(sz.Vehicles))
-	if err := tx.Update(db.TInventory, model, 1, db.Value(s.rng.Intn(400))); err != nil {
-		return abortWith(tx, err)
-	}
-	s.workOrderSeq++
-	if err := tx.Insert(db.TWorkOrders, db.Row{db.Value(sz.WorkOrders) + s.workOrderSeq, model, 2, 0}); err != nil {
-		return abortWith(tx, err)
-	}
-	return tx.Commit()
-}
-
-func abortWith(tx *db.Txn, err error) error {
-	if aerr := tx.Abort(); aerr != nil {
-		return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
-	}
-	return err
 }

@@ -1,19 +1,22 @@
 // Package server models the J2EE application-server tier: the web
 // container, EJB container, thread and connection pools, a session store,
-// and the jas2004-like application whose transaction scripts drive the
-// database, the Java heap, and — when instruction-level detail is requested
-// — the POWER4 core models through generated instruction traces.
+// and the deployed application — a workload pack — whose transaction
+// scripts drive the database, the Java heap, and — when instruction-level
+// detail is requested — the POWER4 core models through generated
+// instruction traces.
 package server
 
 import "fmt"
 
-// RequestType enumerates the four transaction classes whose throughput the
-// paper's Figure 2 plots: the Dealer domain's web transactions (Purchase,
-// Manage, Browse) and the Manufacturing domain's RMI work orders
-// (CreateVehicle).
+// RequestType indexes a request class of the deployed application. Class
+// semantics (name, arrival rate, deadline, transaction script) live in the
+// workload pack; the server only uses the index.
 type RequestType uint8
 
-// The four jas2004 request classes.
+// The four classes of the default jas2004 pack, kept as named constants
+// for the paper-specific tests and figures: the Dealer domain's web
+// transactions (Purchase, Manage, Browse) and the Manufacturing domain's
+// RMI work orders (CreateVehicle).
 const (
 	ReqPurchase RequestType = iota
 	ReqManage
@@ -22,7 +25,8 @@ const (
 	numRequestTypes
 )
 
-// NumRequestTypes is the number of request classes.
+// NumRequestTypes is the number of request classes in the default jas2004
+// pack.
 const NumRequestTypes = int(numRequestTypes)
 
 var requestNames = [...]string{
@@ -32,7 +36,8 @@ var requestNames = [...]string{
 	ReqCreateVehicle: "CreateVehicle",
 }
 
-// String names the request type.
+// String names the request type under the default jas2004 taxonomy; apps
+// with their own classes name them through App.Names.
 func (r RequestType) String() string {
 	if int(r) < len(requestNames) {
 		return requestNames[r]
@@ -40,95 +45,8 @@ func (r RequestType) String() string {
 	return fmt.Sprintf("request(%d)", uint8(r))
 }
 
-// IsWeb reports whether the request arrives through the web container
-// (Dealer domain) rather than RMI (Manufacturing domain). The benchmark's
-// response-time rule differs: 90% of web requests must finish within 2 s,
-// RMI within 5 s.
+// IsWeb reports whether the jas2004 request arrives through the web
+// container (Dealer domain) rather than RMI (Manufacturing domain). The
+// benchmark's response-time rule differs: 90% of web requests must finish
+// within 2 s, RMI within 5 s.
 func (r RequestType) IsWeb() bool { return r != ReqCreateVehicle }
-
-// script is the per-type transaction shape: how much CPU, allocation and
-// database work one request performs. Instruction counts are in simulated
-// (scaled) units; the engine converts to paper-scale.
-type script struct {
-	// baseInstr is the nominal instruction count for the request.
-	baseInstr int
-	// jitterFrac is the relative spread of the instruction count.
-	jitterFrac float64
-	// allocBytes is the transient allocation volume per request.
-	allocBytes int
-	// allocObjects is the number of objects those bytes are spread over.
-	allocObjects int
-	// webShare / dbShare / kernelShare are fractions of baseInstr spent in
-	// the web-server, DB2 and kernel segments (the rest is the WAS
-	// process: JITed methods plus native/JVM code).
-	webShare, dbShare, kernelShare float64
-	// jitedShareOfWAS: fraction of the WAS segment in JIT-compiled code
-	// (the paper: "half of the WAS runtime was ... not JIT compiled").
-	jitedShareOfWAS float64
-	// methodCalls is the number of Java method invocations sampled from
-	// the flat profile per request.
-	methodCalls int
-	// persistCrumbs: small long-lived objects allocated per request
-	// (order records, audit entries) whose interleaving with transients
-	// creates the dark matter of Section 4.1.1.
-	persistCrumbs int
-}
-
-// scripts is the per-type transaction catalog.
-var scripts = [NumRequestTypes]script{
-	ReqPurchase: {
-		baseInstr: 125000, jitterFrac: 0.25, allocBytes: 520 << 10, allocObjects: 130,
-		webShare: 0.09, dbShare: 0.22, kernelShare: 0.17, jitedShareOfWAS: 0.50,
-		methodCalls: 95, persistCrumbs: 2,
-	},
-	ReqManage: {
-		baseInstr: 95000, jitterFrac: 0.25, allocBytes: 380 << 10, allocObjects: 100,
-		webShare: 0.10, dbShare: 0.20, kernelShare: 0.17, jitedShareOfWAS: 0.50,
-		methodCalls: 75, persistCrumbs: 1,
-	},
-	ReqBrowse: {
-		baseInstr: 72000, jitterFrac: 0.3, allocBytes: 430 << 10, allocObjects: 105,
-		webShare: 0.12, dbShare: 0.18, kernelShare: 0.16, jitedShareOfWAS: 0.52,
-		methodCalls: 60, persistCrumbs: 1,
-	},
-	ReqCreateVehicle: {
-		baseInstr: 145000, jitterFrac: 0.25, allocBytes: 560 << 10, allocObjects: 140,
-		webShare: 0.0, dbShare: 0.24, kernelShare: 0.18, jitedShareOfWAS: 0.48,
-		methodCalls: 110, persistCrumbs: 2,
-	},
-}
-
-// Script exposes a copy of the request's transaction shape (for tests and
-// capacity planning).
-func (r RequestType) Script() (baseInstr, allocBytes, methodCalls int) {
-	s := scripts[r]
-	return s.baseInstr, s.allocBytes, s.methodCalls
-}
-
-// Mix is the standard steady-state arrival mix: the Dealer domain splits
-// 25/25/50 across Purchase/Manage/Browse at 1.0 tx/s per IR, and the
-// Manufacturing domain adds 0.6 work orders/s per IR, for the benchmark's
-// ~1.6 JOPS per IR.
-type Mix struct {
-	RatePerIR [NumRequestTypes]float64 // requests/second per unit of IR
-}
-
-// DefaultMix returns the jas2004 mix.
-func DefaultMix() Mix {
-	return Mix{RatePerIR: [NumRequestTypes]float64{
-		ReqPurchase:      0.25,
-		ReqManage:        0.25,
-		ReqBrowse:        0.50,
-		ReqCreateVehicle: 0.60,
-	}}
-}
-
-// TotalPerIR returns total requests/second per unit of IR (the JOPS/IR
-// ratio when all requests succeed).
-func (m Mix) TotalPerIR() float64 {
-	var t float64
-	for _, r := range m.RatePerIR {
-		t += r
-	}
-	return t
-}

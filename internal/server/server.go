@@ -9,6 +9,7 @@ import (
 	"jasworkload/internal/jvm"
 	"jasworkload/internal/mem"
 	"jasworkload/internal/stats"
+	"jasworkload/internal/workload"
 )
 
 // Segment classifies CPU time by software component, the buckets of the
@@ -99,8 +100,8 @@ type Server struct {
 	dbase  *db.Database
 	rng    *rand.Rand
 
-	samplers  [NumRequestTypes]*stats.Alias
-	methodIdx [NumRequestTypes][]jvm.MethodID
+	samplers  []*stats.Alias
+	methodIdx [][]jvm.MethodID
 
 	cacheRoot  jvm.ObjID
 	cacheObjs  []jvm.ObjID
@@ -118,10 +119,11 @@ type Server struct {
 	app       *App
 	cpuFactor float64
 
-	orderSeq, workOrderSeq    db.Value
-	holdingSeq, tradeOrderSeq db.Value
+	// dbctx is the execution context the pack's database scripts run in;
+	// it shares the server's request RNG and owns the pack's key sequences.
+	dbctx workload.DBCtx
 
-	executed [NumRequestTypes]uint64
+	executed []uint64
 	emitter  *traceEmitter
 }
 
@@ -155,7 +157,9 @@ func New(cfg Config, layout *mem.Layout, jit *jvm.JIT, heap *jvm.Heap, database 
 		dbase:     database,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		sessions:  map[int]*session{},
+		executed:  make([]uint64, len(app.Classes)),
 	}
+	s.dbctx = workload.DBCtx{DB: database, Rng: s.rng, IR: cfg.IR}
 	database.SetTracer(func(addr uint64, write bool) {
 		// Keep a short queue of recent DB buffer addresses for the trace:
 		// the rows the current transactions actually touch.
@@ -180,25 +184,13 @@ func New(cfg Config, layout *mem.Layout, jit *jvm.JIT, heap *jvm.Heap, database 
 // share the same warm core — that is what keeps the aggregate profile flat.
 func (s *Server) buildSamplers() error {
 	methods := s.jit.Methods()
-	bias := func(rt RequestType, comp jvm.Component) float64 {
-		switch {
-		case rt == ReqBrowse && comp == jvm.CompJavaLib:
-			return 1.5
-		case rt == ReqPurchase && comp == jvm.CompWebSphere:
-			return 1.3
-		case rt == ReqManage && comp == jvm.CompOther:
-			return 1.3
-		case rt == ReqCreateVehicle && comp == jvm.CompEJS:
-			return 1.8
-		default:
-			return 1.0
-		}
-	}
-	for rt := RequestType(0); rt < numRequestTypes; rt++ {
+	s.samplers = make([]*stats.Alias, len(s.app.Classes))
+	s.methodIdx = make([][]jvm.MethodID, len(s.app.Classes))
+	for rt, class := range s.app.Classes {
 		weights := make([]float64, len(methods))
 		ids := make([]jvm.MethodID, len(methods))
 		for i, m := range methods {
-			weights[i] = m.Weight * bias(rt, m.Component)
+			weights[i] = m.Weight * class.Bias(m.Component)
 			ids[i] = m.ID
 		}
 		a, err := stats.NewAlias(weights)
@@ -263,8 +255,8 @@ func (s *Server) DB() *db.Database { return s.dbase }
 // Layout exposes the address-space layout.
 func (s *Server) Layout() *mem.Layout { return s.layout }
 
-// Executed returns per-type executed request counts.
-func (s *Server) Executed() [NumRequestTypes]uint64 { return s.executed }
+// Executed returns per-class executed request counts.
+func (s *Server) Executed() []uint64 { return s.executed }
 
 // PoolWaits returns (thread pool waits, connection pool waits) — the
 // contention the paper estimates through pthread_mutex_lock time.

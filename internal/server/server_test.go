@@ -61,13 +61,20 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestRequestTypeMeta(t *testing.T) {
+	app := Jas2004App()
 	for rt := RequestType(0); rt < numRequestTypes; rt++ {
 		if rt.String() == "" {
 			t.Fatal("unnamed request type")
 		}
-		base, alloc, calls := rt.Script()
-		if base <= 0 || alloc <= 0 || calls <= 0 {
+		if rt.String() != app.Classes[rt].Name {
+			t.Fatalf("legacy name %q != pack class name %q", rt, app.Classes[rt].Name)
+		}
+		sc := app.Classes[rt]
+		if sc.BaseInstr <= 0 || sc.AllocBytes <= 0 || sc.MethodCalls <= 0 {
 			t.Fatalf("%v script empty", rt)
+		}
+		if rt.IsWeb() != sc.Web {
+			t.Fatalf("%v: legacy IsWeb disagrees with pack class", rt)
 		}
 	}
 	if !ReqPurchase.IsWeb() || !ReqBrowse.IsWeb() || ReqCreateVehicle.IsWeb() {
@@ -78,9 +85,9 @@ func TestRequestTypeMeta(t *testing.T) {
 	}
 }
 
-func TestDefaultMixJOPSRatio(t *testing.T) {
+func TestDefaultAppJOPSRatio(t *testing.T) {
 	// The benchmark executes ~1.6 JOPS per IR.
-	if got := DefaultMix().TotalPerIR(); math.Abs(got-1.6) > 1e-9 {
+	if got := Jas2004App().TotalPerIR(); math.Abs(got-1.6) > 1e-9 {
 		t.Fatalf("JOPS/IR = %v, want 1.6", got)
 	}
 }
@@ -366,7 +373,7 @@ func TestAppsValidate(t *testing.T) {
 		t.Fatal("nil app validated")
 	}
 	broken := Jas2004App()
-	broken.Names[0] = ""
+	broken.Classes[0].Name = ""
 	if err := broken.Validate(); err == nil {
 		t.Fatal("unnamed class validated")
 	}
@@ -428,10 +435,10 @@ func TestTrade6Execute(t *testing.T) {
 	for rt := RequestType(0); rt < numRequestTypes; rt++ {
 		res, err := s.Execute(1000, rt, nil, 0)
 		if err != nil {
-			t.Fatalf("%s: %v", s.App().Names[rt], err)
+			t.Fatalf("%s: %v", s.App().Classes[rt].Name, err)
 		}
 		if res.Instructions == 0 || res.DBOps == 0 {
-			t.Fatalf("%s: empty result", s.App().Names[rt])
+			t.Fatalf("%s: empty result", s.App().Classes[rt].Name)
 		}
 	}
 	// Quotes are the cheapest class (read-only market data).

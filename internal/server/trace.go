@@ -206,21 +206,13 @@ func (e *traceEmitter) emitRequest(sink isa.Sink, rt RequestType, res Result, me
 	// the warm stack of the core's current pool thread.
 	e.stackBase = e.s.layout.Stacks.Base + e.affinity*(1<<20)
 
-	// Request classes exercise different slices of the code base: the
-	// manufacturing path drags in more cold EJB/persistence code, browsing
-	// stays on the hot web path. This per-class footprint difference is
-	// what makes windows with different request mixes differ in I-side
+	// Request classes exercise different slices of the code base: heavy
+	// back-end classes drag in more cold EJB/persistence code, light
+	// browsing-style classes stay on the hot web path. The pack encodes
+	// this per-class footprint difference in its page-locality knobs; it
+	// is what makes windows with different request mixes differ in I-side
 	// behaviour (and drives the paper's CPI/instruction-fetch correlation).
-	switch rt {
-	case ReqCreateVehicle:
-		e.driftBoost, e.dataBoost = 3.0, 2.6
-	case ReqPurchase:
-		e.driftBoost, e.dataBoost = 1.6, 1.5
-	case ReqManage:
-		e.driftBoost, e.dataBoost = 1.0, 1.0
-	default:
-		e.driftBoost, e.dataBoost = 0.4, 0.5
-	}
+	e.driftBoost, e.dataBoost = e.s.app.Classes[rt].Boosts()
 	// Affinity above is detected on the raw sink; the stream itself goes
 	// through the batch buffer.
 	e.batch.Bind(sink)

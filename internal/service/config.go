@@ -7,6 +7,7 @@ import (
 
 	"jasworkload/internal/core"
 	"jasworkload/internal/mem"
+	"jasworkload/internal/workload"
 )
 
 // JobSpec is the wire form of a run configuration: what clients POST to
@@ -22,6 +23,11 @@ type JobSpec struct {
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	RampMS     float64 `json:"ramp_ms,omitempty"`
 	DetailFrac float64 `json:"detail_frac,omitempty"`
+
+	// Workload selects a registered workload pack ("" = the default
+	// jas2004). It is part of the canonical config, so jobs for different
+	// packs never coalesce.
+	Workload string `json:"workload,omitempty"`
 
 	// TimeoutS bounds the run's execution time in wall-clock seconds,
 	// counted from run start (0 = the daemon's -job-timeout default). It
@@ -78,6 +84,10 @@ func (s JobSpec) RunConfig() (core.RunConfig, error) {
 	if s.DetailFrac > 0 {
 		cfg.DetailFrac = s.DetailFrac
 	}
+	if _, err := workload.Get(s.Workload); err != nil {
+		return core.RunConfig{}, err
+	}
+	cfg.Workload = s.Workload
 	if cfg.RampMS >= cfg.DurationMS && cfg.DurationMS > 0 {
 		return core.RunConfig{}, fmt.Errorf("ramp_ms %v must be below duration_ms %v", cfg.RampMS, cfg.DurationMS)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"jasworkload/internal/tools"
+	"jasworkload/internal/workload"
 )
 
 // Handler returns the service's HTTP API:
@@ -23,6 +24,7 @@ import (
 //	GET  /v1/runs/{id}/stream          live per-window NDJSON stream (?from=N resumes)
 //	GET  /v1/runs/{id}/figures/{fig}   fig2..fig10, tprof, vmstat, locking,
 //	                                   scalars, crosschecks, largepages
+//	GET  /v1/workloads                 registered workload packs
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      liveness
 //	     /debug/pprof/...              runtime profiling
@@ -37,6 +39,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/runs/{id}/figures/{fig}", s.handleFigure)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -75,7 +78,11 @@ func boolParam(r *http.Request, name string) bool {
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	// Strict decoding: a misspelled field would otherwise silently take its
+	// default and submit (and possibly dedup onto) the wrong experiment.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JobSpec: %w", err))
 		return
 	}
@@ -342,6 +349,39 @@ func (s *Service) figure(j *Job, name string) (any, error) {
 		return art.LargePages()
 	}
 	return nil, fmt.Errorf("unknown figure %q", name)
+}
+
+// WorkloadInfo is one entry of the GET /v1/workloads listing.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Classes     int    `json:"classes"`
+	Default     bool   `json:"default"`
+}
+
+// ListWorkloads describes every registered workload pack, sorted by name.
+// jasd's /v1/workloads endpoint and jasrun -list-workloads both render it,
+// so the daemon and the CLI can never disagree about what is available.
+func ListWorkloads() []WorkloadInfo {
+	names := workload.Names()
+	out := make([]WorkloadInfo, 0, len(names))
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			continue // unregistered between Names and Get: impossible today
+		}
+		out = append(out, WorkloadInfo{
+			Name:        name,
+			Description: w.Description(),
+			Classes:     len(w.Classes()),
+			Default:     name == workload.DefaultName,
+		})
+	}
+	return out
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListWorkloads())
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

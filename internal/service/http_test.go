@@ -164,6 +164,128 @@ func TestE2EDeterminismGuard(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &fin); err != nil || !fin.Done || fin.State != StateDone {
 		t.Fatalf("terminal stream line wrong: %q (err %v)", lines[len(lines)-1], err)
 	}
+
+	// The workload pack is part of the job identity. An explicit
+	// default-pack spec coalesces onto the job above without running
+	// anything new; the other shipped packs each get their own job and
+	// their own pair of simulations, and their reports render end-to-end.
+	submit := func(spec string) (string, bool) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/runs?wait=1", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit %s: status %s\n%s", spec, resp.Status, b)
+		}
+		var rep struct {
+			ID    string `json:"id"`
+			Total int    `json:"total"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.ID, rep.Total > 0
+	}
+	withWorkload := func(name string) string {
+		return fmt.Sprintf(`{"scale":"quick","seed":7,"duration_ms":12000,"ramp_ms":2000,"workload":%q}`, name)
+	}
+	if got, _ := submit(withWorkload("jas2004")); got != id {
+		t.Fatalf("explicit jas2004 spec got job %s, want dedup onto %s", got, id)
+	}
+	if sims := core.SimCounts(); sims["request-level"] != 1 || sims["detail"] != 1 {
+		t.Fatalf("explicit default-pack spec re-simulated: %v", sims)
+	}
+	ids := map[string]string{"jas2004": id}
+	for _, pack := range []string{"dataanalytics", "virtweb"} {
+		packID, nonEmpty := submit(withWorkload(pack))
+		if !nonEmpty {
+			t.Fatalf("%s report empty", pack)
+		}
+		for other, otherID := range ids {
+			if packID == otherID {
+				t.Fatalf("%s and %s share job ID %s", pack, other, packID)
+			}
+		}
+		ids[pack] = packID
+	}
+	if sims := core.SimCounts(); sims["request-level"] != 3 || sims["detail"] != 3 {
+		t.Fatalf("sim counts after 3 packs = %v, want 3 request-level and 3 detail", sims)
+	}
+}
+
+// TestSubmitStrictDecoding pins the strict JobSpec wire contract: unknown
+// fields are a 400 with the offending name in the message, not a silently
+// defaulted (and deduplicated) wrong experiment.
+func TestSubmitStrictDecoding(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"scale":"quick","sede":7}`,         // typo'd field
+		`{"scale":"quick","workloads":"x"}`,  // near-miss plural
+		`{"scale":"quick","detailfrac":0.5}`, // missing underscore
+	} {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %s: status %s, want 400", body, resp.Status)
+		}
+		if !strings.Contains(string(b), "unknown field") {
+			t.Fatalf("submit %s: error does not name the unknown field:\n%s", body, b)
+		}
+	}
+
+	// An unregistered workload is rejected before anything is enqueued,
+	// and the message lists what is available.
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"scale":"quick","workload":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workload: status %s, want 400", resp.Status)
+	}
+	if !strings.Contains(string(b), "unknown workload") || !strings.Contains(string(b), "jas2004") {
+		t.Fatalf("unknown-workload error unhelpful:\n%s", b)
+	}
+}
+
+// TestWorkloadsEndpoint pins GET /v1/workloads against the registry.
+func TestWorkloadsEndpoint(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var infos []WorkloadInfo
+	if err := json.Unmarshal([]byte(fetch(t, srv.URL+"/v1/workloads")), &infos); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]WorkloadInfo{}
+	for _, wi := range infos {
+		byName[wi.Name] = wi
+	}
+	for _, want := range []string{"jas2004", "trade6", "dataanalytics", "virtweb"} {
+		wi, ok := byName[want]
+		if !ok {
+			t.Fatalf("workload %q missing from listing: %+v", want, infos)
+		}
+		if wi.Description == "" || wi.Classes == 0 {
+			t.Fatalf("workload %q listed without description/classes: %+v", want, wi)
+		}
+		if wi.Default != (want == "jas2004") {
+			t.Fatalf("workload %q default flag wrong: %+v", want, wi)
+		}
+	}
 }
 
 // TestHTTPSubmitStatusLifecycle covers the non-blocking submit path.

@@ -58,7 +58,7 @@ func DefaultEngineConfig() EngineConfig {
 type WindowStats struct {
 	Index       int
 	StartMS     float64
-	Completions [server.NumRequestTypes]int
+	Completions []int   // per request class of the deployed app
 	UtilBusy    float64 // CPU busy fraction (user+sys)
 	UtilUser    float64
 	UtilSys     float64
@@ -129,7 +129,7 @@ func NewEngine(cfg EngineConfig, sut *SUT) (*Engine, error) {
 		return nil, fmt.Errorf("sim: ramp %v >= duration %v", cfg.RampMS, cfg.DurationMS)
 	}
 	app := sut.Server.App()
-	drv, err := driver.New(driver.Config{IR: sut.Config.IR, Mix: app.Mix, Seed: cfg.Seed})
+	drv, err := driver.New(driver.Config{IR: sut.Config.IR, Rates: app.Rates(), Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +138,7 @@ func NewEngine(cfg EngineConfig, sut *SUT) (*Engine, error) {
 		sut:        sut,
 		drv:        drv,
 		coreFreeAt: make([]float64, len(sut.Cores)),
-		tracker:    driver.NewTrackerForApp(cfg.RampMS, app.Web),
+		tracker:    driver.NewTracker(cfg.RampMS, app.Deadlines()),
 		cpiEst:     cfg.NominalCPI,
 	}
 	if cfg.WarmJIT {
@@ -253,10 +253,14 @@ func (e *Engine) RunContext(ctx context.Context) ([]WindowStats, error) {
 func (e *Engine) Step() error {
 	winStart := e.nowMS
 	winEnd := winStart + e.cfg.WindowMS
-	ws := WindowStats{Index: len(e.windows), StartMS: winStart}
+	ws := WindowStats{
+		Index:       len(e.windows),
+		StartMS:     winStart,
+		Completions: make([]int, e.sut.Server.App().NumClasses()),
+	}
 
 	for _, a := range e.drv.Window(e.cfg.WindowMS) {
-		e.queue = append(e.queue, queuedReq{at: winStart + a.OffsetMS, rt: a.Type})
+		e.queue = append(e.queue, queuedReq{at: winStart + a.OffsetMS, rt: server.RequestType(a.Class)})
 	}
 	// Serve as much of the queue as fits this window: requests whose start
 	// would fall past the window end stay queued, so slow (high-CPI)
@@ -406,7 +410,7 @@ func (e *Engine) serve(at float64, rt server.RequestType, ws *WindowStats, winEn
 	finish := start + serviceMS + ioWaitMS
 	e.coreFreeAt[core] = finish
 	respMS := finish - at
-	e.tracker.Record(rt, finish, respMS)
+	e.tracker.Record(int(rt), finish, respMS)
 	if finish < winEnd {
 		ws.Completions[rt]++
 	}

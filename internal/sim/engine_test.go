@@ -290,8 +290,13 @@ func TestEngineDeterminism(t *testing.T) {
 		t.Fatal("window counts differ")
 	}
 	for i := range w1 {
-		if w1[i].Completions != w2[i].Completions || w1[i].GCs != w2[i].GCs {
+		if w1[i].GCs != w2[i].GCs || len(w1[i].Completions) != len(w2[i].Completions) {
 			t.Fatalf("window %d differs", i)
+		}
+		for c := range w1[i].Completions {
+			if w1[i].Completions[c] != w2[i].Completions[c] {
+				t.Fatalf("window %d class %d completions differ", i, c)
+			}
 		}
 	}
 	for _, ev := range power4.AllEvents() {

@@ -49,10 +49,8 @@ func goldenWindows() []sim.WindowStats {
 		{Index: 2, StartMS: 2000, UtilUser: 0.66, UtilSys: 0.10, UtilIdle: 0.04, UtilIOWait: 0.20, GCs: 1, GCPauseMS: 212.4},
 		{Index: 3, StartMS: 3000, UtilIdle: 1.0},
 	}
-	ws[1].Completions[0] = 17
-	ws[1].Completions[1] = 4
-	ws[2].Completions[0] = 12
-	ws[2].Completions[3] = 2
+	ws[1].Completions = []int{17, 4, 0, 0}
+	ws[2].Completions = []int{12, 0, 0, 2}
 	return ws
 }
 

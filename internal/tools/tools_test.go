@@ -77,7 +77,7 @@ func TestVMStat(t *testing.T) {
 		{StartMS: 0, UtilUser: 0.7, UtilSys: 0.2, UtilIdle: 0.1, GCPauseMS: 120},
 		{StartMS: 1000, UtilUser: 0.8, UtilSys: 0.1, UtilIdle: 0.1},
 	}
-	ws[0].Completions[0] = 5
+	ws[0].Completions = []int{5}
 	out := VMStat(ws)
 	if !strings.Contains(out, "us  sy  id") {
 		t.Fatalf("header missing:\n%s", out)

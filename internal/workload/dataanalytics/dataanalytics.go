@@ -1,0 +1,278 @@
+// Package dataanalytics is a batch-heavy data-center analysis workload
+// pack, modeled on the characteristics reported for data-analysis
+// workloads (MapReduce-style batch jobs over large datasets): few, heavy,
+// RMI-style request classes; large sequential table scans; a high
+// allocation rate dominated by buffer-sized and large objects; and a
+// method profile far more skewed than jas2004's flat profile (a small set
+// of record-parsing and aggregation kernels dominates).
+package dataanalytics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/workload"
+)
+
+// Schema: fact and dimension tables for scan-heavy analysis jobs, plus a
+// results table the jobs append to. Column 0 is the primary key.
+const (
+	TEvents   = "events"   // key, user, item, kind
+	TUsers    = "users"    // key, cohort, region
+	TItems    = "items"    // key, category, price
+	TResults  = "results"  // key, job, metric, value
+	TJobState = "jobstate" // key, phase, progress
+)
+
+// Sequence slots in workload.DBCtx.Seq.
+const (
+	seqResult = iota
+	seqJob
+)
+
+// sizes returns the IR-scaled cardinalities: the fact table dwarfs the
+// dimensions, as in any analysis store.
+type sizes struct {
+	Events, Users, Items int
+}
+
+func sizesFor(ir int) sizes {
+	return sizes{Events: ir * 600, Users: ir * 40, Items: ir * 20}
+}
+
+// Pack returns the workload description.
+func Pack() *workload.Pack {
+	return &workload.Pack{
+		PackName:        "dataanalytics",
+		PackDescription: "batch-heavy data-center analysis workload: large scans, high allocation rate, skewed method profile",
+		PackClasses: []workload.Class{
+			{
+				// A full aggregation pass over a slice of the fact table.
+				Name: "Aggregate", Web: false, RatePerIR: 0.30,
+				BaseInstr: 260000, JitterFrac: 0.20, AllocBytes: 1400 << 10, AllocObjects: 190,
+				WebShare: 0.02, DBShare: 0.34, KernelShare: 0.14, JITedShareOfWAS: 0.62,
+				MethodCalls: 140, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompJas2004: 2.5, jvm.CompJavaLib: 1.4},
+				DriftBoost: 0.8, DataBoost: 3.2,
+			},
+			{
+				// Join events against the dimension tables.
+				Name: "Join", Web: false, RatePerIR: 0.22,
+				BaseInstr: 210000, JitterFrac: 0.25, AllocBytes: 1100 << 10, AllocObjects: 170,
+				WebShare: 0.02, DBShare: 0.30, KernelShare: 0.15, JITedShareOfWAS: 0.60,
+				MethodCalls: 120, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompJas2004: 2.0, jvm.CompOther: 1.3},
+				DriftBoost: 1.2, DataBoost: 2.8,
+			},
+			{
+				// Bulk-load a batch of new events.
+				Name: "Ingest", Web: false, RatePerIR: 0.18,
+				BaseInstr: 150000, JitterFrac: 0.30, AllocBytes: 900 << 10, AllocObjects: 150,
+				WebShare: 0.03, DBShare: 0.28, KernelShare: 0.18, JITedShareOfWAS: 0.55,
+				MethodCalls: 90, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompJavaLib: 1.8},
+				DriftBoost: 0.6, DataBoost: 2.2,
+			},
+			{
+				// A lightweight dashboard poll of job progress and results —
+				// the one interactive, web-facing class.
+				Name: "Status", Web: true, RatePerIR: 0.40,
+				BaseInstr: 45000, JitterFrac: 0.30, AllocBytes: 220 << 10, AllocObjects: 60,
+				WebShare: 0.14, DBShare: 0.16, KernelShare: 0.16, JITedShareOfWAS: 0.52,
+				MethodCalls: 40, PersistCrumbs: 0,
+				MethodBias: map[jvm.Component]float64{jvm.CompWebSphere: 1.4},
+				DriftBoost: 0.4, DataBoost: 0.5,
+			},
+		},
+		// High allocation rate with fat buffers: record batches and
+		// intermediate aggregation arrays, not session beans.
+		AllocBehaviour: workload.AllocProfile{
+			SmallCum: 0.45, MediumCum: 0.85,
+			SmallBase: 96, SmallSpan: 416,
+			MediumBase: 4096, MediumSpan: 12288,
+			LargeBase: 32768, LargeSpan: 98304,
+		},
+		Load:  loadDB,
+		Run:   runDB,
+		Pages: PoolPages,
+		// The paper-style flat profile does not hold here: a few compute
+		// kernels (parsing, hashing, aggregation) dominate, and far more
+		// of the cycles are the application's own code.
+		Profile: func(p jvm.ProfileConfig) jvm.ProfileConfig {
+			p.WarmShare = 0.72
+			p.TopCap = 0.06
+			p.ComponentMix = [jvm.NumComponents]float64{
+				jvm.CompWebSphere: 0.14,
+				jvm.CompEJS:       0.06,
+				jvm.CompJavaLib:   0.28,
+				jvm.CompJas2004:   0.38, // the analysis kernels themselves
+				jvm.CompOther:     0.14,
+			}
+			return p
+		},
+	}
+}
+
+func init() { workload.Register(Pack()) }
+
+// PoolPages estimates the working set in 4 KB pages; the fact table
+// dominates it.
+func PoolPages(ir int) int {
+	sz := sizesFor(ir)
+	return sz.Events/24 + sz.Users/48 + sz.Items/48 + 2
+}
+
+// Class indices, in PackClasses order.
+const (
+	ClassAggregate = iota
+	ClassJoin
+	ClassIngest
+	ClassStatus
+)
+
+func loadDB(d *db.Database, ir int, seed int64) error {
+	if ir <= 0 {
+		return fmt.Errorf("dataanalytics: bad injection rate %d", ir)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sz := sizesFor(ir)
+	type tdef struct {
+		name string
+		cols int
+		rpp  int
+	}
+	for _, td := range []tdef{
+		{TEvents, 4, 24},
+		{TUsers, 3, 64},
+		{TItems, 3, 64},
+		{TResults, 4, 32},
+		{TJobState, 3, 64},
+	} {
+		if _, err := d.CreateTable(td.name, td.cols, td.rpp); err != nil {
+			return err
+		}
+	}
+	tx := d.Begin()
+	for i := 0; i < sz.Users; i++ {
+		if err := tx.Insert(TUsers, db.Row{db.Value(i), db.Value(rng.Intn(16)), db.Value(rng.Intn(8))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Items; i++ {
+		if err := tx.Insert(TItems, db.Row{db.Value(i), db.Value(rng.Intn(40)), db.Value(100 + rng.Intn(90000))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Events; i++ {
+		row := db.Row{db.Value(i), db.Value(rng.Intn(sz.Users)), db.Value(rng.Intn(sz.Items)), db.Value(rng.Intn(6))}
+		if err := tx.Insert(TEvents, row); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if err := tx.Insert(TJobState, db.Row{db.Value(i), 0, 0}); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func runDB(ctx *workload.DBCtx, class int) error {
+	switch class {
+	case ClassAggregate:
+		return dbAggregate(ctx)
+	case ClassJoin:
+		return dbJoin(ctx)
+	case ClassIngest:
+		return dbIngest(ctx)
+	case ClassStatus:
+		return dbStatus(ctx)
+	default:
+		return fmt.Errorf("dataanalytics: unknown request class %d", class)
+	}
+}
+
+// dbAggregate: one long sequential scan of the fact table plus a result
+// append — the large-sequential-scan signature of analysis jobs.
+func dbAggregate(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	lo := db.Value(ctx.Rng.Intn(sz.Events))
+	if _, err := ctx.DB.Scan(TEvents, lo, lo+600, 120); err != nil {
+		return err
+	}
+	tx := ctx.DB.Begin()
+	ctx.Seq[seqResult]++
+	key := db.Value(1 << 30)
+	if err := tx.Insert(TResults, db.Row{key + ctx.Seq[seqResult], db.Value(ctx.Rng.Intn(64)), 0, db.Value(ctx.Rng.Intn(1 << 20))}); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(TJobState, db.Value(ctx.Rng.Intn(64)), 2, db.Value(ctx.Rng.Intn(100))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// dbJoin: a medium fact scan with dimension lookups per probed row.
+func dbJoin(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	lo := db.Value(ctx.Rng.Intn(sz.Events))
+	rows, err := ctx.DB.Scan(TEvents, lo, lo+300, 60)
+	if err != nil {
+		return err
+	}
+	probes := len(rows)
+	if probes > 12 {
+		probes = 12
+	}
+	for i := 0; i < probes; i++ {
+		if _, err := ctx.DB.Get(TUsers, rows[i][1]%db.Value(sz.Users)); err != nil {
+			return err
+		}
+		if _, err := ctx.DB.Get(TItems, rows[i][2]%db.Value(sz.Items)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dbIngest: append a batch of fact rows in one transaction.
+func dbIngest(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	tx := ctx.DB.Begin()
+	base := db.Value(1 << 28)
+	for i := 0; i < 16; i++ {
+		ctx.Seq[seqJob]++
+		row := db.Row{
+			base + ctx.Seq[seqJob],
+			db.Value(ctx.Rng.Intn(sz.Users)),
+			db.Value(ctx.Rng.Intn(sz.Items)),
+			db.Value(ctx.Rng.Intn(6)),
+		}
+		if err := tx.Insert(TEvents, row); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	if err := tx.Update(TJobState, db.Value(ctx.Rng.Intn(64)), 1, 1); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// dbStatus: point reads of job state and a short recent-results scan.
+func dbStatus(ctx *workload.DBCtx) error {
+	if _, err := ctx.DB.Get(TJobState, db.Value(ctx.Rng.Intn(64))); err != nil {
+		return err
+	}
+	lo := db.Value(1 << 30)
+	_, err := ctx.DB.Scan(TResults, lo, lo+db.Value(1+ctx.Seq[seqResult]), 8)
+	return err
+}
+
+func abortWith(tx *db.Txn, err error) error {
+	if aerr := tx.Abort(); aerr != nil {
+		return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+	}
+	return err
+}

@@ -1,0 +1,205 @@
+// Package jas2004 is the paper's primary subject, extracted verbatim into
+// a workload pack: the SPECjAppServer2004-like Dealer/Manufacturing
+// application. The Dealer domain's web transactions (Purchase, Manage,
+// Browse) split 25/25/50 at 1.0 tx/s per IR and the Manufacturing domain
+// adds 0.6 CreateVehicle work orders/s per IR, for the benchmark's ~1.6
+// JOPS per IR. The default characterization run is this pack; its quick
+// report is pinned byte-for-byte by testdata/golden_report_quick.md.
+package jas2004
+
+import (
+	"fmt"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/workload"
+)
+
+// Sequence slots in workload.DBCtx.Seq.
+const (
+	seqOrder = iota
+	seqWorkOrder
+)
+
+// Pack returns the workload description. Everything here — class scripts,
+// arrival mix, method biases, trace-locality knobs — is the calibration
+// the golden report pins; do not retune without regenerating the goldens.
+func Pack() *workload.Pack {
+	return &workload.Pack{
+		PackName:        "jas2004",
+		PackDescription: "SPECjAppServer2004-like Dealer/Manufacturing J2EE workload (the paper's subject)",
+		PackClasses: []workload.Class{
+			{
+				Name: "Purchase", Web: true, RatePerIR: 0.25,
+				BaseInstr: 125000, JitterFrac: 0.25, AllocBytes: 520 << 10, AllocObjects: 130,
+				WebShare: 0.09, DBShare: 0.22, KernelShare: 0.17, JITedShareOfWAS: 0.50,
+				MethodCalls: 95, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompWebSphere: 1.3},
+				DriftBoost: 1.6, DataBoost: 1.5,
+			},
+			{
+				Name: "Manage", Web: true, RatePerIR: 0.25,
+				BaseInstr: 95000, JitterFrac: 0.25, AllocBytes: 380 << 10, AllocObjects: 100,
+				WebShare: 0.10, DBShare: 0.20, KernelShare: 0.17, JITedShareOfWAS: 0.50,
+				MethodCalls: 75, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompOther: 1.3},
+				DriftBoost: 1.0, DataBoost: 1.0,
+			},
+			{
+				Name: "Browse", Web: true, RatePerIR: 0.50,
+				BaseInstr: 72000, JitterFrac: 0.3, AllocBytes: 430 << 10, AllocObjects: 105,
+				WebShare: 0.12, DBShare: 0.18, KernelShare: 0.16, JITedShareOfWAS: 0.52,
+				MethodCalls: 60, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompJavaLib: 1.5},
+				DriftBoost: 0.4, DataBoost: 0.5,
+			},
+			{
+				Name: "CreateVehicle", Web: false, RatePerIR: 0.60,
+				BaseInstr: 145000, JitterFrac: 0.25, AllocBytes: 560 << 10, AllocObjects: 140,
+				WebShare: 0.0, DBShare: 0.24, KernelShare: 0.18, JITedShareOfWAS: 0.48,
+				MethodCalls: 110, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompEJS: 1.8},
+				DriftBoost: 3.0, DataBoost: 2.6,
+			},
+		},
+		AllocBehaviour: workload.DefaultAllocProfile(),
+		Load: func(d *db.Database, ir int, seed int64) error {
+			cfg := db.DefaultScaleConfig(ir)
+			cfg.Seed = seed
+			return db.Load(d, cfg)
+		},
+		Run:   runDB,
+		Pages: PoolPages,
+	}
+}
+
+func init() { workload.Register(Pack()) }
+
+// PoolPages estimates the benchmark's hot working set in 4 KB pages at the
+// given IR (keys plus row payloads across the jas2004 tables).
+func PoolPages(ir int) int {
+	sz := db.SizesFor(db.DefaultScaleConfig(ir))
+	return sz.Customers/32 + sz.Vehicles/64*2 + sz.Orders/32 +
+		sz.OrderLines/48 + sz.Parts/64 + sz.WorkOrders/32 + 2
+}
+
+// Class indices, in PackClasses order.
+const (
+	ClassPurchase = iota
+	ClassManage
+	ClassBrowse
+	ClassCreateVehicle
+)
+
+func runDB(ctx *workload.DBCtx, class int) error {
+	switch class {
+	case ClassPurchase:
+		return dbPurchase(ctx)
+	case ClassManage:
+		return dbManage(ctx)
+	case ClassBrowse:
+		return dbBrowse(ctx)
+	case ClassCreateVehicle:
+		return dbCreateVehicle(ctx)
+	default:
+		return fmt.Errorf("jas2004: unknown request class %d", class)
+	}
+}
+
+func sizes(ctx *workload.DBCtx) db.Sizes { return db.SizesFor(db.DefaultScaleConfig(ctx.IR)) }
+
+func dbPurchase(ctx *workload.DBCtx) error {
+	sz := sizes(ctx)
+	tx := ctx.DB.Begin()
+	if _, err := tx.Get(db.TCustomers, db.Value(ctx.Rng.Intn(sz.Customers))); err != nil {
+		return abortWith(tx, err)
+	}
+	model := db.Value(ctx.Rng.Intn(sz.Vehicles))
+	if _, err := tx.Get(db.TVehicles, model); err != nil {
+		return abortWith(tx, err)
+	}
+	if _, err := tx.Get(db.TVehicles, db.Value(ctx.Rng.Intn(sz.Vehicles))); err != nil {
+		return abortWith(tx, err)
+	}
+	ctx.Seq[seqOrder]++
+	key := db.Value(sz.Orders) + ctx.Seq[seqOrder]
+	if err := tx.Insert(db.TOrders, db.Row{key, db.Value(ctx.Rng.Intn(sz.Customers)), 0, 12000}); err != nil {
+		return abortWith(tx, err)
+	}
+	for l := 0; l < 3; l++ {
+		lineKey := key*8 + db.Value(l) + db.Value(sz.OrderLines)
+		if err := tx.Insert(db.TOrderLines, db.Row{lineKey, key, model, 1}); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	if err := tx.Update(db.TInventory, model, 1, db.Value(ctx.Rng.Intn(400))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func dbManage(ctx *workload.DBCtx) error {
+	sz := sizes(ctx)
+	tx := ctx.DB.Begin()
+	if _, err := tx.Get(db.TCustomers, db.Value(ctx.Rng.Intn(sz.Customers))); err != nil {
+		return abortWith(tx, err)
+	}
+	lo := db.Value(ctx.Rng.Intn(sz.Orders))
+	rows, err := ctx.DB.Scan(db.TOrders, lo, lo+40, 10)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	if len(rows) > 0 {
+		if err := tx.Update(db.TOrders, rows[0][0], 2, 1); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	return tx.Commit()
+}
+
+func dbBrowse(ctx *workload.DBCtx) error {
+	sz := sizes(ctx)
+	lo := db.Value(ctx.Rng.Intn(sz.Vehicles))
+	if _, err := ctx.DB.Scan(db.TVehicles, lo, lo+20, 13); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.DB.Get(db.TInventory, db.Value(ctx.Rng.Intn(sz.Vehicles))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dbCreateVehicle(ctx *workload.DBCtx) error {
+	sz := sizes(ctx)
+	tx := ctx.DB.Begin()
+	wo := db.Value(ctx.Rng.Intn(sz.WorkOrders))
+	if _, err := tx.Get(db.TWorkOrders, wo); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(db.TWorkOrders, wo, 3, 1); err != nil {
+		return abortWith(tx, err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tx.Get(db.TParts, db.Value(ctx.Rng.Intn(sz.Parts))); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	model := db.Value(ctx.Rng.Intn(sz.Vehicles))
+	if err := tx.Update(db.TInventory, model, 1, db.Value(ctx.Rng.Intn(400))); err != nil {
+		return abortWith(tx, err)
+	}
+	ctx.Seq[seqWorkOrder]++
+	if err := tx.Insert(db.TWorkOrders, db.Row{db.Value(sz.WorkOrders) + ctx.Seq[seqWorkOrder], model, 2, 0}); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func abortWith(tx *db.Txn, err error) error {
+	if aerr := tx.Abort(); aerr != nil {
+		return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+	}
+	return err
+}

@@ -1,0 +1,11 @@
+// Package packs registers every workload pack shipped with the repo.
+// Importing it (usually blank) is the one-stop way to make the full
+// registry available; individual packs can also be imported directly.
+package packs
+
+import (
+	_ "jasworkload/internal/workload/dataanalytics"
+	_ "jasworkload/internal/workload/jas2004"
+	_ "jasworkload/internal/workload/trade6"
+	_ "jasworkload/internal/workload/virtweb"
+)

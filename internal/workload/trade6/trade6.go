@@ -1,0 +1,189 @@
+// Package trade6 is the Trade6-like trading workload the paper
+// cross-checks its GC observations on (Section 6): read-heavier (quotes
+// dominate), a little less allocation per request, and a harder lean on
+// the Java library (serialization of market data). All four classes are
+// web-facing.
+package trade6
+
+import (
+	"fmt"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/workload"
+)
+
+// Sequence slots in workload.DBCtx.Seq.
+const (
+	seqTradeOrder = iota
+	seqHolding
+)
+
+// Pack returns the workload description.
+func Pack() *workload.Pack {
+	return &workload.Pack{
+		PackName:        "trade6",
+		PackDescription: "Trade6-like trading workload (the paper's Section 6 GC cross-check)",
+		PackClasses: []workload.Class{
+			{
+				Name: "Buy", Web: true, RatePerIR: 0.25,
+				BaseInstr: 110000, JitterFrac: 0.25, AllocBytes: 430 << 10, AllocObjects: 110,
+				WebShare: 0.10, DBShare: 0.24, KernelShare: 0.17, JITedShareOfWAS: 0.50,
+				MethodCalls: 85, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompWebSphere: 1.3},
+				DriftBoost: 1.6, DataBoost: 1.5,
+			},
+			{
+				Name: "Sell", Web: true, RatePerIR: 0.20,
+				BaseInstr: 105000, JitterFrac: 0.25, AllocBytes: 410 << 10, AllocObjects: 105,
+				WebShare: 0.10, DBShare: 0.24, KernelShare: 0.17, JITedShareOfWAS: 0.50,
+				MethodCalls: 80, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompOther: 1.3},
+				DriftBoost: 1.0, DataBoost: 1.0,
+			},
+			{
+				Name: "Quote", Web: true, RatePerIR: 0.85,
+				BaseInstr: 55000, JitterFrac: 0.3, AllocBytes: 300 << 10, AllocObjects: 80,
+				WebShare: 0.13, DBShare: 0.18, KernelShare: 0.16, JITedShareOfWAS: 0.54,
+				MethodCalls: 45, PersistCrumbs: 0,
+				MethodBias: map[jvm.Component]float64{jvm.CompJavaLib: 1.5},
+				DriftBoost: 0.4, DataBoost: 0.5,
+			},
+			{
+				Name: "Portfolio", Web: true, RatePerIR: 0.30,
+				BaseInstr: 90000, JitterFrac: 0.25, AllocBytes: 390 << 10, AllocObjects: 100,
+				WebShare: 0.11, DBShare: 0.22, KernelShare: 0.16, JITedShareOfWAS: 0.52,
+				MethodCalls: 70, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompEJS: 1.8},
+				DriftBoost: 3.0, DataBoost: 2.6,
+			},
+		},
+		AllocBehaviour: workload.DefaultAllocProfile(),
+		Load: func(d *db.Database, ir int, seed int64) error {
+			return db.LoadTrade(d, ir, seed)
+		},
+		Run:   runDB,
+		Pages: PoolPages,
+	}
+}
+
+func init() { workload.Register(Pack()) }
+
+// PoolPages estimates the trading working set in 4 KB pages.
+func PoolPages(ir int) int {
+	sz := db.TradeSizesFor(ir)
+	return sz.Accounts/32 + sz.Quotes/64 + sz.Holdings/48 + 2
+}
+
+// Class indices, in PackClasses order.
+const (
+	ClassBuy = iota
+	ClassSell
+	ClassQuote
+	ClassPortfolio
+)
+
+func runDB(ctx *workload.DBCtx, class int) error {
+	switch class {
+	case ClassBuy:
+		return dbBuy(ctx)
+	case ClassSell:
+		return dbSell(ctx)
+	case ClassQuote:
+		return dbQuote(ctx)
+	case ClassPortfolio:
+		return dbPortfolio(ctx)
+	default:
+		return fmt.Errorf("trade6: unknown request class %d", class)
+	}
+}
+
+func dbBuy(ctx *workload.DBCtx) error {
+	sz := db.TradeSizesFor(ctx.IR)
+	tx := ctx.DB.Begin()
+	acct := db.Value(ctx.Rng.Intn(sz.Accounts))
+	if _, err := tx.Get(db.TAccounts, acct); err != nil {
+		return abortWith(tx, err)
+	}
+	sym := db.Value(ctx.Rng.Intn(sz.Quotes))
+	if _, err := tx.Get(db.TQuotes, sym); err != nil {
+		return abortWith(tx, err)
+	}
+	ctx.Seq[seqTradeOrder]++
+	if err := tx.Insert(db.TTradeOrders, db.Row{ctx.Seq[seqTradeOrder], acct, sym, 0}); err != nil {
+		return abortWith(tx, err)
+	}
+	ctx.Seq[seqHolding]++
+	hk := db.Value(sz.Holdings) + ctx.Seq[seqHolding]
+	if err := tx.Insert(db.THoldings, db.Row{hk, acct, sym, db.Value(1 + ctx.Rng.Intn(100))}); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(db.TAccounts, acct, 1, db.Value(ctx.Rng.Intn(90000))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func dbSell(ctx *workload.DBCtx) error {
+	sz := db.TradeSizesFor(ctx.IR)
+	tx := ctx.DB.Begin()
+	acct := db.Value(ctx.Rng.Intn(sz.Accounts))
+	if _, err := tx.Get(db.TAccounts, acct); err != nil {
+		return abortWith(tx, err)
+	}
+	lo := db.Value(ctx.Rng.Intn(sz.Holdings))
+	rows, err := ctx.DB.Scan(db.THoldings, lo, lo+40, 5)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	if len(rows) > 0 {
+		if err := tx.Delete(db.THoldings, rows[0][0]); err != nil {
+			return abortWith(tx, err)
+		}
+	}
+	ctx.Seq[seqTradeOrder]++
+	if err := tx.Insert(db.TTradeOrders, db.Row{ctx.Seq[seqTradeOrder], acct, db.Value(ctx.Rng.Intn(sz.Quotes)), 1}); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(db.TAccounts, acct, 1, db.Value(ctx.Rng.Intn(90000))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func dbQuote(ctx *workload.DBCtx) error {
+	sz := db.TradeSizesFor(ctx.IR)
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.DB.Get(db.TQuotes, db.Value(ctx.Rng.Intn(sz.Quotes))); err != nil {
+			return err
+		}
+	}
+	lo := db.Value(ctx.Rng.Intn(sz.Quotes))
+	_, err := ctx.DB.Scan(db.TQuotes, lo, lo+8, 5)
+	return err
+}
+
+func dbPortfolio(ctx *workload.DBCtx) error {
+	sz := db.TradeSizesFor(ctx.IR)
+	acct := db.Value(ctx.Rng.Intn(sz.Accounts))
+	if _, err := ctx.DB.Get(db.TAccounts, acct); err != nil {
+		return err
+	}
+	lo := db.Value(ctx.Rng.Intn(sz.Holdings))
+	if _, err := ctx.DB.Scan(db.THoldings, lo, lo+60, 10); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ctx.DB.Get(db.TQuotes, db.Value(ctx.Rng.Intn(sz.Quotes))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abortWith(tx *db.Txn, err error) error {
+	if aerr := tx.Abort(); aerr != nil {
+		return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+	}
+	return err
+}

@@ -1,0 +1,310 @@
+// Package virtweb is a virtualized web-application workload pack: a
+// consolidation tenant serving many small, short HTTP requests. Compared
+// with jas2004 it has lighter per-request instruction counts, a mix that
+// leans toward the read classes that dominate the diurnal peak (the rates
+// below model the busy hour of the cycle; the mix is web-only, there is
+// no RMI traffic), a much larger kernel share (virtualization exits,
+// vswitch processing, and context switches all land in SegKernel), and
+// elevated drift/data boosts that model the poor page locality of a
+// consolidated host whose TLB and caches are shared with other tenants.
+package virtweb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+	"jasworkload/internal/workload"
+)
+
+// Schema: a small content/session store typical of a web tenant. Column 0
+// is the primary key.
+const (
+	TPages    = "pages"    // key, author, kind
+	TAssets   = "assets"   // key, page, bytes
+	TAccounts = "accounts" // key, plan, created
+	TComments = "comments" // key, page, account
+	TCarts    = "carts"    // key, account, items, total
+)
+
+// Sequence slots in workload.DBCtx.Seq.
+const (
+	seqComment = iota
+	seqCart
+)
+
+type sizes struct {
+	Pages, Assets, Accounts, Comments int
+}
+
+func sizesFor(ir int) sizes {
+	return sizes{Pages: ir * 60, Assets: ir * 180, Accounts: ir * 90, Comments: ir * 120}
+}
+
+// Pack returns the workload description.
+func Pack() *workload.Pack {
+	return &workload.Pack{
+		PackName:        "virtweb",
+		PackDescription: "virtualized web-app tenant: many small HTTP classes, high kernel/TLB pressure, busy-hour diurnal mix",
+		PackClasses: []workload.Class{
+			{
+				// Static-ish page render: the bulk of the diurnal peak.
+				Name: "PageView", Web: true, RatePerIR: 0.95,
+				BaseInstr: 28000, JitterFrac: 0.35, AllocBytes: 120 << 10, AllocObjects: 55,
+				WebShare: 0.30, DBShare: 0.08, KernelShare: 0.27, JITedShareOfWAS: 0.46,
+				MethodCalls: 35, PersistCrumbs: 0,
+				MethodBias: map[jvm.Component]float64{jvm.CompWebSphere: 1.6},
+				DriftBoost: 1.8, DataBoost: 1.6,
+			},
+			{
+				// Asset fetch: tiny CPU, kernel-dominated (network + page cache).
+				Name: "AssetFetch", Web: true, RatePerIR: 0.80,
+				BaseInstr: 20000, JitterFrac: 0.30, AllocBytes: 80 << 10, AllocObjects: 35,
+				WebShare: 0.32, DBShare: 0.05, KernelShare: 0.30, JITedShareOfWAS: 0.44,
+				MethodCalls: 25, PersistCrumbs: 0,
+				MethodBias: map[jvm.Component]float64{jvm.CompJavaLib: 1.4},
+				DriftBoost: 2.0, DataBoost: 1.8,
+			},
+			{
+				// Search over the content store.
+				Name: "Search", Web: true, RatePerIR: 0.35,
+				BaseInstr: 60000, JitterFrac: 0.30, AllocBytes: 260 << 10, AllocObjects: 80,
+				WebShare: 0.20, DBShare: 0.22, KernelShare: 0.26, JITedShareOfWAS: 0.48,
+				MethodCalls: 55, PersistCrumbs: 1,
+				MethodBias: map[jvm.Component]float64{jvm.CompJavaLib: 1.5, jvm.CompOther: 1.2},
+				DriftBoost: 1.6, DataBoost: 2.0,
+			},
+			{
+				// Login/session establishment.
+				Name: "Login", Web: true, RatePerIR: 0.25,
+				BaseInstr: 45000, JitterFrac: 0.25, AllocBytes: 200 << 10, AllocObjects: 70,
+				WebShare: 0.24, DBShare: 0.14, KernelShare: 0.28, JITedShareOfWAS: 0.46,
+				MethodCalls: 45, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompEJS: 1.4},
+				DriftBoost: 1.7, DataBoost: 1.4,
+			},
+			{
+				// Post a comment (the main write path at the peak).
+				Name: "PostComment", Web: true, RatePerIR: 0.20,
+				BaseInstr: 52000, JitterFrac: 0.28, AllocBytes: 240 << 10, AllocObjects: 75,
+				WebShare: 0.22, DBShare: 0.20, KernelShare: 0.26, JITedShareOfWAS: 0.47,
+				MethodCalls: 50, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompWebSphere: 1.3, jvm.CompEJS: 1.2},
+				DriftBoost: 1.5, DataBoost: 1.7,
+			},
+			{
+				// Cart checkout: the heaviest class, still far below jas2004's.
+				Name: "Checkout", Web: true, RatePerIR: 0.15,
+				BaseInstr: 58000, JitterFrac: 0.25, AllocBytes: 280 << 10, AllocObjects: 85,
+				WebShare: 0.20, DBShare: 0.24, KernelShare: 0.26, JITedShareOfWAS: 0.48,
+				MethodCalls: 60, PersistCrumbs: 2,
+				MethodBias: map[jvm.Component]float64{jvm.CompEJS: 1.5},
+				DriftBoost: 1.5, DataBoost: 1.8,
+			},
+		},
+		// Small, short-lived objects: request/response buffers and session
+		// fragments; large allocations are rare.
+		AllocBehaviour: workload.AllocProfile{
+			SmallCum: 0.82, MediumCum: 0.98,
+			SmallBase: 48, SmallSpan: 336,
+			MediumBase: 768, MediumSpan: 4352,
+			LargeBase: 8192, LargeSpan: 24576,
+		},
+		Load:  loadDB,
+		Run:   runDB,
+		Pages: PoolPages,
+		// A consolidated tenant's code working set is wider relative to its
+		// cycles (more framework glue, less hot application code), which is
+		// the i-side analogue of its TLB pressure.
+		Profile: func(p jvm.ProfileConfig) jvm.ProfileConfig {
+			p.WarmShare = 0.52
+			p.ComponentMix = [jvm.NumComponents]float64{
+				jvm.CompWebSphere: 0.48,
+				jvm.CompEJS:       0.16,
+				jvm.CompJavaLib:   0.18,
+				jvm.CompJas2004:   0.02,
+				jvm.CompOther:     0.16,
+			}
+			return p
+		},
+	}
+}
+
+func init() { workload.Register(Pack()) }
+
+// PoolPages estimates the tenant's buffer-pool working set in 4 KB pages.
+func PoolPages(ir int) int {
+	sz := sizesFor(ir)
+	return sz.Pages/48 + sz.Assets/64 + sz.Accounts/48 + sz.Comments/48 + 2
+}
+
+// Class indices, in PackClasses order.
+const (
+	ClassPageView = iota
+	ClassAssetFetch
+	ClassSearch
+	ClassLogin
+	ClassPostComment
+	ClassCheckout
+)
+
+func loadDB(d *db.Database, ir int, seed int64) error {
+	if ir <= 0 {
+		return fmt.Errorf("virtweb: bad injection rate %d", ir)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sz := sizesFor(ir)
+	type tdef struct {
+		name string
+		cols int
+		rpp  int
+	}
+	for _, td := range []tdef{
+		{TPages, 3, 64},
+		{TAssets, 3, 64},
+		{TAccounts, 3, 64},
+		{TComments, 3, 48},
+		{TCarts, 4, 32},
+	} {
+		if _, err := d.CreateTable(td.name, td.cols, td.rpp); err != nil {
+			return err
+		}
+	}
+	tx := d.Begin()
+	for i := 0; i < sz.Pages; i++ {
+		if err := tx.Insert(TPages, db.Row{db.Value(i), db.Value(rng.Intn(sz.Accounts)), db.Value(rng.Intn(4))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Assets; i++ {
+		if err := tx.Insert(TAssets, db.Row{db.Value(i), db.Value(rng.Intn(sz.Pages)), db.Value(512 + rng.Intn(64<<10))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Accounts; i++ {
+		if err := tx.Insert(TAccounts, db.Row{db.Value(i), db.Value(rng.Intn(3)), db.Value(rng.Intn(2000))}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sz.Comments; i++ {
+		if err := tx.Insert(TComments, db.Row{db.Value(i), db.Value(rng.Intn(sz.Pages)), db.Value(rng.Intn(sz.Accounts))}); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func runDB(ctx *workload.DBCtx, class int) error {
+	switch class {
+	case ClassPageView:
+		return dbPageView(ctx)
+	case ClassAssetFetch:
+		return dbAssetFetch(ctx)
+	case ClassSearch:
+		return dbSearch(ctx)
+	case ClassLogin:
+		return dbLogin(ctx)
+	case ClassPostComment:
+		return dbPostComment(ctx)
+	case ClassCheckout:
+		return dbCheckout(ctx)
+	default:
+		return fmt.Errorf("virtweb: unknown request class %d", class)
+	}
+}
+
+// dbPageView: one page read plus a short comment scan.
+func dbPageView(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	page := db.Value(ctx.Rng.Intn(sz.Pages))
+	if _, err := ctx.DB.Get(TPages, page); err != nil {
+		return err
+	}
+	lo := db.Value(ctx.Rng.Intn(sz.Comments))
+	_, err := ctx.DB.Scan(TComments, lo, lo+10, 5)
+	return err
+}
+
+// dbAssetFetch: two point reads.
+func dbAssetFetch(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	if _, err := ctx.DB.Get(TAssets, db.Value(ctx.Rng.Intn(sz.Assets))); err != nil {
+		return err
+	}
+	_, err := ctx.DB.Get(TPages, db.Value(ctx.Rng.Intn(sz.Pages)))
+	return err
+}
+
+// dbSearch: a moderate scan over the content store.
+func dbSearch(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	lo := db.Value(ctx.Rng.Intn(sz.Pages))
+	rows, err := ctx.DB.Scan(TPages, lo, lo+30, 12)
+	if err != nil {
+		return err
+	}
+	if len(rows) > 0 {
+		_, err = ctx.DB.Get(TAssets, db.Value(ctx.Rng.Intn(sz.Assets)))
+	}
+	return err
+}
+
+// dbLogin: read the account and refresh the cart row.
+func dbLogin(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	acct := db.Value(ctx.Rng.Intn(sz.Accounts))
+	tx := ctx.DB.Begin()
+	if _, err := tx.Get(TAccounts, acct); err != nil {
+		return abortWith(tx, err)
+	}
+	ctx.Seq[seqCart]++
+	if err := tx.Insert(TCarts, db.Row{db.Value(1<<29) + ctx.Seq[seqCart], acct, 0, 0}); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// dbPostComment: append a comment and touch its page.
+func dbPostComment(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	tx := ctx.DB.Begin()
+	ctx.Seq[seqComment]++
+	row := db.Row{
+		db.Value(sz.Comments) + ctx.Seq[seqComment],
+		db.Value(ctx.Rng.Intn(sz.Pages)),
+		db.Value(ctx.Rng.Intn(sz.Accounts)),
+	}
+	if err := tx.Insert(TComments, row); err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.Update(TPages, db.Value(ctx.Rng.Intn(sz.Pages)), 2, db.Value(ctx.Rng.Intn(4))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// dbCheckout: read a cart (if the session created one), mark it ordered.
+func dbCheckout(ctx *workload.DBCtx) error {
+	sz := sizesFor(ctx.IR)
+	tx := ctx.DB.Begin()
+	if ctx.Seq[seqCart] > 0 {
+		key := db.Value(1<<29) + 1 + db.Value(ctx.Rng.Intn(int(ctx.Seq[seqCart])))
+		if _, err := tx.Get(TCarts, key); err != nil {
+			return abortWith(tx, err)
+		}
+		if err := tx.Update(TCarts, key, 3, db.Value(100+ctx.Rng.Intn(90000))); err != nil {
+			return abortWith(tx, err)
+		}
+	} else if _, err := tx.Get(TAccounts, db.Value(ctx.Rng.Intn(sz.Accounts))); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+func abortWith(tx *db.Txn, err error) error {
+	if aerr := tx.Abort(); aerr != nil {
+		return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+	}
+	return err
+}

@@ -1,0 +1,296 @@
+// Package workload defines the pluggable workload abstraction: everything
+// the characterization pipeline needs to know about one benchmark subject.
+// The pipeline itself (HPM windows, tprof, verbosegc, CPI correlation) is
+// workload-agnostic methodology; a Workload supplies the subject — its
+// request classes (names, web/RMI grouping, run-rule response-time limits),
+// the arrival mix and how it scales with the injection rate, the database
+// shape and initial population, the method-weight (JIT/tprof) profile, and
+// the allocation behaviour the JVM model reproduces.
+//
+// Packs register themselves (usually from an init function) under a unique
+// name; internal/core resolves RunConfig.Workload against this registry.
+// The paper's jas2004 subject is just the default registered pack.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"jasworkload/internal/db"
+	"jasworkload/internal/jvm"
+)
+
+// Default response-time limits (the benchmark run rules bound the 90th
+// percentile): 2 s for web-driven interactions, 5 s for RMI-style ones.
+const (
+	WebDeadlineMS = 2000.0
+	RMIDeadlineMS = 5000.0
+)
+
+// MaxClasses bounds how many request classes a pack may declare; the
+// per-class accounting throughout the pipeline is sized for small class
+// sets, and request indices travel as small integers.
+const MaxClasses = 64
+
+// Class describes one request class of a workload: its arrival behaviour,
+// its run-rule limit, and the execution script the application server
+// plays per request.
+type Class struct {
+	Name string
+	// Web marks browser-driven interactions; the rest are RMI-style.
+	Web bool
+	// RatePerIR is the class's arrival rate in requests/second per unit of
+	// injection rate.
+	RatePerIR float64
+	// DeadlineMS is the run-rule limit on the 90th-percentile response
+	// time (0 selects the default for the Web/RMI grouping).
+	DeadlineMS float64
+
+	// Execution script.
+	BaseInstr  int     // mean instructions per request
+	JitterFrac float64 // uniform +/- fraction applied to BaseInstr
+
+	// Allocation behaviour.
+	AllocBytes   int // bytes allocated per request (approximate target)
+	AllocObjects int // objects allocated per request
+
+	// CPU attribution shares; the WAS share is the remainder.
+	WebShare        float64
+	DBShare         float64
+	KernelShare     float64
+	JITedShareOfWAS float64
+
+	MethodCalls   int // distinct hot-method invocations per request
+	PersistCrumbs int // session objects that outlive the request
+
+	// MethodBias skews the per-class method sampler toward a component
+	// (nil or missing entries mean weight 1.0).
+	MethodBias map[jvm.Component]float64
+
+	// Page-locality knobs for the detail-mode trace generator: how fast
+	// the instruction walk drifts to new pages and how spread the data
+	// working set is (0,0 selects the generator defaults 0.4/0.5).
+	DriftBoost float64
+	DataBoost  float64
+}
+
+// Deadline resolves the class's run-rule limit.
+func (c Class) Deadline() float64 {
+	if c.DeadlineMS > 0 {
+		return c.DeadlineMS
+	}
+	if c.Web {
+		return WebDeadlineMS
+	}
+	return RMIDeadlineMS
+}
+
+// Bias returns the method-sampler weight for a component.
+func (c Class) Bias(comp jvm.Component) float64 {
+	if b, ok := c.MethodBias[comp]; ok {
+		return b
+	}
+	return 1.0
+}
+
+// Boosts resolves the trace-locality knobs.
+func (c Class) Boosts() (drift, data float64) {
+	if c.DriftBoost == 0 && c.DataBoost == 0 {
+		return 0.4, 0.5
+	}
+	return c.DriftBoost, c.DataBoost
+}
+
+// AllocProfile shapes the per-request allocation size distribution: three
+// log-ish buckets (small / medium / large) with cumulative probabilities.
+// An object's size is Base + Intn(Span) of its bucket.
+type AllocProfile struct {
+	SmallCum   float64 // P(small); P(medium) = MediumCum - SmallCum
+	MediumCum  float64
+	SmallBase  int
+	SmallSpan  int
+	MediumBase int
+	MediumSpan int
+	LargeBase  int
+	LargeSpan  int
+}
+
+// DefaultAllocProfile returns the jas2004-calibrated distribution: mostly
+// small header-ish objects, some buffer-sized, occasionally a large array.
+func DefaultAllocProfile() AllocProfile {
+	return AllocProfile{
+		SmallCum: 0.70, MediumCum: 0.95,
+		SmallBase: 64, SmallSpan: 448,
+		MediumBase: 1024, MediumSpan: 7168,
+		LargeBase: 16384, LargeSpan: 49152,
+	}
+}
+
+// DBCtx is the execution context a pack's per-request database script runs
+// in. Rng is the application server's request RNG (shared so the draw
+// order of a run is a single deterministic stream), and Seq holds the
+// pack's monotonic key sequences (order numbers and the like) so inserted
+// keys never collide with the initial population.
+type DBCtx struct {
+	DB  *db.Database
+	Rng *rand.Rand
+	IR  int
+	Seq [4]db.Value
+}
+
+// Workload is one benchmark subject. Implementations must be usable
+// concurrently from independent simulations (the methods are read-only
+// descriptions; all mutable state lives in the simulation).
+type Workload interface {
+	// Name is the registry key and appears in artifact keys, job IDs,
+	// report labels, and figure titles.
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Classes returns the request classes in arrival-accounting order.
+	Classes() []Class
+	// Alloc returns the allocation size distribution.
+	Alloc() AllocProfile
+	// LoadDB creates and populates the pack's schema at the given IR.
+	LoadDB(d *db.Database, ir int, seed int64) error
+	// RunDB plays one request's database script for a class index.
+	RunDB(ctx *DBCtx, class int) error
+	// PoolPages estimates the pack's working set in 4 KB database pages at
+	// the given IR; the disk-starved comparison sizes its deliberately
+	// undersized buffer pool from it.
+	PoolPages(ir int) int
+	// TuneProfile maps the default method-weight profile to the pack's
+	// (identity for subjects with the paper's flat profile).
+	TuneProfile(p jvm.ProfileConfig) jvm.ProfileConfig
+}
+
+// Pack is the concrete Workload most packs use: a plain description
+// struct plus the two database hooks.
+type Pack struct {
+	PackName        string
+	PackDescription string
+	PackClasses     []Class
+	AllocBehaviour  AllocProfile
+	Load            func(d *db.Database, ir int, seed int64) error
+	Run             func(ctx *DBCtx, class int) error
+	Pages           func(ir int) int
+	// Profile, if non-nil, adjusts the method-weight profile.
+	Profile func(p jvm.ProfileConfig) jvm.ProfileConfig
+}
+
+// Name implements Workload.
+func (p *Pack) Name() string { return p.PackName }
+
+// Description implements Workload.
+func (p *Pack) Description() string { return p.PackDescription }
+
+// Classes implements Workload.
+func (p *Pack) Classes() []Class { return p.PackClasses }
+
+// Alloc implements Workload.
+func (p *Pack) Alloc() AllocProfile { return p.AllocBehaviour }
+
+// LoadDB implements Workload.
+func (p *Pack) LoadDB(d *db.Database, ir int, seed int64) error { return p.Load(d, ir, seed) }
+
+// RunDB implements Workload.
+func (p *Pack) RunDB(ctx *DBCtx, class int) error { return p.Run(ctx, class) }
+
+// PoolPages implements Workload.
+func (p *Pack) PoolPages(ir int) int { return p.Pages(ir) }
+
+// TuneProfile implements Workload.
+func (p *Pack) TuneProfile(cfg jvm.ProfileConfig) jvm.ProfileConfig {
+	if p.Profile == nil {
+		return cfg
+	}
+	return p.Profile(cfg)
+}
+
+// Validate checks a workload description for structural sanity.
+func Validate(w Workload) error {
+	if w == nil {
+		return fmt.Errorf("workload: nil workload")
+	}
+	if w.Name() == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	classes := w.Classes()
+	if len(classes) == 0 {
+		return fmt.Errorf("workload %s: no request classes", w.Name())
+	}
+	if len(classes) > MaxClasses {
+		return fmt.Errorf("workload %s: %d request classes (max %d)", w.Name(), len(classes), MaxClasses)
+	}
+	var total float64
+	for i, c := range classes {
+		if c.Name == "" {
+			return fmt.Errorf("workload %s: class %d has no name", w.Name(), i)
+		}
+		if c.RatePerIR < 0 {
+			return fmt.Errorf("workload %s: class %s has negative rate", w.Name(), c.Name)
+		}
+		if c.BaseInstr <= 0 || c.MethodCalls <= 0 {
+			return fmt.Errorf("workload %s: class %s has no execution script", w.Name(), c.Name)
+		}
+		total += c.RatePerIR
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload %s: arrival mix sums to zero", w.Name())
+	}
+	return nil
+}
+
+// DefaultName is the pack RunConfig.Workload == "" resolves to.
+const DefaultName = "jas2004"
+
+var registry = struct {
+	sync.Mutex
+	packs map[string]Workload
+}{packs: map[string]Workload{}}
+
+// Register adds a workload under its name; it panics on duplicates or on
+// an invalid description, since packs register from init functions.
+func Register(w Workload) {
+	if err := Validate(w); err != nil {
+		panic(err)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.packs[w.Name()]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", w.Name()))
+	}
+	registry.packs[w.Name()] = w
+}
+
+// Get resolves a registered workload; "" means the default pack.
+func Get(name string) (Workload, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	w, ok := registry.packs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, namesLocked())
+	}
+	return w, nil
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry.packs))
+	for name := range registry.packs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
