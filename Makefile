@@ -4,12 +4,14 @@
 # parallel experiment scheduler and the jasd worker pool), the workload
 # pack calibration gate (quick-scale scalars + report vs testdata
 # goldens for all three packs), a one-shot benchmark smoke of the
-# Figure 2 pipeline, and the jasd service smoke (real daemon on a
-# random port, golden-report diff, graceful drain).
+# Figure 2 pipeline, the jasd service smoke (real daemon on a
+# random port, golden-report diff, graceful drain), and the sweep smoke
+# (12-cell grid through the real daemon costing exactly one
+# request-level simulation).
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke
+.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke
 
 all: build test
 
@@ -65,11 +67,12 @@ bench-smoke:
 # parallelism 1/4/8) gets 3 runs of 300 round trips. BENCH_OUT names the
 # artifact; BENCH_BASELINE (a previous artifact) adds per-benchmark
 # min-vs-min speedup deltas to it.
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGrid' -benchtime 1x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServeRuns' -benchtime 300x -count 3 ./internal/service/ ; } \
 	| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -out $(BENCH_OUT)
 	@cat $(BENCH_OUT)
@@ -79,7 +82,13 @@ bench-json:
 service-smoke:
 	sh scripts/service_smoke.sh
 
-ci: fmt vet build race equiv calibrate bench-smoke service-smoke
+# End-to-end smoke of the sweep orchestration: a 12-cell page-size x
+# detail-frac grid through a real daemon must execute exactly one
+# request-level simulation (split-key reuse), verified from /metrics.
+sweep-smoke:
+	sh scripts/sweep_smoke.sh
+
+ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

@@ -499,3 +499,55 @@ func BenchmarkCrossChecks(b *testing.B) {
 		b.ReportMetric(100*cc.J9Util, "j9-util-%")
 	}
 }
+
+// benchSweepGrid drives a page-size x detail-frac what-if grid through
+// the artifact store, all cells concurrent, flushing the store each
+// iteration so every request-level run is paid for inside the timed
+// region. sims/cell is the number of request-level simulations actually
+// executed per grid cell: 1.0 without split-key sharing, and
+// distinct(RequestKey)/cells (here 1/6) with it — the tentpole's win.
+func benchSweepGrid(b *testing.B, share bool) {
+	cfg := quickCfg()
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	cells, err := core.Sweep{Base: cfg, Axes: []core.Axis{
+		{Param: "heap_page", Values: []any{"4K", "16M"}},
+		{Param: "detail_frac", Values: []any{0.002, 0.005, 0.01}},
+	}}.Expand(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := core.SetShareRequestLevel(share)
+	defer core.SetShareRequestLevel(prev)
+	before := core.SimCounts()["request-level"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlushRuns()
+		g := core.NewGroup(Parallelism())
+		for _, cell := range cells {
+			g.Go(func() error {
+				art := ForConfig(cell.Cfg)
+				if _, err := art.RequestLevel(); err != nil {
+					return err
+				}
+				_, err := art.Detail()
+				return err
+			})
+		}
+		if err := g.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sims := core.SimCounts()["request-level"] - before
+	b.ReportMetric(float64(sims)/float64(len(cells)*b.N), "sims/cell")
+	FlushRuns()
+}
+
+// BenchmarkSweepGridShared runs the 6-cell grid with split-key reuse on:
+// one request-level simulation serves every cell.
+func BenchmarkSweepGridShared(b *testing.B) { benchSweepGrid(b, true) }
+
+// BenchmarkSweepGridUnshared is the pre-split foil: each cell re-buys its
+// request-level run, as the unsplit cache did.
+func BenchmarkSweepGridUnshared(b *testing.B) { benchSweepGrid(b, false) }

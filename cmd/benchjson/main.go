@@ -59,6 +59,7 @@ type entry struct {
 	NsPerOp     *stat   `json:"ns_per_op,omitempty"`
 	InstrPerSec *stat   `json:"instr_per_s,omitempty"`
 	RunsPerSec  *stat   `json:"runs_per_s,omitempty"`
+	SimsPerCell *stat   `json:"sims_per_cell,omitempty"`
 	BytesPerOp  *stat   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *stat   `json:"allocs_per_op,omitempty"`
 	VsBaseline  float64 `json:"speedup_vs_baseline,omitempty"`
@@ -168,6 +169,7 @@ func main() {
 		e.NsPerOp = newStat(e.samples["ns/op"])
 		e.InstrPerSec = newStat(e.samples["instr/s"])
 		e.RunsPerSec = newStat(e.samples["runs/s"])
+		e.SimsPerCell = newStat(e.samples["sims/cell"])
 		e.BytesPerOp = newStat(e.samples["B/op"])
 		e.AllocsPerOp = newStat(e.samples["allocs/op"])
 		if prev, ok := baseMins[name]; ok && e.NsPerOp != nil && e.NsPerOp.Min > 0 {
@@ -182,6 +184,7 @@ func main() {
 		Baseline   string   `json:"baseline,omitempty"`
 		Benchmarks []*entry `json:"benchmarks"`
 		Speedup    float64  `json:"detail_stream_speedup,omitempty"`
+		SweepWin   float64  `json:"sweep_grid_speedup,omitempty"`
 	}{
 		Go:         runtime.Version(),
 		Protocol:   "repeated runs per benchmark; cite min (least-contended sample) on noisy shared hosts; speedup_vs_baseline = baseline min ns/op over this min ns/op",
@@ -193,6 +196,12 @@ func main() {
 	if b, r := byName["BenchmarkDetailStream"], byName["BenchmarkDetailStreamReference"]; b != nil && r != nil &&
 		b.NsPerOp != nil && r.NsPerOp != nil && b.NsPerOp.Min > 0 {
 		summary.Speedup = r.NsPerOp.Min / b.NsPerOp.Min
+	}
+	// Tentpole ratio: the same what-if grid with split-key reuse off over
+	// on — how much wall clock the shared request-level runs save.
+	if s, u := byName["BenchmarkSweepGridShared"], byName["BenchmarkSweepGridUnshared"]; s != nil && u != nil &&
+		s.NsPerOp != nil && u.NsPerOp != nil && s.NsPerOp.Min > 0 {
+		summary.SweepWin = u.NsPerOp.Min / s.NsPerOp.Min
 	}
 
 	buf, err := json.MarshalIndent(summary, "", "  ")

@@ -26,6 +26,15 @@
 //	figure  <id> <fig> [-format json|md]
 //	        fetch one figure (fig2..fig10, tprof, vmstat, locking, scalars,
 //	        crosschecks, largepages)
+//	sweep   -grid FILE [-timeout D] [-tail] [-table]
+//	        submit a parameter sweep from a JSON spec file ("-" = stdin:
+//	        {"base": {...JobSpec...}, "axes": [{"param": ..., "values":
+//	        [...]}]}). By default tails the per-cell NDJSON row stream
+//	        until the sweep finishes; -tail=false just prints the sweep
+//	        status. -table fetches the cross-cell comparison table once
+//	        the sweep is done. -timeout sets each cell's run deadline.
+//	sweep   list|status|cancel|table|stream [<id>]
+//	        inspect or cancel an existing sweep
 //	workloads                list the server's registered workload packs
 //	metrics                  dump the Prometheus /metrics exposition
 //
@@ -72,6 +81,8 @@ func main() {
 		err = report(*addr, args)
 	case "stream":
 		err = stream(*addr, args)
+	case "sweep":
+		err = sweepCmd(*addr, args)
 	case "figure":
 		err = figure(*addr, args)
 	case "workloads":
@@ -88,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|workloads|metrics [flags]")
+	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|sweep|workloads|metrics [flags]")
 	os.Exit(2)
 }
 
@@ -220,10 +231,16 @@ func stream(addr string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("stream needs a job id")
 	}
+	return tailStream(addr, "/v1/runs/"+args[0]+"/stream")
+}
+
+// tailStream tails one NDJSON stream endpoint (run windows or sweep rows)
+// with ?from= resume on dropped connections.
+func tailStream(addr, path string) error {
 	const maxRetries = 5
 	seen, retries := 0, 0
 	for {
-		err := streamOnce(addr, args[0], &seen)
+		err := streamOnce(addr, path, &seen)
 		if err == nil {
 			return nil
 		}
@@ -251,8 +268,8 @@ func (e *terminalError) Unwrap() error { return e.err }
 // streamOnce runs one stream connection from event *seen, advancing
 // *seen per event line. It returns nil once the terminal line arrives
 // and an error for anything that warrants a resume.
-func streamOnce(addr, id string, seen *int) error {
-	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/stream?from=%d", addr, id, *seen))
+func streamOnce(addr, path string, seen *int) error {
+	resp, err := http.Get(fmt.Sprintf("%s%s?from=%d", addr, path, *seen))
 	if err != nil {
 		return err
 	}
@@ -279,6 +296,110 @@ func streamOnce(addr, id string, seen *int) error {
 		return err
 	}
 	return fmt.Errorf("stream ended without a terminal line")
+}
+
+// sweepCmd drives the sweep API. With -grid it submits a spec file and
+// (by default) tails the row stream; without it, the first positional
+// argument selects a lifecycle subcommand.
+func sweepCmd(addr string, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	grid := fs.String("grid", "", `sweep spec JSON file ("-" = stdin)`)
+	timeout := fs.Duration("timeout", 0, "per-cell run deadline (0 = server default)")
+	tail := fs.Bool("tail", true, "tail the per-cell row stream until the sweep finishes")
+	table := fs.Bool("table", false, "print the comparison table once the sweep is done")
+	fs.Parse(args)
+	if *grid != "" {
+		return sweepSubmit(addr, *grid, *timeout, *tail, *table)
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("sweep needs -grid FILE or a subcommand: list|status|cancel|table|stream")
+	}
+	sub, rest := fs.Arg(0), fs.Args()[1:]
+	if sub == "list" {
+		return raw(addr + "/v1/sweeps")
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("sweep %s needs a sweep id", sub)
+	}
+	id := rest[0]
+	switch sub {
+	case "status":
+		return raw(addr + "/v1/sweeps/" + id)
+	case "table":
+		return raw(addr + "/v1/sweeps/" + id + "/table")
+	case "stream":
+		return tailStream(addr, "/v1/sweeps/"+id+"/stream")
+	case "cancel":
+		req, err := http.NewRequest(http.MethodDelete, addr+"/v1/sweeps/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return dump(resp)
+	default:
+		return fmt.Errorf("unknown sweep subcommand %q", sub)
+	}
+}
+
+// sweepSubmit posts the grid file to /v1/sweeps and optionally tails the
+// row stream and fetches the final comparison table.
+func sweepSubmit(addr, grid string, timeout time.Duration, tail, table bool) error {
+	var src io.Reader
+	if grid == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(grid)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var spec map[string]any
+	if err := json.NewDecoder(src).Decode(&spec); err != nil {
+		return fmt.Errorf("parsing %s: %w", grid, err)
+	}
+	if timeout > 0 {
+		base, _ := spec["base"].(map[string]any)
+		if base == nil {
+			base = map[string]any{}
+		}
+		base["timeout_s"] = timeout.Seconds()
+		spec["base"] = base
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(addr+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return httpError(resp)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(respBody, &st); err != nil || st.ID == "" {
+		return fmt.Errorf("unexpected submit response: %s", strings.TrimSpace(string(respBody)))
+	}
+	if !tail {
+		_, err = os.Stdout.Write(append(bytes.TrimRight(respBody, "\n"), '\n'))
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jasctl: sweep %s submitted (%d cells), tailing rows\n", st.ID, st.Cells)
+	if err := tailStream(addr, "/v1/sweeps/"+st.ID+"/stream"); err != nil {
+		return err
+	}
+	if table {
+		return raw(addr + "/v1/sweeps/" + st.ID + "/table")
+	}
+	return nil
 }
 
 // get fetches /v1/runs/{id}{suffix}.

@@ -13,6 +13,7 @@
 //	jasd [-addr :8077] [-workers 2] [-queue 8] [-retry-after 5s]
 //	     [-drain 60s] [-parallel N] [-addrfile FILE]
 //	     [-job-timeout 0] [-done-ttl 15m] [-done-cap 256]
+//	     [-max-sweep-cells 64]
 //
 // With -addr ending in :0 the kernel picks a free port; the resolved
 // address is logged and, with -addrfile, written to FILE for scripts.
@@ -23,6 +24,11 @@
 // -job-timeout bounds each run's execution (a JobSpec's timeout_s
 // overrides it per job); DELETE /v1/runs/{id} cancels a run once its last
 // submitter lets go.
+//
+// POST /v1/sweeps expands a base config against parameter axes and fans
+// the grid's cells across the same worker pool as ordinary jobs; cells
+// differing only in detail-only knobs share one request-level simulation.
+// -max-sweep-cells caps the expanded grid size per sweep.
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-run execution deadline (0 = none; timeout_s overrides per job)")
 	doneTTL := flag.Duration("done-ttl", 15*time.Minute, "how long terminal jobs stay resident before eviction")
 	doneCap := flag.Int("done-cap", 256, "max terminal jobs resident regardless of age")
+	maxSweepCells := flag.Int("max-sweep-cells", 64, "max grid cells a single sweep may expand to")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "jasd: ", log.LstdFlags)
@@ -62,12 +69,13 @@ func main() {
 	core.SetPipelined(*pipelined)
 
 	svc := service.New(service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RetryAfter: *retryAfter,
-		JobTimeout: *jobTimeout,
-		DoneTTL:    *doneTTL,
-		DoneCap:    *doneCap,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		RetryAfter:    *retryAfter,
+		JobTimeout:    *jobTimeout,
+		DoneTTL:       *doneTTL,
+		DoneCap:       *doneCap,
+		MaxSweepCells: *maxSweepCells,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

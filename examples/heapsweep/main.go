@@ -5,9 +5,12 @@
 // compaction activity growing as the heap shrinks — and the response-time
 // audit failing once collections dominate.
 //
-// The sweep points are independent simulations, so they run concurrently
-// on the experiment scheduler; rows are collected by index and printed in
-// sweep order, identical at any parallelism.
+// The grid is expressed through core.Sweep and doubled with a page-size
+// axis to demonstrate split-key reuse: every heap size here is a 16 MB
+// multiple, so its 4K and 16M cells round to the same heap capacity and
+// share one request-level simulation. With BaselineCacheBytes pinned, the
+// 14-cell grid therefore costs exactly 7 request-level runs — asserted at
+// the end via SimCounts.
 package main
 
 import (
@@ -19,34 +22,60 @@ import (
 )
 
 func main() {
-	fmt.Println("heap sweep at fixed load (IR 30), live set held at ~100 MB:")
-	fmt.Println("  heap(MB)  gc-every(s)  pause(ms)  gc%runtime  compactions  audit")
-	sizesMB := []uint64{768, 512, 384, 256, 192, 144, 128}
-	rows := make([]string, len(sizesMB))
+	core.ResetSimCounts()
+
+	base := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
+	// Pinning the cache keeps it off the heap-size axis; the auto default
+	// would derive a different cache per heap size anyway (it tracks the
+	// raw heap), but an explicit value makes the sharing story plain.
+	base.BaselineCacheBytes = 96 << 20
+
+	sweep := core.Sweep{Base: base, Axes: []core.Axis{
+		{Param: "heap_mb", Values: []any{768, 512, 384, 256, 192, 144, 128}},
+		{Param: "heap_page", Values: []any{"4K", "16M"}},
+	}}
+	cells, err := sweep.Expand(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct := core.DistinctRequestKeys(cells)
+
+	runs := make([]*core.RequestLevelRun, len(cells))
 	g := core.NewGroup(jasworkload.Parallelism())
-	for i, mb := range sizesMB {
+	for i, cell := range cells {
 		g.Go(func() error {
-			cfg := jasworkload.DefaultConfig(jasworkload.ScaleQuick)
-			cfg.HeapBytes = mb << 20
-			cfg.BaselineCacheBytes = 96 << 20
-			run, err := jasworkload.RunRequestLevel(cfg)
+			run, err := jasworkload.RunRequestLevel(cell.Cfg)
 			if err != nil {
-				return fmt.Errorf("heap %d MB: %w", mb, err)
+				return fmt.Errorf("%s: %w", cell.Label, err)
 			}
-			f3 := run.Fig3()
-			_, pass := run.Audit()
-			rows[i] = fmt.Sprintf("  %8d  %11.1f  %9.0f  %9.2f%%  %11d  %v",
-				mb, f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS,
-				f3.Summary.PercentOfRuntime, f3.Summary.Compactions, pass)
+			runs[i] = run
 			return nil
 		})
 	}
 	if err := g.Wait(); err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range rows {
-		fmt.Println(row)
+
+	fmt.Println("heap sweep at fixed load (IR 30), live set held at ~100 MB:")
+	fmt.Println("  heap(MB)  gc-every(s)  pause(ms)  gc%runtime  compactions  audit")
+	for i, cell := range cells {
+		if cell.Cfg.HeapPageSize != base.HeapPageSize {
+			continue // the page-size twin shares this row's run; print each heap once
+		}
+		f3 := runs[i].Fig3()
+		_, pass := runs[i].Audit()
+		fmt.Printf("  %8d  %11.1f  %9.0f  %9.2f%%  %11d  %v\n",
+			cell.Cfg.HeapBytes>>20, f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS,
+			f3.Summary.PercentOfRuntime, f3.Summary.Compactions, pass)
 	}
+
+	sims := core.SimCounts()["request-level"]
+	if sims != distinct {
+		log.Fatalf("split-key reuse broken: %d cells with %d distinct request keys ran %d request-level simulations",
+			len(cells), distinct, sims)
+	}
+	fmt.Printf("\n%d grid cells (7 heap sizes x 2 page sizes) ran %d request-level\n", len(cells), sims)
+	fmt.Println("simulations: page-size twins of a 16 MB-multiple heap share one run.")
 	fmt.Println("\nA generously sized heap keeps GC below 2% of runtime (the paper's")
 	fmt.Println("observation, and why earlier small-heap studies measured GC as")
 	fmt.Println("expensive); undersized heaps collect almost continuously until the")

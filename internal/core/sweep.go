@@ -1,0 +1,273 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jasworkload/internal/mem"
+	"jasworkload/internal/workload"
+)
+
+// This file is the sweep grid expander: the paper's what-if methodology
+// (heap size, page size, detail sampling, workload mix sweeps) as a first-
+// class value. A Sweep is a base configuration plus one axis per swept
+// parameter; Expand takes the cartesian product, canonicalizes every grid
+// point, folds duplicates onto one cell, and enforces a cell cap. The
+// split artifact store then prices the grid at distinct(RequestKey)
+// request-level simulations, not cells.
+
+// Axis is one swept parameter: a settable config field name and the values
+// it takes. Values use the wire representations of the /v1/runs JobSpec
+// ("heap_page" takes "4K"/"16M", "heap_mb" takes megabytes); numbers may
+// arrive as any integer/float type (JSON decodes them as float64).
+type Axis struct {
+	Param  string `json:"param"`
+	Values []any  `json:"values"`
+}
+
+// Sweep is a cartesian parameter grid over a base configuration.
+type Sweep struct {
+	Base RunConfig `json:"-"`
+	Axes []Axis    `json:"axes"`
+}
+
+// Cell is one expanded grid point: a canonical configuration plus the
+// human-readable axis assignment that produced it. When several grid
+// points canonicalize to the same configuration they fold onto one cell,
+// and the survivors' labels land in Aliases.
+type Cell struct {
+	Index   int       `json:"index"`
+	Label   string    `json:"label"`
+	Cfg     RunConfig `json:"config"`
+	Aliases []string  `json:"aliases,omitempty"`
+}
+
+// sweepParam is one settable axis parameter.
+type sweepParam struct {
+	set func(*RunConfig, any) error
+}
+
+// sweepParams maps axis names to setters. The names mirror the JobSpec
+// wire fields, so a grid file reads like the submit body it extends.
+var sweepParams = map[string]sweepParam{
+	"ir": {set: func(c *RunConfig, v any) error {
+		n, err := intValue(v)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("want a positive integer, got %v", v)
+		}
+		c.IR = int(n)
+		return nil
+	}},
+	"seed": {set: func(c *RunConfig, v any) error {
+		n, err := intValue(v)
+		if err != nil {
+			return fmt.Errorf("want an integer, got %v", v)
+		}
+		c.Seed = n
+		return nil
+	}},
+	"heap_mb": {set: func(c *RunConfig, v any) error {
+		n, err := intValue(v)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("want positive megabytes, got %v", v)
+		}
+		c.HeapBytes = uint64(n) << 20
+		return nil
+	}},
+	"heap_page": {set: func(c *RunConfig, v any) error {
+		s, _ := v.(string)
+		switch s {
+		case "4K", "4k":
+			c.HeapPageSize = mem.Page4K
+		case "16M", "16m":
+			c.HeapPageSize = mem.Page16M
+		default:
+			return fmt.Errorf("want \"4K\" or \"16M\", got %v", v)
+		}
+		return nil
+	}},
+	"baseline_cache_mb": {set: func(c *RunConfig, v any) error {
+		n, err := intValue(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("want megabytes >= 0, got %v", v)
+		}
+		c.BaselineCacheBytes = uint64(n) << 20
+		return nil
+	}},
+	"duration_ms": {set: func(c *RunConfig, v any) error {
+		f, err := floatValue(v)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("want positive milliseconds, got %v", v)
+		}
+		c.DurationMS = f
+		return nil
+	}},
+	"ramp_ms": {set: func(c *RunConfig, v any) error {
+		f, err := floatValue(v)
+		if err != nil || f < 0 {
+			return fmt.Errorf("want milliseconds >= 0, got %v", v)
+		}
+		c.RampMS = f
+		return nil
+	}},
+	"detail_frac": {set: func(c *RunConfig, v any) error {
+		f, err := floatValue(v)
+		if err != nil || f <= 0 || f > 1 {
+			return fmt.Errorf("want a fraction in (0,1], got %v", v)
+		}
+		c.DetailFrac = f
+		return nil
+	}},
+	"workload": {set: func(c *RunConfig, v any) error {
+		s, _ := v.(string)
+		if s == "" {
+			return fmt.Errorf("want a workload pack name, got %v", v)
+		}
+		if _, err := workload.Get(s); err != nil {
+			return err
+		}
+		c.Workload = s
+		return nil
+	}},
+}
+
+// SweepParams lists the settable axis parameter names, sorted.
+func SweepParams() []string {
+	names := make([]string, 0, len(sweepParams))
+	for name := range sweepParams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// intValue coerces the numeric forms a JSON decoder or Go literal may
+// deliver into an int64, rejecting fractional floats.
+func intValue(v any) (int64, error) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), nil
+	case int64:
+		return n, nil
+	case uint64:
+		return int64(n), nil
+	case float64:
+		if n != float64(int64(n)) {
+			return 0, fmt.Errorf("not an integer")
+		}
+		return int64(n), nil
+	case json.Number:
+		return n.Int64()
+	}
+	return 0, fmt.Errorf("not a number")
+}
+
+// floatValue coerces numeric forms into a float64.
+func floatValue(v any) (float64, error) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), nil
+	case int64:
+		return float64(n), nil
+	case float64:
+		return n, nil
+	case json.Number:
+		return n.Float64()
+	}
+	return 0, fmt.Errorf("not a number")
+}
+
+// valueLabel renders one axis value for cell labels.
+func valueLabel(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Expand validates the grid and returns its deduped canonical cells, in
+// odometer order (last axis fastest). maxCells caps the pre-dedup product
+// (0 = no cap); the cap guards the serving layer against a fat-fingered
+// grid fanning thousands of simulations across the pool.
+func (s Sweep) Expand(maxCells int) ([]Cell, error) {
+	if len(s.Axes) == 0 {
+		return nil, fmt.Errorf("sweep: no axes")
+	}
+	seenParam := map[string]bool{}
+	product := 1
+	for _, ax := range s.Axes {
+		if _, ok := sweepParams[ax.Param]; !ok {
+			return nil, fmt.Errorf("sweep: unknown parameter %q (have %s)", ax.Param, strings.Join(SweepParams(), ", "))
+		}
+		if seenParam[ax.Param] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Param)
+		}
+		seenParam[ax.Param] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Param)
+		}
+		product *= len(ax.Values)
+		if maxCells > 0 && product > maxCells {
+			return nil, fmt.Errorf("sweep: grid has more than %d cells", maxCells)
+		}
+	}
+
+	cells := make([]Cell, 0, product)
+	byCfg := map[RunConfig]int{}
+	idx := make([]int, len(s.Axes)) // odometer over axis values
+	for {
+		cfg := s.Base
+		var label strings.Builder
+		for i, ax := range s.Axes {
+			v := ax.Values[idx[i]]
+			if err := sweepParams[ax.Param].set(&cfg, v); err != nil {
+				return nil, fmt.Errorf("sweep: axis %q value %v: %w", ax.Param, v, err)
+			}
+			if i > 0 {
+				label.WriteByte(' ')
+			}
+			fmt.Fprintf(&label, "%s=%s", ax.Param, valueLabel(v))
+		}
+		key := cfg.Canonical()
+		if key.RampMS >= key.DurationMS {
+			return nil, fmt.Errorf("sweep: cell %q: ramp_ms %v must be below duration_ms %v", label.String(), key.RampMS, key.DurationMS)
+		}
+		if at, dup := byCfg[key]; dup {
+			cells[at].Aliases = append(cells[at].Aliases, label.String())
+		} else {
+			byCfg[key] = len(cells)
+			cells = append(cells, Cell{Index: len(cells), Label: label.String(), Cfg: key})
+		}
+
+		// Advance the odometer, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(s.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells, nil
+		}
+	}
+}
+
+// DistinctRequestKeys counts how many request-level simulations the cells
+// cost under the current sharing mode — the number an N-cell grid actually
+// pays, which the sweep smoke test asserts against SimCounts.
+func DistinctRequestKeys(cells []Cell) int {
+	keys := map[RequestKey]bool{}
+	for _, c := range cells {
+		keys[c.Cfg.RequestKey()] = true
+	}
+	return len(keys)
+}

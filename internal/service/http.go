@@ -24,12 +24,19 @@ import (
 //	GET  /v1/runs/{id}/stream          live per-window NDJSON stream (?from=N resumes)
 //	GET  /v1/runs/{id}/figures/{fig}   fig2..fig10, tprof, vmstat, locking,
 //	                                   scalars, crosschecks, largepages
+//	POST   /v1/sweeps                  submit a SweepSpec (base + axes grid)
+//	GET    /v1/sweeps                  list sweeps
+//	GET    /v1/sweeps/{id}             sweep status
+//	DELETE /v1/sweeps/{id}             cancel a sweep, releasing its cells
+//	GET  /v1/sweeps/{id}/stream        one NDJSON row per finished cell (?from=N resumes)
+//	GET  /v1/sweeps/{id}/table         cross-cell comparison (markdown)
 //	GET  /v1/workloads                 registered workload packs
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      liveness
 //	     /debug/pprof/...              runtime profiling
 //
-// IDs of evicted jobs answer 410 Gone until their tombstones age out.
+// IDs of evicted jobs and sweeps answer 410 Gone until their tombstones
+// age out.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
@@ -39,6 +46,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/runs/{id}/figures/{fig}", s.handleFigure)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
+	mux.HandleFunc("GET /v1/sweeps/{id}/table", s.handleSweepTable)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +364,133 @@ func (s *Service) figure(j *Job, name string) (any, error) {
 	return nil, fmt.Errorf("unknown figure %q", name)
 }
 
+func (s *Service) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	// Strict decoding, like /v1/runs: a misspelled axis or base field must
+	// not silently sweep the wrong experiment.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad SweepSpec: %w", err))
+		return
+	}
+	base, err := spec.Base.RunConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := s.SubmitSweep(base, spec.Axes, time.Duration(spec.Base.TimeoutS*float64(time.Second)))
+	switch {
+	case err == nil:
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		// Everything else is a grid problem: unknown parameter, bad value,
+		// over the cell cap.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+sw.ID)
+	writeJSON(w, http.StatusAccepted, sw.Status(time.Now()))
+}
+
+func (s *Service) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	sweeps := s.Sweeps()
+	out := make([]SweepStatus, len(sweeps))
+	for i, sw := range sweeps {
+		out[i] = sw.Status(now)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sweep resolves {id}, or writes 410 for evicted sweeps and 404 otherwise.
+func (s *Service) sweep(w http.ResponseWriter, r *http.Request) (*SweepJob, bool) {
+	id := r.PathValue("id")
+	sw, ok := s.Sweep(id)
+	if !ok {
+		if s.Evicted(id) {
+			writeError(w, http.StatusGone, fmt.Errorf("sweep %q evicted; resubmit to re-run", id))
+		} else {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+		}
+	}
+	return sw, ok
+}
+
+func (s *Service) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	if sw, ok := s.sweep(w, r); ok {
+		writeJSON(w, http.StatusOK, sw.Status(time.Now()))
+	}
+}
+
+func (s *Service) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.CancelSweep(id)
+	switch {
+	case errors.Is(err, ErrGone):
+		writeError(w, http.StatusGone, fmt.Errorf("sweep %q evicted", id))
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// handleSweepStream serves one NDJSON row per finished cell — replay of
+// rows already landed, then new rows in completion order, then one
+// terminal status line. ?from=N resumes like the run stream.
+func (s *Service) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweep(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", v))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := from; ; i++ {
+		row, ok := sw.hub.next(r.Context(), i)
+		if !ok {
+			break
+		}
+		if enc.Encode(row) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	st := sw.Status(time.Now())
+	enc.Encode(struct {
+		Done  bool   `json:"done"`
+		State State  `json:"state"`
+		Error string `json:"error,omitempty"`
+	}{true, st.State, st.Error})
+}
+
+func (s *Service) handleSweepTable(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweep(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	fmt.Fprint(w, sw.Table())
+}
+
 // WorkloadInfo is one entry of the GET /v1/workloads listing.
 type WorkloadInfo struct {
 	Name        string `json:"name"`
@@ -387,6 +527,6 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	depth, capacity := s.QueueDepth()
-	resident, hubBytes := s.ResidentStats()
-	s.metrics.WriteTo(w, depth, capacity, resident, hubBytes)
+	resident, residentSweeps, hubBytes := s.ResidentStats()
+	s.metrics.WriteTo(w, depth, capacity, resident, residentSweeps, hubBytes)
 }

@@ -474,7 +474,7 @@ func TestHTTPStreamResume(t *testing.T) {
 	resp.Body.Close()
 	j := waitStart(t, started)
 	for i := 0; i < 3; i++ {
-		j.hub.emit("request-level", sim.WindowStats{Index: i})
+		j.hub.emit(WindowEvent{Kind: "request-level", Window: sim.WindowStats{Index: i}})
 	}
 	close(release)
 	if err := j.Wait(context.Background()); err != nil {

@@ -18,59 +18,56 @@ type WindowEvent struct {
 	Window sim.WindowStats `json:"window"`
 }
 
-// windowEventBytes approximates the resident cost of one buffered event,
-// used by the jasd_hub_bytes gauge (slice header + struct payload; the
-// Kind strings are shared constants, so they are not charged per event).
-const windowEventBytes = int(unsafe.Sizeof(WindowEvent{}))
-
-// streamHub fans one job's window events out to any number of stream
+// streamHub fans one producer's events out to any number of stream
 // subscribers, losslessly: events accumulate in order, and a subscriber
-// that attaches late replays the history before tailing live ones. The
-// history is retained until the owning job is evicted (release), at which
-// point the event slice is freed and any remaining subscribers observe
-// end-of-stream at their next read.
-type streamHub struct {
+// that attaches late replays the history before tailing live ones. Jobs
+// buffer WindowEvents, sweeps buffer SweepRows — the replay/resume
+// machinery is identical. The history is retained until the owner is
+// evicted (release), at which point the event slice is freed and any
+// remaining subscribers observe end-of-stream at their next read.
+type streamHub[T any] struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	events   []WindowEvent
+	events   []T
 	total    int // events ever emitted; survives release for status bodies
 	closed   bool
 	released bool
 }
 
-func newStreamHub() *streamHub {
-	h := &streamHub{}
+func newStreamHub[T any]() *streamHub[T] {
+	h := &streamHub[T]{}
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
 
 // emit appends one event and wakes subscribers. Called from the simulation
-// goroutines via the artifact's window observer.
-func (h *streamHub) emit(kind string, ws sim.WindowStats) {
+// goroutines via the artifact's window observer (jobs) or the sweep
+// orchestrator (rows).
+func (h *streamHub[T]) emit(ev T) {
 	h.mu.Lock()
 	if !h.released {
-		h.events = append(h.events, WindowEvent{Kind: kind, Window: ws})
+		h.events = append(h.events, ev)
 		h.total++
 	}
 	h.mu.Unlock()
 	h.cond.Broadcast()
 }
 
-// close marks the stream complete (job finished) and wakes subscribers.
+// close marks the stream complete (owner finished) and wakes subscribers.
 // Closing is idempotent; the history stays replayable until release.
-func (h *streamHub) close() {
+func (h *streamHub[T]) close() {
 	h.mu.Lock()
 	h.closed = true
 	h.mu.Unlock()
 	h.cond.Broadcast()
 }
 
-// release frees the event history (job evicted). Subscribers never read
+// release frees the event history (owner evicted). Subscribers never read
 // freed memory — next returns events by value under the same mutex — so a
 // subscriber mid-replay simply sees its stream end early; the terminal
-// status line the HTTP layer appends then reports the job's fate. The
+// status line the HTTP layer appends then reports the owner's fate. The
 // emitted-event total remains available for status bodies.
-func (h *streamHub) release() {
+func (h *streamHub[T]) release() {
 	h.mu.Lock()
 	h.events = nil
 	h.released = true
@@ -79,17 +76,27 @@ func (h *streamHub) release() {
 	h.cond.Broadcast()
 }
 
-// bytes reports the resident size of the buffered history.
-func (h *streamHub) bytes() int {
+// bytes approximates the resident size of the buffered history (slice
+// headers + struct payloads; strings shared with the owner are not charged
+// per event), used by the jasd_hub_bytes gauge.
+func (h *streamHub[T]) bytes() int {
+	var zero T
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.events) * windowEventBytes
+	return len(h.events) * int(unsafe.Sizeof(zero))
+}
+
+// len reports the number of events emitted so far.
+func (h *streamHub[T]) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
 }
 
 // next blocks until event i exists and returns it, or returns ok=false
 // when the stream closed (or was released) before (or at) i, or when ctx
 // is cancelled.
-func (h *streamHub) next(ctx context.Context, i int) (WindowEvent, bool) {
+func (h *streamHub[T]) next(ctx context.Context, i int) (T, bool) {
 	// cond.Wait cannot watch a context; a helper goroutine turns
 	// cancellation into a broadcast so the wait loop re-checks ctx.
 	stop := context.AfterFunc(ctx, h.cond.Broadcast)
@@ -102,7 +109,8 @@ func (h *streamHub) next(ctx context.Context, i int) (WindowEvent, bool) {
 			return h.events[i], true
 		}
 		if h.closed || ctx.Err() != nil {
-			return WindowEvent{}, false
+			var zero T
+			return zero, false
 		}
 		h.cond.Wait()
 	}

@@ -36,7 +36,7 @@ type Job struct {
 	Cfg core.RunConfig
 	Art *core.Artifact
 
-	hub  *streamHub
+	hub  *streamHub[WindowEvent]
 	done chan struct{} // closed on completion (done, failed, or canceled)
 
 	ctx     context.Context    // cancelled when the last client lets go
@@ -226,11 +226,4 @@ func (j *Job) finish(now time.Time, jsonBody, mdBody []byte, err error) bool {
 	j.hub.close()
 	close(j.done)
 	return true
-}
-
-// len reports the number of events emitted so far.
-func (h *streamHub) len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
 }

@@ -30,6 +30,11 @@ type Metrics struct {
 	httpRequests  uint64
 	windowsSeen   uint64
 
+	sweepsDone     uint64
+	sweepsFailed   uint64
+	sweepsCanceled uint64
+	sweepCells     uint64 // grid cells expanded across all sweeps
+
 	inFlight int64
 
 	haveRun bool
@@ -57,6 +62,23 @@ func (m *Metrics) incHTTPRequests()  { m.mu.Lock(); m.httpRequests++; m.mu.Unloc
 
 func (m *Metrics) addInFlight(d int64) { m.mu.Lock(); m.inFlight += d; m.mu.Unlock() }
 
+// addSweepCells charges one submitted sweep's expanded cell count.
+func (m *Metrics) addSweepCells(n uint64) { m.mu.Lock(); m.sweepCells += n; m.mu.Unlock() }
+
+// incSweeps counts one terminal sweep by disposition.
+func (m *Metrics) incSweeps(state State) {
+	m.mu.Lock()
+	switch state {
+	case StateDone:
+		m.sweepsDone++
+	case StateCanceled:
+		m.sweepsCanceled++
+	default:
+		m.sweepsFailed++
+	}
+	m.mu.Unlock()
+}
+
 // setRunScalars records the latest finished run's headline scalars.
 func (m *Metrics) setRunScalars(jops, cpi float64) {
 	m.mu.Lock()
@@ -82,9 +104,10 @@ func (m *Metrics) observeWindow(gcs int, gcPauseMS float64) {
 }
 
 // WriteTo renders the Prometheus text exposition. queueDepth, queueCap,
-// residentJobs, and hubBytes are sampled by the caller (they live in the
-// Service, not here). Output order is fixed, so scrapes are diffable.
-func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, hubBytes int) {
+// residentJobs, residentSweeps, and hubBytes are sampled by the caller
+// (they live in the Service, not here). Output order is fixed, so scrapes
+// are diffable.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, residentSweeps, hubBytes int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -99,7 +122,8 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, hubBy
 	gauge("jasd_queue_capacity", "Maximum number of waiting jobs before submissions are rejected.", float64(queueCap))
 	gauge("jasd_jobs_inflight", "Jobs currently executing on the worker pool.", float64(m.inFlight))
 	gauge("jasd_resident_jobs", "Jobs held in memory (running, queued, or awaiting done-ring eviction).", float64(residentJobs))
-	gauge("jasd_hub_bytes", "Bytes of buffered window events across all resident stream hubs.", float64(hubBytes))
+	gauge("jasd_resident_sweeps", "Sweeps held in memory (running or awaiting eviction).", float64(residentSweeps))
+	gauge("jasd_hub_bytes", "Bytes of buffered stream events (windows and sweep rows) across all resident hubs.", float64(hubBytes))
 
 	fmt.Fprintf(w, "# HELP jasd_jobs_total Jobs by terminal disposition.\n# TYPE jasd_jobs_total counter\n")
 	fmt.Fprintf(w, "jasd_jobs_total{state=\"done\"} %d\n", m.jobsDone)
@@ -112,9 +136,21 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, hubBy
 	counter("jasd_jobs_evicted_total", "Terminal jobs retired from the done-ring by TTL or capacity.", m.jobsEvicted)
 	counter("jasd_dedup_hits_total", "Submissions coalesced onto an existing job for the same canonical config.", m.dedupHits)
 
-	hits, misses := core.CacheStats()
-	counter("jasd_artifact_cache_hits_total", "Run-store lookups that found a cached artifact.", hits)
-	counter("jasd_artifact_cache_misses_total", "Run-store lookups that created a new artifact.", misses)
+	fmt.Fprintf(w, "# HELP jasd_sweeps_total Sweeps by terminal disposition.\n# TYPE jasd_sweeps_total counter\n")
+	fmt.Fprintf(w, "jasd_sweeps_total{state=\"done\"} %d\n", m.sweepsDone)
+	fmt.Fprintf(w, "jasd_sweeps_total{state=\"failed\"} %d\n", m.sweepsFailed)
+	fmt.Fprintf(w, "jasd_sweeps_total{state=\"canceled\"} %d\n", m.sweepsCanceled)
+	counter("jasd_sweep_cells_total", "Grid cells expanded across all submitted sweeps (after dedup).", m.sweepCells)
+
+	artStats, rlStats := core.SplitCacheStats()
+	counter("jasd_artifact_cache_hits_total", "Run-store lookups that found a cached artifact.", artStats.Hits)
+	counter("jasd_artifact_cache_misses_total", "Run-store lookups that created a new artifact.", artStats.Misses)
+	counter("jasd_request_cache_hits_total", "Request-level cell lookups that adopted an existing shared run.", rlStats.Hits)
+	counter("jasd_request_cache_misses_total", "Request-level cell lookups that created a new shared run slot.", rlStats.Misses)
+
+	arts, cells := core.StoreSizes()
+	gauge("jasd_store_artifacts", "Artifacts resident in the run store (full canonical configs).", float64(arts))
+	gauge("jasd_store_request_cells", "Shared request-level cells resident in the run store.", float64(cells))
 
 	fmt.Fprintf(w, "# HELP jasd_sims_total Simulations actually executed, by kind.\n# TYPE jasd_sims_total counter\n")
 	sims := core.SimCounts()

@@ -57,6 +57,9 @@ type Options struct {
 	// DoneCap bounds how many terminal jobs stay resident regardless of
 	// age; the oldest are evicted first (default 256).
 	DoneCap int
+	// MaxSweepCells caps the pre-dedup grid size a POST /v1/sweeps may
+	// expand to (default 64). Larger grids are rejected with 400.
+	MaxSweepCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DoneCap < 1 {
 		o.DoneCap = 256
+	}
+	if o.MaxSweepCells < 1 {
+		o.MaxSweepCells = 64
 	}
 	return o
 }
@@ -120,6 +126,11 @@ type Service struct {
 	tombList []string // tombstone insertion order, for capping
 	draining bool
 
+	sweeps     map[string]*SweepJob
+	sweepOrder []*SweepJob
+	sweepRing  []sweepDoneEntry // terminal sweeps awaiting eviction
+	sweepSeq   uint64           // sweep ID sequence
+
 	// runReport executes one job's pipeline and returns the rendered
 	// bodies. Tests stub it to exercise queueing without simulating.
 	runReport func(ctx context.Context, j *Job) (jsonBody, mdBody []byte, err error)
@@ -138,6 +149,7 @@ func New(opts Options) *Service {
 		byKey:   map[core.RunConfig]*Job{},
 		byID:    map[string]*Job{},
 		tombs:   map[string]bool{},
+		sweeps:  map[string]*SweepJob{},
 	}
 	s.queue = make(chan *Job, s.opts.QueueDepth)
 	s.runReport = s.buildReport
@@ -192,7 +204,7 @@ func (s *Service) SubmitTimeout(cfg core.RunConfig, timeout time.Duration) (job 
 		ID:     jobID(key),
 		Cfg:    key,
 		Art:    core.ForConfig(key),
-		hub:    newStreamHub(),
+		hub:    newStreamHub[WindowEvent](),
 		done:   make(chan struct{}),
 		ctx:    ctx,
 		cancel: cancel,
@@ -206,7 +218,7 @@ func (s *Service) SubmitTimeout(cfg core.RunConfig, timeout time.Duration) (job 
 	// every window.
 	j.Art.SetWindowFunc(func(kind string, ws sim.WindowStats) {
 		s.metrics.observeWindow(ws.GCs, ws.GCPauseMS)
-		j.hub.emit(kind, ws)
+		j.hub.emit(WindowEvent{Kind: kind, Window: ws})
 	})
 	select {
 	case s.queue <- j:
@@ -247,18 +259,21 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
-// ResidentStats samples the retention gauges: how many jobs are resident
-// (any state) and how many bytes their stream histories hold. Scrapes
-// double as eviction ticks, so retention converges even on an idle
-// service that still gets monitored.
-func (s *Service) ResidentStats() (residentJobs, hubBytes int) {
+// ResidentStats samples the retention gauges: how many jobs and sweeps
+// are resident (any state) and how many bytes their stream histories
+// hold. Scrapes double as eviction ticks, so retention converges even on
+// an idle service that still gets monitored.
+func (s *Service) ResidentStats() (residentJobs, residentSweeps, hubBytes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked(time.Now())
 	for _, j := range s.order {
 		hubBytes += j.hub.bytes()
 	}
-	return len(s.order), hubBytes
+	for _, sw := range s.sweepOrder {
+		hubBytes += sw.hub.bytes()
+	}
+	return len(s.order), len(s.sweepOrder), hubBytes
 }
 
 // Cancel releases one submission reference of job id. When the last
@@ -346,10 +361,12 @@ func (s *Service) noteTerminal(j *Job, now time.Time) {
 	s.sweepLocked(now)
 }
 
-// sweepLocked evicts done-ring entries that are over capacity or past
-// the TTL. Eviction is lazy — driven by submissions, lookups, and
-// metrics scrapes — so there is no background timer goroutine to leak.
+// sweepLocked evicts done-ring entries (jobs and sweeps) that are over
+// capacity or past the TTL. Eviction is lazy — driven by submissions,
+// lookups, and metrics scrapes — so there is no background timer
+// goroutine to leak.
 func (s *Service) sweepLocked(now time.Time) {
+	s.sweepRingLocked(now)
 	for len(s.doneRing) > 0 {
 		e := s.doneRing[0]
 		if len(s.doneRing) <= s.opts.DoneCap && now.Sub(e.at) < s.opts.DoneTTL {
@@ -501,7 +518,14 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.mu.Lock()
 		resident := make([]*Job, len(s.order))
 		copy(resident, s.order)
+		sweeps := make([]*SweepJob, len(s.sweepOrder))
+		copy(sweeps, s.sweepOrder)
 		s.mu.Unlock()
+		for _, sw := range sweeps {
+			if !terminal(sw.State()) {
+				sw.cancel()
+			}
+		}
 		for _, j := range resident {
 			if !terminal(j.State()) {
 				j.cancel()

@@ -209,8 +209,8 @@ func TestMetricsExposition(t *testing.T) {
 	j := waitStart(t, started)
 	s.Submit(testCfg(601)) // dedup hit
 	var b strings.Builder
-	resident, hubBytes := s.ResidentStats()
-	s.metrics.WriteTo(&b, 0, 1, resident, hubBytes)
+	resident, residentSweeps, hubBytes := s.ResidentStats()
+	s.metrics.WriteTo(&b, 0, 1, resident, residentSweeps, hubBytes)
 	out := b.String()
 	for _, want := range []string{
 		"jasd_jobs_inflight 1",
@@ -231,7 +231,7 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Reset()
-	s.metrics.WriteTo(&b, 0, 1, 0, 0)
+	s.metrics.WriteTo(&b, 0, 1, 0, 0, 0)
 	if !strings.Contains(b.String(), "jasd_jobs_total{state=\"done\"} 1") {
 		t.Fatalf("done counter missing:\n%s", b.String())
 	}
@@ -282,7 +282,7 @@ func TestCancelRefcounted(t *testing.T) {
 	}
 	waitStart(t, started)
 	var b strings.Builder
-	s.metrics.WriteTo(&b, 0, 1, 0, 0)
+	s.metrics.WriteTo(&b, 0, 1, 0, 0, 0)
 	if !strings.Contains(b.String(), "jasd_jobs_cancelled_total 1") {
 		t.Fatalf("cancellation not counted:\n%s", b.String())
 	}
@@ -402,7 +402,7 @@ func TestEvictionAndResubmit(t *testing.T) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
-		j.hub.emit("request-level", sim.WindowStats{})
+		j.hub.emit(WindowEvent{Kind: "request-level", Window: sim.WindowStats{}})
 		return []byte("{}\n"), []byte("| md |\n"), nil
 	}
 	j, _, err := s.Submit(testCfg(721))
@@ -412,7 +412,7 @@ func TestEvictionAndResubmit(t *testing.T) {
 	if err := j.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, hubBytes := s.ResidentStats(); hubBytes == 0 {
+	if _, _, hubBytes := s.ResidentStats(); hubBytes == 0 {
 		t.Fatal("finished job's stream history should still be resident")
 	}
 	time.Sleep(5 * time.Millisecond) // pass the TTL; eviction is lazy
@@ -424,7 +424,7 @@ func TestEvictionAndResubmit(t *testing.T) {
 	if !s.Evicted(j.ID) {
 		t.Fatal("evicted job left no tombstone")
 	}
-	if resident, hubBytes := s.ResidentStats(); resident != 0 || hubBytes != 0 {
+	if resident, _, hubBytes := s.ResidentStats(); resident != 0 || hubBytes != 0 {
 		t.Fatalf("after eviction resident=%d hubBytes=%d, want 0/0", resident, hubBytes)
 	}
 	if j.hub.len() != 1 {
@@ -446,7 +446,7 @@ func TestEvictionAndResubmit(t *testing.T) {
 		t.Fatalf("pipeline executed %d times, want 2 (once per eviction generation)", got)
 	}
 	var b strings.Builder
-	s.metrics.WriteTo(&b, 0, 1, 0, 0)
+	s.metrics.WriteTo(&b, 0, 1, 0, 0, 0)
 	if !strings.Contains(b.String(), "jasd_jobs_evicted_total 1") {
 		t.Fatalf("eviction not counted:\n%s", b.String())
 	}

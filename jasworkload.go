@@ -145,3 +145,50 @@ func Pipelined() bool { return core.Pipelined() }
 // counters and reports are bit-identical either way; only execution
 // shape (and wall clock on hosts with spare CPUs) changes.
 func SetPipelined(enabled bool) bool { return core.SetPipelined(enabled) }
+
+// Sweep declares a what-if grid: a base Config plus one Axis per swept
+// parameter. Expand yields the grid's cells (canonicalized and deduped);
+// running the cells through the artifact layer shares one request-level
+// simulation among all cells whose configs differ only in detail-only
+// knobs (heap page size at equal heap capacity, detail sampling
+// fraction), so an N-cell grid costs distinct-request-key request-level
+// runs, not N.
+type Sweep = core.Sweep
+
+// Axis is one swept parameter and its values; see SweepParams for the
+// accepted parameter names.
+type Axis = core.Axis
+
+// SweepCell is one expanded grid cell: its index, human-readable label,
+// canonical Config, and the labels of any duplicate grid points that
+// folded onto it.
+type SweepCell = core.Cell
+
+// SweepParams lists the parameter names a sweep Axis may use.
+func SweepParams() []string { return core.SweepParams() }
+
+// DistinctRequestKeys reports how many request-level simulations the
+// cells cost under split-key sharing.
+func DistinctRequestKeys(cells []SweepCell) int { return core.DistinctRequestKeys(cells) }
+
+// FidelityCacheStats counts run-store lookups for one fidelity.
+type FidelityCacheStats = core.FidelityCacheStats
+
+// SplitCacheStats reports hit/miss counters for the two store layers:
+// full-config artifacts and shared request-level cells.
+func SplitCacheStats() (artifact, requestLevel FidelityCacheStats) { return core.SplitCacheStats() }
+
+// SimCounts reports how many simulations have actually executed, by kind
+// ("request-level", "detail", "variant") — the ground truth behind any
+// sharing claim.
+func SimCounts() map[string]int { return core.SimCounts() }
+
+// ShareRequestLevel reports whether request-level runs are shared across
+// configs that agree on every request-level-visible knob (the default).
+func ShareRequestLevel() bool { return core.ShareRequestLevel() }
+
+// SetShareRequestLevel toggles split-key request-level sharing and
+// returns the previous setting. Disabling reproduces the pre-split
+// store: every distinct config pays for its own request-level run.
+// Reports and figures are byte-identical either way.
+func SetShareRequestLevel(enabled bool) bool { return core.SetShareRequestLevel(enabled) }

@@ -1,0 +1,134 @@
+#!/bin/sh
+# Sweep smoke test (make sweep-smoke / make ci): start jasd on a random
+# port, submit a 12-cell page-size x detail-frac grid through jasctl
+# sweep, and require the tentpole invariant end to end: every cell shares
+# one heap capacity and differs only in detail-only knobs, so the whole
+# grid must execute exactly ONE request-level simulation (asserted from
+# /metrics) while each cell still gets its own detail run and report.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/jasd" ./cmd/jasd
+$GO build -o "$tmp/jasctl" ./cmd/jasctl
+
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -workers 4 2>"$tmp/jasd.log" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "sweep-smoke: jasd did not start" >&2
+        cat "$tmp/jasd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="http://$(cat "$tmp/addr")"
+
+# 2 page sizes x 6 detail fractions: the quick heap is a 16 MB multiple,
+# so all 12 cells map to one RequestKey. Short durations keep CI fast.
+cat >"$tmp/grid.json" <<'EOF'
+{
+  "base": {"scale": "quick", "seed": 7, "duration_ms": 8000, "ramp_ms": 2000},
+  "axes": [
+    {"param": "heap_page", "values": ["4K", "16M"]},
+    {"param": "detail_frac", "values": [0.01, 0.02, 0.03, 0.04, 0.05, 0.06]}
+  ]
+}
+EOF
+
+"$tmp/jasctl" -addr "$addr" sweep -grid "$tmp/grid.json" -table >"$tmp/sweep.out" 2>"$tmp/sweep.err"
+
+rows=$(grep -c '"job_id"' "$tmp/sweep.out" || true)
+if [ "$rows" -ne 12 ]; then
+    echo "sweep-smoke: expected 12 row lines, got $rows" >&2
+    cat "$tmp/sweep.out" >&2
+    exit 1
+fi
+if ! grep -q '"done":true.*"state":"done"' "$tmp/sweep.out"; then
+    echo "sweep-smoke: stream did not end with a done terminal line" >&2
+    cat "$tmp/sweep.out" >&2
+    exit 1
+fi
+if grep -q '"state":"failed"' "$tmp/sweep.out"; then
+    echo "sweep-smoke: a cell failed" >&2
+    cat "$tmp/sweep.out" >&2
+    exit 1
+fi
+# The comparison table (appended by -table) carries one line per cell.
+if [ "$(grep -c '^| [0-9]' "$tmp/sweep.out")" -ne 12 ]; then
+    echo "sweep-smoke: comparison table incomplete" >&2
+    cat "$tmp/sweep.out" >&2
+    exit 1
+fi
+
+# The tentpole assertion: 12 cells, ONE request-level simulation, 12
+# detail simulations; the request-level cache saw 1 miss and 11 hits.
+"$tmp/jasctl" -addr "$addr" metrics >"$tmp/metrics.txt"
+for want in \
+    'jasd_sims_total{kind="request-level"} 1' \
+    'jasd_sims_total{kind="detail"} 12' \
+    'jasd_request_cache_misses_total 1' \
+    'jasd_request_cache_hits_total 11' \
+    'jasd_sweeps_total{state="done"} 1' \
+    'jasd_sweep_cells_total 12'; do
+    if ! grep -qF "$want" "$tmp/metrics.txt"; then
+        echo "sweep-smoke: /metrics missing '$want'" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    fi
+done
+
+# The sweep's status reports the sharing arithmetic directly.
+id=$(sed -n 's/.*sweep \(sw[0-9a-f]*\) submitted.*/\1/p' "$tmp/sweep.err" | head -1)
+if [ -z "$id" ]; then
+    echo "sweep-smoke: no sweep id announced" >&2
+    cat "$tmp/sweep.err" >&2
+    exit 1
+fi
+"$tmp/jasctl" -addr "$addr" sweep status "$id" >"$tmp/status.json"
+for want in '"cells": 12' '"distinct_request_keys": 1' '"state": "done"'; do
+    if ! grep -qF "$want" "$tmp/status.json"; then
+        echo "sweep-smoke: sweep status missing '$want'" >&2
+        cat "$tmp/status.json" >&2
+        exit 1
+    fi
+done
+
+# A grid over the cell cap is rejected up front.
+if "$tmp/jasctl" -addr "$addr" sweep -grid /dev/stdin -tail=false >"$tmp/cap.out" 2>&1 <<'EOF'
+{
+  "base": {"scale": "quick"},
+  "axes": [{"param": "seed", "values": [1,2,3,4,5,6,7,8,9]},
+           {"param": "ir", "values": [10,20,30,40,50,60,70,80]}]
+}
+EOF
+then
+    echo "sweep-smoke: oversized grid was accepted" >&2
+    exit 1
+fi
+if ! grep -q "more than 64 cells" "$tmp/cap.out"; then
+    echo "sweep-smoke: oversized grid rejected without the cap message" >&2
+    cat "$tmp/cap.out" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+if ! grep -q "drained cleanly" "$tmp/jasd.log"; then
+    echo "sweep-smoke: graceful shutdown did not drain" >&2
+    cat "$tmp/jasd.log" >&2
+    exit 1
+fi
+echo "sweep-smoke: ok (12 cells, 1 request-level simulation)"
