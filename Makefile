@@ -5,13 +5,14 @@
 # pack calibration gate (quick-scale scalars + report vs testdata
 # goldens for all three packs), a one-shot benchmark smoke of the
 # Figure 2 pipeline, the jasd service smoke (real daemon on a
-# random port, golden-report diff, graceful drain), and the sweep smoke
+# random port, golden-report diff, graceful drain), the sweep smoke
 # (12-cell grid through the real daemon costing exactly one
-# request-level simulation).
+# request-level simulation), and the loadgen smoke (ramp spec vs its
+# recorded trace: distinct jobs, byte-identical reports).
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke
+.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke loadgen-smoke
 
 all: build test
 
@@ -67,10 +68,11 @@ bench-smoke:
 # parallelism 1/4/8) gets 3 runs of 300 round trips. BENCH_OUT names the
 # artifact; BENCH_BASELINE (a previous artifact) adds per-benchmark
 # min-vs-min speedup deltas to it.
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR7.json
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkLoadgenWindow' -benchmem -benchtime 1000x -count 5 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkBuildReport' -benchmem -benchtime 1x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGrid' -benchtime 1x -count 3 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServeRuns' -benchtime 300x -count 3 ./internal/service/ ; } \
@@ -88,7 +90,14 @@ service-smoke:
 sweep-smoke:
 	sh scripts/sweep_smoke.sh
 
-ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke
+# End-to-end smoke of the load generator: jasrun records a ramp arrival
+# trace standalone, jasd serves steady + ramp-spec + trace-replay jobs
+# (three distinct job IDs), and the replay's markdown report must be
+# byte-identical to the generating run's.
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
+ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke loadgen-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

@@ -17,6 +17,7 @@ import (
 
 	"jasworkload/internal/core"
 	"jasworkload/internal/isa"
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/power4"
 	"jasworkload/internal/server"
 	"jasworkload/internal/sim"
@@ -551,3 +552,87 @@ func BenchmarkSweepGridShared(b *testing.B) { benchSweepGrid(b, true) }
 // BenchmarkSweepGridUnshared is the pre-split foil: each cell re-buys its
 // request-level run, as the unsplit cache did.
 func BenchmarkSweepGridUnshared(b *testing.B) { benchSweepGrid(b, false) }
+
+// benchLoadgenSource builds a loadgen source over jas2004-shaped rates.
+func benchLoadgenSource(b testing.TB, rawSpec string) *loadgen.Source {
+	b.Helper()
+	spec, err := loadgen.Parse([]byte(rawSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := spec.NewSource(loadgen.SourceConfig{
+		IR:         30,
+		Rates:      []float64{0.25, 0.25, 0.50, 0.60},
+		ClassNames: []string{"NewOrder", "Browse", "Manage", "WorkOrder"},
+		Seed:       7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// BenchmarkLoadgenWindow measures per-window arrival-stream generation on
+// the worst-case spec shape: a sweep baseline under a bursty surge
+// cohort, so every window pays for segment splitting across two cohorts,
+// two RNG lanes, per-class Poisson draws, and the offset sort. This is
+// the per-window cost the engine adds when a run is spec-driven.
+func BenchmarkLoadgenWindow(b *testing.B) {
+	src := benchLoadgenSource(b, `{"version":1,"cohorts":[`+
+		`{"name":"base","share":3,"process":{"kind":"sweep","period_ms":60000,"amplitude":0.3}},`+
+		`{"name":"surge","share":1,"process":{"kind":"burst","on_ms":2000,"off_ms":6000,"factor":3}}]}`)
+	arrivals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrivals += len(src.Window(1000))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(arrivals)/float64(b.N), "arrivals/window")
+}
+
+// benchTraceRamp caches the ramp-shaped detail stream the same way
+// benchTrace caches the uniform one.
+var benchTraceRamp []isa.Instr
+
+// benchDetailTraceRamp records ~2M instructions whose request density
+// follows a loadgen ramp (0.5x to 2x of nominal load): the per-window
+// request count comes from the ramp source, so early windows are sparse
+// and late windows dense, instead of the uniform one-request-per-33-ms
+// cadence of benchDetailTrace.
+func benchDetailTraceRamp(b testing.TB) []isa.Instr {
+	b.Helper()
+	if benchTraceRamp != nil {
+		return benchTraceRamp
+	}
+	src := benchLoadgenSource(b, `{"version":1,"cohorts":[{"name":"rampers","process":`+
+		`{"kind":"ramp","start_factor":0.5,"target_factor":2,"steps":8,"step_ms":5000}}]}`)
+	sut, err := sim.BuildSUT(sim.DefaultSUTConfig(30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &isa.Recorder{}
+	reqs := 0
+	for w := 0; len(rec.Trace) < 2_000_000; w++ {
+		for _, a := range src.Window(1000) {
+			now := float64(w)*1000 + a.OffsetMS
+			if _, err := sut.Server.Execute(now, server.RequestType(a.Class), rec, 0.2); err != nil {
+				b.Fatal(err)
+			}
+			reqs++
+			if reqs%16 == 15 {
+				sut.Server.EmitGC(rec, 20_000)
+				sut.Server.EmitIdle(rec, 5_000)
+			}
+		}
+	}
+	benchTraceRamp = rec.Trace
+	return benchTraceRamp
+}
+
+// BenchmarkDetailStreamRamp is BenchmarkDetailStream over the ramp-shaped
+// stream: same production pipeline, but the request density varies 4x
+// across the trace, so stream-consumption cost is measured under the
+// load shapes the generator produces rather than only uniform cadence.
+func BenchmarkDetailStreamRamp(b *testing.B) {
+	benchPipelineTrace(b, benchDetailTraceRamp(b), power4.PipelineConfig{})
+}

@@ -8,12 +8,16 @@
 //
 //	submit  [-scale quick] [-ir N] [-seed N] [-heap-mb N] [-heap-page 4K|16M]
 //	        [-duration-ms N] [-ramp-ms N] [-workload NAME] [-timeout D]
+//	        [-arrival SPEC.json] [-replay-trace TRACE.ndjson]
 //	        [-retries N] [-wait] [-format json|md]
 //	        submit a run; prints the job status, or (with -wait) blocks and
 //	        prints the finished report. -timeout sets the run's execution
-//	        deadline (timeout_s). With -retries, queue-full rejections are
-//	        retried up to N times, sleeping the server's Retry-After hint
-//	        plus jitter between attempts.
+//	        deadline (timeout_s). -arrival embeds a loadgen spec file in
+//	        the JobSpec; -replay-trace converts a recorded v1 NDJSON trace
+//	        into an inline trace spec and submits that, so the server
+//	        replays the captured load. With -retries, queue-full
+//	        rejections are retried up to N times, sleeping the server's
+//	        Retry-After hint plus jitter between attempts.
 //	status  <id>             print a job's status
 //	list                     list all jobs
 //	cancel  <id>             release one submission reference; the last
@@ -57,6 +61,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"jasworkload/internal/loadgen"
 )
 
 func main() {
@@ -114,6 +120,8 @@ func submit(addr string, args []string) error {
 	durationMS := fs.Float64("duration-ms", 0, "run duration override, ms")
 	rampMS := fs.Float64("ramp-ms", 0, "ramp override, ms")
 	workloadName := fs.String("workload", "", "workload pack (server default jas2004; see GET /v1/workloads)")
+	arrivalFile := fs.String("arrival", "", "loadgen arrival spec file (JSON) to embed in the JobSpec")
+	replayTrace := fs.String("replay-trace", "", "recorded v1 NDJSON trace to replay (converted to an inline trace spec)")
 	timeout := fs.Duration("timeout", 0, "run execution deadline (0 = server default)")
 	retries := fs.Int("retries", 0, "retry queue-full rejections up to N times, honoring Retry-After")
 	wait := fs.Bool("wait", false, "block until the run finishes and print its report")
@@ -141,6 +149,37 @@ func submit(addr string, args []string) error {
 	}
 	if *workloadName != "" {
 		spec["workload"] = *workloadName
+	}
+	if *arrivalFile != "" && *replayTrace != "" {
+		return fmt.Errorf("-arrival and -replay-trace are mutually exclusive")
+	}
+	if *arrivalFile != "" {
+		raw, err := os.ReadFile(*arrivalFile)
+		if err != nil {
+			return err
+		}
+		// Parse locally so a typo fails here with a line-level error, and
+		// embed the validated document verbatim (the server canonicalizes).
+		if _, err := loadgen.Parse(raw); err != nil {
+			return err
+		}
+		spec["arrival"] = json.RawMessage(raw)
+	}
+	if *replayTrace != "" {
+		f, err := os.Open(*replayTrace)
+		if err != nil {
+			return err
+		}
+		tr, err := loadgen.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		inline, err := json.Marshal(tr.Spec())
+		if err != nil {
+			return err
+		}
+		spec["arrival"] = json.RawMessage(inline)
 	}
 	if *timeout > 0 {
 		spec["timeout_s"] = timeout.Seconds()

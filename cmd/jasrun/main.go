@@ -14,7 +14,18 @@
 //
 //	jasrun [-scale quick|standard|full] [-ir N] [-seed N] [-parallel N]
 //	       [-workload NAME] [-list-workloads]
+//	       [-arrival SPEC.json] [-replay-trace TRACE.ndjson]
+//	       [-record-trace TRACE.ndjson] [-trace-only]
+//	       [-duration-ms N] [-ramp-ms N]
 //	       [-figures] [-markdown] [-cpuprofile FILE] [-memprofile FILE]
+//
+// Load generation: -arrival drives the run from a loadgen spec (cohorts
+// with steady/burst/ramp/sweep processes); -replay-trace drives it from a
+// recorded v1 NDJSON trace. -record-trace captures the run's arrival
+// stream to a trace file — generation is standalone (sources never
+// observe SUT state), so the recorded trace is exactly what the run
+// injects; with -trace-only the trace is written without simulating
+// anything.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/service"
 )
 
@@ -36,6 +48,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic run seed")
 	workloadName := flag.String("workload", "", "workload pack to run (default jas2004; see -list-workloads)")
 	listWorkloads := flag.Bool("list-workloads", false, "list the registered workload packs and exit")
+	arrivalFile := flag.String("arrival", "", "drive the run from this loadgen spec (JSON)")
+	replayTrace := flag.String("replay-trace", "", "drive the run from this recorded v1 NDJSON trace")
+	recordTrace := flag.String("record-trace", "", "record the run's arrival stream to this trace file (requires -arrival or -replay-trace)")
+	traceOnly := flag.Bool("trace-only", false, "with -record-trace: write the trace and exit without simulating")
+	durationMS := flag.Float64("duration-ms", 0, "override the run duration in milliseconds (0 = scale default)")
+	rampMS := flag.Float64("ramp-ms", 0, "override the ramp-up in milliseconds (0 = scale default)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	pipelined := flag.Bool("pipelined", true, "run the detail stream through the decoupled stage pipeline (results are bit-identical either way)")
 	figures := flag.Bool("figures", false, "print every figure's full rendering, not just the report")
@@ -102,10 +120,70 @@ func main() {
 	if *ir > 0 {
 		cfg.IR = *ir
 	}
+	cfg.DurationMS = *durationMS
+	cfg.RampMS = *rampMS
 	if *parallel > 0 {
 		core.SetParallelism(*parallel)
 	}
 	core.SetPipelined(*pipelined)
+
+	if *arrivalFile != "" && *replayTrace != "" {
+		fmt.Fprintln(os.Stderr, "jasrun: -arrival and -replay-trace are mutually exclusive")
+		os.Exit(2)
+	}
+	switch {
+	case *arrivalFile != "":
+		raw, err := os.ReadFile(*arrivalFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		spec, err := loadgen.Parse(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		cfg.Arrival = spec.Canonical()
+	case *replayTrace != "":
+		f, err := os.Open(*replayTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		tr, err := loadgen.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		cfg.Arrival = tr.Spec().Canonical()
+	}
+	if cfg.Arrival != "" {
+		if err := core.CheckArrivalClasses(cfg.Arrival, cfg.Workload); err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+	}
+	if *recordTrace != "" {
+		// Recording is standalone generation: loadgen sources are pure
+		// functions of (spec, config), so the trace written here is
+		// byte-for-byte what a run under this config injects. The legacy
+		// steady loop is not spec-driven, hence the -arrival requirement.
+		if cfg.Arrival == "" {
+			fmt.Fprintln(os.Stderr, "jasrun: -record-trace requires -arrival or -replay-trace (the legacy steady loop is not spec-driven; use an explicit steady spec to record it)")
+			os.Exit(2)
+		}
+		if err := writeTrace(*recordTrace, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jasrun:", err)
+			os.Exit(1)
+		}
+		if *traceOnly {
+			return
+		}
+	} else if *traceOnly {
+		fmt.Fprintln(os.Stderr, "jasrun: -trace-only requires -record-trace")
+		os.Exit(2)
+	}
 
 	timing := log.New(os.Stderr, "jasrun: ", 0)
 	start := time.Now()
@@ -165,6 +243,24 @@ func main() {
 		return
 	}
 	fmt.Print(rep.String())
+}
+
+// writeTrace records cfg's arrival stream to path as a v1 NDJSON trace.
+// Generation is standalone — no simulation runs.
+func writeTrace(path string, cfg core.RunConfig) error {
+	tr, err := core.RecordArrivalTrace(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := loadgen.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printFigures renders every figure from the shared artifact. Only the

@@ -224,6 +224,11 @@ func CoreScalingStudy(cfg RunConfig, chipCounts []int) ([]WhatIfPoint, error) {
 			}
 			runCfg := cfg
 			runCfg.IR = scfg.IR
+			// The scaling study re-rates the run: a recorded trace or a
+			// spec calibrated to the config's IR would misrepresent the
+			// scaled offered load, so the study always drives the legacy
+			// steady loop at each IR point.
+			runCfg.Arrival = ""
 			eng, err := runCfg.newEngine(sut, cfg.detail())
 			if err != nil {
 				return err

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"jasworkload/internal/loadgen"
+	"jasworkload/internal/workload"
+)
+
+// This file bridges the loadgen subsystem to run configurations: spec
+// validation against a config's workload pack, and standalone trace
+// recording. Recording never simulates anything — loadgen sources are
+// pure functions of (spec, pack rates, seed) and never observe SUT
+// state, so the stream captured here is byte-for-byte the stream a live
+// run under the same config injects. That closure is what makes
+// "record a trace, replay it through jasd, get the generating run's
+// report byte-identically" hold.
+
+// arrivalSourceConfig resolves the loadgen source parameters for a
+// canonical config from its workload pack.
+func arrivalSourceConfig(canon RunConfig) (loadgen.SourceConfig, error) {
+	w, err := workload.Get(canon.Workload)
+	if err != nil {
+		return loadgen.SourceConfig{}, err
+	}
+	classes := w.Classes()
+	cfg := loadgen.SourceConfig{
+		IR:         canon.IR,
+		Rates:      make([]float64, len(classes)),
+		ClassNames: make([]string, len(classes)),
+		Seed:       canon.Seed,
+	}
+	for i, c := range classes {
+		cfg.Rates[i] = c.RatePerIR
+		cfg.ClassNames[i] = c.Name
+	}
+	return cfg, nil
+}
+
+// CheckArrivalClasses validates a raw arrival spec against the named
+// workload pack's request classes: every cohort-mix key must name a pack
+// class and every trace class index must be in range. The sweep
+// expander, the serving layer's JobSpec validation, and jasrun all gate
+// on it.
+func CheckArrivalClasses(rawSpec, workloadName string) error {
+	spec, err := loadgen.Parse([]byte(rawSpec))
+	if err != nil {
+		return err
+	}
+	w, err := workload.Get(workloadName)
+	if err != nil {
+		return err
+	}
+	classes := w.Classes()
+	names := make([]string, len(classes))
+	for i, c := range classes {
+		names[i] = c.Name
+	}
+	return spec.CheckClasses(names)
+}
+
+// RecordArrivalTrace generates the arrival trace of cfg's run without
+// simulating: one window per engine window (1 s) over the canonical run
+// duration. The config must carry an arrival spec.
+func RecordArrivalTrace(cfg RunConfig) (*loadgen.TraceSpec, error) {
+	canon := cfg.Canonical()
+	if canon.Arrival == "" {
+		return nil, fmt.Errorf("core: config has no arrival spec to record")
+	}
+	spec, err := loadgen.Parse([]byte(canon.Arrival))
+	if err != nil {
+		return nil, err
+	}
+	scfg, err := arrivalSourceConfig(canon)
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.Record(spec, scfg, 1000, int(canon.DurationMS/1000))
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"jasworkload/internal/hpm"
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/mem"
 	"jasworkload/internal/sim"
 	"jasworkload/internal/workload"
@@ -77,6 +78,15 @@ func (c RunConfig) canonical() RunConfig {
 	c.DetailFrac = c.detail()
 	if c.Workload == "" {
 		c.Workload = workload.DefaultName
+	}
+	if c.Arrival != "" {
+		// Normalize the arrival spec so equivalent spellings share one
+		// artifact. A spec that fails to parse is left verbatim: the error
+		// surfaces with full context when the engine is built, and the
+		// malformed string still keys a distinct (failing) artifact.
+		if canon, err := loadgen.CanonicalString(c.Arrival); err == nil {
+			c.Arrival = canon
+		}
 	}
 	return c
 }

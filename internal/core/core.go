@@ -56,6 +56,15 @@ type RunConfig struct {
 	// artifacts, job IDs, and reports key on it.
 	Workload string
 
+	// Arrival is the loadgen spec as JSON ("" = the legacy steady Poisson
+	// driver loop, byte-identical to the pre-loadgen engine). Stored as a
+	// string so RunConfig stays comparable (it keys the run store);
+	// canonical() normalizes it to loadgen's canonical form, so the spec
+	// participates in artifact identity, job IDs, and the RequestKey —
+	// distinct load shapes never coalesce, while page-size/detail-frac
+	// sharing still applies within one shape.
+	Arrival string
+
 	// Overrides (0 = per-scale default).
 	DurationMS float64
 	RampMS     float64
@@ -146,6 +155,7 @@ func (c RunConfig) newEngine(sut *sim.SUT, detailFrac float64) (*sim.Engine, err
 	ecfg.DurationMS, ecfg.RampMS = c.durations()
 	ecfg.DetailFrac = detailFrac
 	ecfg.Pipelined = Pipelined()
+	ecfg.Arrival = c.Arrival
 	return sim.NewEngine(ecfg, sut)
 }
 

@@ -36,6 +36,13 @@ type CrossChecks struct {
 // runVariant executes a request-level run with the given workload and JVM.
 func runVariant(ctx context.Context, cfg RunConfig, w workload.Workload, v sim.JVMVariant) (gcShare, util, jops float64, err error) {
 	noteSim("variant")
+	// The crosschecks swap the subject (Trade6, Sovereign): an arrival
+	// spec authored against the run's own pack — mix class names, trace
+	// class indices — does not transfer, so variants run the legacy
+	// steady loop. This also keeps the crosscheck rows identical between
+	// a generative spec and its recorded trace, preserving report
+	// byte-identity across record/replay.
+	cfg.Arrival = ""
 	scfg := sim.DefaultSUTConfig(cfg.IR)
 	scfg.Seed = cfg.Seed
 	scfg.HeapBytes = cfg.HeapBytes

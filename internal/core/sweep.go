@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/mem"
 	"jasworkload/internal/workload"
 )
@@ -132,6 +133,41 @@ var sweepParams = map[string]sweepParam{
 		c.Workload = s
 		return nil
 	}},
+	"arrival": {set: func(c *RunConfig, v any) error {
+		raw, err := arrivalValue(v)
+		if err != nil {
+			return err
+		}
+		c.Arrival = raw
+		return nil
+	}},
+}
+
+// arrivalValue coerces an axis value into a validated arrival spec
+// string: "" (the legacy steady loop), raw spec JSON, or the spec as a
+// decoded JSON object. Class names are checked later, against each
+// expanded cell's resolved workload — the pack may itself be an axis.
+func arrivalValue(v any) (string, error) {
+	switch x := v.(type) {
+	case string:
+		if x == "" {
+			return "", nil
+		}
+		if _, err := loadgen.Parse([]byte(x)); err != nil {
+			return "", err
+		}
+		return x, nil
+	case map[string]any:
+		b, err := json.Marshal(x)
+		if err != nil {
+			return "", err
+		}
+		if _, err := loadgen.Parse(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	return "", fmt.Errorf("want an arrival spec object, spec JSON, or \"\", got %v", v)
 }
 
 // SweepParams lists the settable axis parameter names, sorted.
@@ -180,8 +216,17 @@ func floatValue(v any) (float64, error) {
 	return 0, fmt.Errorf("not a number")
 }
 
-// valueLabel renders one axis value for cell labels.
-func valueLabel(v any) string {
+// valueLabel renders one axis value for cell labels. Arrival specs are
+// labeled by their loadgen summary (the full JSON would swamp the label).
+func valueLabel(param string, v any) string {
+	if param == "arrival" {
+		if raw, err := arrivalValue(v); err == nil {
+			if raw == "" {
+				return "steady"
+			}
+			return loadgen.SummaryString(raw)
+		}
+	}
 	switch x := v.(type) {
 	case string:
 		return x
@@ -233,11 +278,19 @@ func (s Sweep) Expand(maxCells int) ([]Cell, error) {
 			if i > 0 {
 				label.WriteByte(' ')
 			}
-			fmt.Fprintf(&label, "%s=%s", ax.Param, valueLabel(v))
+			fmt.Fprintf(&label, "%s=%s", ax.Param, valueLabel(ax.Param, v))
 		}
 		key := cfg.Canonical()
 		if key.RampMS >= key.DurationMS {
 			return nil, fmt.Errorf("sweep: cell %q: ramp_ms %v must be below duration_ms %v", label.String(), key.RampMS, key.DurationMS)
+		}
+		if key.Arrival != "" {
+			// Class names resolve per cell: the workload may itself be an
+			// axis, so a mix valid under one pack can be invalid under
+			// another cell's pack.
+			if err := CheckArrivalClasses(key.Arrival, key.Workload); err != nil {
+				return nil, fmt.Errorf("sweep: cell %q: %w", label.String(), err)
+			}
 		}
 		if at, dup := byCfg[key]; dup {
 			cells[at].Aliases = append(cells[at].Aliases, label.String())

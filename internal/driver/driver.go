@@ -32,6 +32,21 @@ type Config struct {
 	// IR, indexed by class.
 	Rates []float64
 	Seed  int64
+
+	// Source, when non-nil, replaces the driver's built-in steady Poisson
+	// loop as the producer of per-window arrivals (spec-driven cohorts,
+	// bursts, ramps, trace replay — see internal/loadgen). The driver still
+	// owns the per-class accounting and the audit; a nil Source is the
+	// verbatim legacy path, bit-identical to the pre-Source driver.
+	Source Source
+}
+
+// Source produces the arrivals of one window. Implementations must return
+// arrivals sorted by offset with class indices inside [0, len(Rates)), and
+// must be deterministic for a fixed construction seed: the engine's
+// byte-identical-replay guarantees ride on it.
+type Source interface {
+	Window(windowMS float64) []Arrival
 }
 
 // Driver generates Poisson arrivals per request class.
@@ -70,14 +85,29 @@ type Arrival struct {
 }
 
 // Window returns the arrivals for the next windowMS milliseconds, sorted
-// by offset. Counts are Poisson with mean rate IR x mix; the constant IR
+// by offset. With a Source configured, the source produces the window
+// (already sorted) and the driver only keeps the per-class accounting.
+// Otherwise counts are Poisson with mean rate IR x mix; the constant IR
 // makes the long-run rate constant, as in the benchmark.
 func (d *Driver) Window(windowMS float64) []Arrival {
-	var out []Arrival
+	if d.cfg.Source != nil {
+		out := d.cfg.Source.Window(windowMS)
+		for _, a := range out {
+			d.sent[a.Class]++
+		}
+		return out
+	}
+	// Size the slice for the expected count plus slack for Poisson spread;
+	// only the capacity is a guess, so under-estimates merely re-grow.
+	var totalMean float64
+	for _, perIR := range d.cfg.Rates {
+		totalMean += float64(d.cfg.IR) * perIR * windowMS / 1000
+	}
+	out := make([]Arrival, 0, int(totalMean+4*math.Sqrt(totalMean))+4)
 	for class, perIR := range d.cfg.Rates {
 		rate := float64(d.cfg.IR) * perIR // per second
 		mean := rate * windowMS / 1000
-		n := d.poisson(mean)
+		n := Poisson(d.rng, mean)
 		for i := 0; i < n; i++ {
 			out = append(out, Arrival{Class: class, OffsetMS: d.rng.Float64() * windowMS})
 		}
@@ -92,27 +122,63 @@ func (d *Driver) Window(windowMS float64) []Arrival {
 	return out
 }
 
-// poisson samples a Poisson variate by Knuth's method (means here are
-// modest; for large means it degrades gracefully via normal approximation).
-func (d *Driver) poisson(mean float64) int {
+// ptrsCutoff is the mean above which Poisson switches from Knuth's exact
+// product method (O(mean) uniform draws) to the PTRS transformed-rejection
+// sampler (O(1) draws, also exact). The cutoff sits above every per-class
+// window mean the calibrated configurations produce, so the golden streams
+// predate-and-postdate the sampler swap byte for byte.
+const ptrsCutoff = 50
+
+// Poisson samples a Poisson variate from rng: Knuth's exact product method
+// for small means, and for large means the PTRS transformed-rejection
+// sampler (Hörmann 1993) — exact, with ~1.1 (u,v) pairs consumed per
+// variate instead of O(mean) uniforms. The loadgen sources share this
+// sampler with the driver's legacy loop; TestPoissonGoldenSequence pins
+// the draw sequence of both regimes.
+func Poisson(rng *rand.Rand, mean float64) int {
 	if mean <= 0 {
 		return 0
 	}
-	if mean > 50 {
-		n := int(mean + math.Sqrt(mean)*d.rng.NormFloat64() + 0.5)
-		if n < 0 {
-			return 0
-		}
-		return n
+	if mean > ptrsCutoff {
+		return poissonPTRS(rng, mean)
 	}
 	l := math.Exp(-mean)
 	k, p := 0, 1.0
 	for {
-		p *= d.rng.Float64()
+		p *= rng.Float64()
 		if p <= l {
 			return k
 		}
 		k++
+	}
+}
+
+// poissonPTRS is the PTRS ("Poisson Transformed Rejection with Squeeze")
+// sampler, valid for mean >= 10. Each attempt consumes exactly two
+// uniforms; the acceptance rate is high enough that the expected draw
+// count stays near two for any mean, where Knuth's method needs ~mean
+// draws and the previous normal approximation was biased for skewed tails.
+func poissonPTRS(rng *rand.Rand, mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int(k)
+		}
 	}
 }
 

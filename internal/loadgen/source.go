@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"jasworkload/internal/driver"
+)
+
+// SourceConfig carries the run-side parameters a Spec is instantiated
+// against: the injection rate and per-class base rates of the resolved
+// workload pack, its class names (for mix resolution), and the run seed.
+type SourceConfig struct {
+	IR         int
+	Rates      []float64
+	ClassNames []string
+	Seed       int64
+}
+
+// Source implements driver.Source: it produces the arrivals of
+// consecutive windows from the spec, advancing an internal clock. It is
+// deterministic for a fixed (Spec, SourceConfig): each cohort draws from
+// its own seed lane, so adding or reordering cohorts never perturbs
+// another cohort's stream.
+type Source struct {
+	windowIdx int
+	nowMS     float64
+	trace     *TraceSpec
+	cohorts   []cohortState
+}
+
+type cohortState struct {
+	proc  Process
+	rng   *rand.Rand
+	rates []float64 // effective per-second rate per class (share and mix applied)
+}
+
+// NewSource builds the generator for one run. The spec must already be
+// validated (Parse) and class-checked (CheckClasses) against the pack the
+// config's Rates/ClassNames come from.
+func (s *Spec) NewSource(cfg SourceConfig) (*Source, error) {
+	if cfg.IR <= 0 {
+		return nil, fmt.Errorf("loadgen: bad injection rate %d", cfg.IR)
+	}
+	if len(cfg.Rates) != len(cfg.ClassNames) {
+		return nil, fmt.Errorf("loadgen: %d rates vs %d class names", len(cfg.Rates), len(cfg.ClassNames))
+	}
+	if err := s.CheckClasses(cfg.ClassNames); err != nil {
+		return nil, err
+	}
+	if s.Trace != nil {
+		return &Source{trace: s.Trace}, nil
+	}
+	shares := make([]float64, len(s.Cohorts))
+	var total float64
+	for i := range s.Cohorts {
+		shares[i] = s.Cohorts[i].Share
+		total += shares[i]
+	}
+	if total == 0 { // no shares set: equal split
+		for i := range shares {
+			shares[i] = 1
+		}
+		total = float64(len(shares))
+	}
+	src := &Source{cohorts: make([]cohortState, len(s.Cohorts))}
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		lane := c.SeedLane
+		if lane == 0 {
+			lane = int64(i + 1)
+		}
+		rates := make([]float64, len(cfg.Rates))
+		for class, perIR := range cfg.Rates {
+			w := 1.0
+			if c.Mix != nil {
+				if m, ok := c.Mix[cfg.ClassNames[class]]; ok {
+					w = m
+				}
+			}
+			rates[class] = float64(cfg.IR) * perIR * w * shares[i] / total
+		}
+		proc := c.Process
+		if proc.Kind == "" {
+			proc.Kind = "steady"
+		}
+		src.cohorts[i] = cohortState{
+			proc:  proc,
+			rng:   rand.New(rand.NewSource(laneSeed(cfg.Seed, lane))),
+			rates: rates,
+		}
+	}
+	return src, nil
+}
+
+// laneSeed mixes the run seed with a cohort lane through a splitmix64
+// finalizer, giving each cohort an independent, reproducible RNG stream.
+func laneSeed(seed, lane int64) int64 {
+	z := uint64(seed) + uint64(lane)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// CheckRun validates the spec-independent run geometry: a trace must
+// cover every window at the engine's window size; generative specs have
+// nothing to check.
+func (s *Source) CheckRun(windowMS float64, nWindows int) error {
+	if s.trace == nil {
+		return nil
+	}
+	if s.trace.WindowMS != windowMS {
+		return fmt.Errorf("loadgen: trace window_ms %v does not match run window %v", s.trace.WindowMS, windowMS)
+	}
+	if len(s.trace.Windows) < nWindows {
+		return fmt.Errorf("loadgen: trace has %d windows, run needs %d", len(s.trace.Windows), nWindows)
+	}
+	return nil
+}
+
+// Window implements driver.Source: the arrivals of the next window,
+// sorted by offset.
+func (s *Source) Window(windowMS float64) []driver.Arrival {
+	defer func() {
+		s.windowIdx++
+		s.nowMS += windowMS
+	}()
+	if s.trace != nil {
+		if s.windowIdx >= len(s.trace.Windows) {
+			return nil
+		}
+		pts := s.trace.Windows[s.windowIdx]
+		out := make([]driver.Arrival, len(pts))
+		for i, p := range pts {
+			out[i] = driver.Arrival{Class: int(p[0]), OffsetMS: p[1]}
+		}
+		return out
+	}
+	var out []driver.Arrival
+	for i := range s.cohorts {
+		c := &s.cohorts[i]
+		for _, seg := range c.proc.segments(s.nowMS, s.nowMS+windowMS) {
+			durS := (seg.b - seg.a) / 1000
+			for class, rate := range c.rates {
+				n := driver.Poisson(c.rng, rate*seg.f*durS)
+				for k := 0; k < n; k++ {
+					off := seg.a - s.nowMS + c.rng.Float64()*(seg.b-seg.a)
+					out = append(out, driver.Arrival{Class: class, OffsetMS: off})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].OffsetMS < out[j].OffsetMS })
+	return out
+}
+
+// seg is a sub-interval [a, b) of a window over which the process rate
+// multiplier f is constant.
+type seg struct{ a, b, f float64 }
+
+// segments splits [from, to) at the process's rate-change boundaries and
+// returns the constant-multiplier pieces. Arrival counts are then Poisson
+// per piece, which is exactly a piecewise-inhomogeneous Poisson process.
+func (p *Process) segments(from, to float64) []seg {
+	switch p.Kind {
+	case "burst":
+		period := p.OnMS + p.OffMS
+		// Mean-preserving off-phase multiplier: factor*on + fOff*off = period.
+		fOff := (period - p.Factor*p.OnMS) / p.OffMS
+		var out []seg
+		t := from
+		for t < to {
+			phase := math.Mod(t, period)
+			var f, next float64
+			if phase < p.OnMS {
+				f, next = p.Factor, t+(p.OnMS-phase)
+			} else {
+				f, next = fOff, t+(period-phase)
+			}
+			if next > to {
+				next = to
+			}
+			out = append(out, seg{a: t, b: next, f: f})
+			t = next
+		}
+		return out
+	case "ramp":
+		rampEnd := float64(p.Steps) * p.StepMS
+		var out []seg
+		t := from
+		for t < to {
+			if t >= rampEnd {
+				out = append(out, seg{a: t, b: to, f: p.TargetFactor})
+				break
+			}
+			step := math.Floor(t / p.StepMS)
+			f := p.TargetFactor
+			if p.Steps > 1 {
+				f = p.StartFactor + (p.TargetFactor-p.StartFactor)*step/float64(p.Steps-1)
+			}
+			next := (step + 1) * p.StepMS
+			if next > to {
+				next = to
+			}
+			out = append(out, seg{a: t, b: next, f: f})
+			t = next
+		}
+		return out
+	case "sweep":
+		mid := (from + to) / 2
+		f := 1 + p.Amplitude*math.Sin(2*math.Pi*(mid/p.PeriodMS+p.Phase))
+		return []seg{{a: from, b: to, f: f}}
+	default: // steady
+		return []seg{{a: from, b: to, f: 1}}
+	}
+}

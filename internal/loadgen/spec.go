@@ -1,0 +1,364 @@
+// Package loadgen is the spec-driven workload generator: it turns a
+// declarative, versioned arrival Spec into the per-window
+// driver.Arrival streams the simulation engine injects. A Spec declares
+// client cohorts — each with a rate share, an optional class-mix
+// override, a seed lane, and an arrival process (steady Poisson, on/off
+// burst, stepped ramp, diurnal sweep) — or an inline recorded trace
+// that replays a captured load byte-deterministically.
+//
+// The determinism contract: a Source is a pure function of
+// (Spec, SourceConfig) — it owns its RNG lanes and never observes SUT
+// state, so generating arrivals standalone (trace recording) and
+// generating them inside a live run produce identical streams, and the
+// same spec + seed always yields a byte-identical trace.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SpecVersion is the only arrival-spec schema version this build accepts.
+const SpecVersion = 1
+
+// MaxCohorts bounds a spec; far above any sensible scenario, it exists so
+// a hostile JobSpec cannot make the daemon build an unbounded source.
+const MaxCohorts = 64
+
+// Spec is the declarative arrival specification. Exactly one of Cohorts
+// or Trace must be set. The zero/empty spec is not valid here: an empty
+// Arrival string at the config layer means "legacy driver loop" and never
+// reaches Parse.
+type Spec struct {
+	Version int        `json:"version"`
+	Cohorts []Cohort   `json:"cohorts,omitempty"`
+	Trace   *TraceSpec `json:"trace,omitempty"`
+}
+
+// Cohort is one client population: a share of the total offered load,
+// an optional per-class mix multiplier, an arrival process, and a seed
+// lane decorrelating its RNG stream from the other cohorts'.
+type Cohort struct {
+	Name string `json:"name"`
+	// Share is this cohort's fraction of the offered load. Either every
+	// cohort sets a positive share (normalized to sum 1) or none does
+	// (equal split).
+	Share float64 `json:"share,omitempty"`
+	// SeedLane decorrelates the cohort's RNG lane; 0 means the default
+	// lane (cohort index + 1), so an explicit lane equal to the default
+	// canonicalizes identically to leaving it unset.
+	SeedLane int64 `json:"seed_lane,omitempty"`
+	// Mix multiplies the pack's per-class rate inside this cohort, keyed
+	// by class name; absent classes keep multiplier 1.
+	Mix     map[string]float64 `json:"mix,omitempty"`
+	Process Process            `json:"process"`
+}
+
+// Process selects the cohort's arrival process and its parameters. The
+// struct is flat so strict decoding catches typos; Validate rejects
+// parameters that do not belong to the selected kind, keeping canonical
+// forms unambiguous.
+type Process struct {
+	// Kind is one of "steady" (default), "burst", "ramp", "sweep".
+	Kind string `json:"kind,omitempty"`
+
+	// burst: mean-preserving on/off modulation with fixed sojourns — a
+	// two-state MMPP with deterministic phase. Rate is Factor x base
+	// during the on phase; the off-phase rate is derived so the long-run
+	// average stays at the base rate.
+	OnMS   float64 `json:"on_ms,omitempty"`
+	OffMS  float64 `json:"off_ms,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+
+	// ramp: rate multiplier steps from StartFactor to TargetFactor over
+	// Steps plateaus of StepMS each, then holds at TargetFactor.
+	StartFactor  float64 `json:"start_factor,omitempty"`
+	TargetFactor float64 `json:"target_factor,omitempty"`
+	Steps        int     `json:"steps,omitempty"`
+	StepMS       float64 `json:"step_ms,omitempty"`
+
+	// sweep: diurnal sinusoid, multiplier 1 + Amplitude*sin(2pi*(t/Period
+	// + Phase)), evaluated at each window midpoint.
+	PeriodMS  float64 `json:"period_ms,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+	Phase     float64 `json:"phase,omitempty"`
+}
+
+// TraceSpec inlines a recorded trace: per-window arrival points replayed
+// verbatim. Windows are WindowMS long; point offsets are window-relative.
+type TraceSpec struct {
+	WindowMS float64        `json:"window_ms"`
+	Windows  [][]TracePoint `json:"windows"`
+}
+
+// TracePoint is one arrival as [class, offsetMS-within-window]. The
+// two-element array form keeps traces compact and float64 round-trips
+// byte-exactly through encoding/json.
+type TracePoint [2]float64
+
+// Parse strictly decodes and validates a spec. Unknown fields anywhere in
+// the document are errors, as are parameters that don't belong to the
+// selected process kind.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("arrival spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("arrival spec: trailing data after JSON document")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("arrival spec: version %d unsupported (want %d)", s.Version, SpecVersion)
+	}
+	if (len(s.Cohorts) == 0) == (s.Trace == nil) {
+		return fmt.Errorf("arrival spec: exactly one of cohorts or trace must be set")
+	}
+	if s.Trace != nil {
+		return s.Trace.validate()
+	}
+	if len(s.Cohorts) > MaxCohorts {
+		return fmt.Errorf("arrival spec: %d cohorts exceeds limit %d", len(s.Cohorts), MaxCohorts)
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	shared := 0
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if c.Name == "" {
+			return fmt.Errorf("arrival spec: cohort %d: missing name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("arrival spec: duplicate cohort name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Share < 0 || math.IsNaN(c.Share) || math.IsInf(c.Share, 0) {
+			return fmt.Errorf("arrival spec: cohort %q: bad share %v", c.Name, c.Share)
+		}
+		if c.Share > 0 {
+			shared++
+		}
+		if c.SeedLane < 0 {
+			return fmt.Errorf("arrival spec: cohort %q: negative seed_lane", c.Name)
+		}
+		for class, w := range c.Mix {
+			if !(w > 0) || math.IsInf(w, 0) {
+				return fmt.Errorf("arrival spec: cohort %q: mix[%q] = %v, want > 0", c.Name, class, w)
+			}
+		}
+		if err := c.Process.validate(); err != nil {
+			return fmt.Errorf("arrival spec: cohort %q: %w", c.Name, err)
+		}
+	}
+	if shared != 0 && shared != len(s.Cohorts) {
+		return fmt.Errorf("arrival spec: set share on every cohort or on none")
+	}
+	return nil
+}
+
+func (p *Process) validate() error {
+	// Reject parameters that belong to a different kind: rebuild the
+	// process from only the selected kind's fields and require equality,
+	// so e.g. a burst factor on a ramp cohort is an error, not silence.
+	n := Process{Kind: p.Kind}
+	switch p.Kind {
+	case "", "steady":
+	case "burst":
+		n.OnMS, n.OffMS, n.Factor = p.OnMS, p.OffMS, p.Factor
+		if !(p.OnMS > 0) || !(p.OffMS > 0) {
+			return fmt.Errorf("burst: on_ms and off_ms must be > 0")
+		}
+		if !(p.Factor >= 1) {
+			return fmt.Errorf("burst: factor %v, want >= 1", p.Factor)
+		}
+		if maxF := (p.OnMS + p.OffMS) / p.OnMS; p.Factor > maxF {
+			return fmt.Errorf("burst: factor %v exceeds mean-preserving limit %.4g for on/off %v/%v",
+				p.Factor, maxF, p.OnMS, p.OffMS)
+		}
+	case "ramp":
+		n.StartFactor, n.TargetFactor, n.Steps, n.StepMS =
+			p.StartFactor, p.TargetFactor, p.Steps, p.StepMS
+		if p.Steps < 1 {
+			return fmt.Errorf("ramp: steps %d, want >= 1", p.Steps)
+		}
+		if !(p.StepMS > 0) {
+			return fmt.Errorf("ramp: step_ms must be > 0")
+		}
+		if p.StartFactor < 0 || !(p.TargetFactor > 0) {
+			return fmt.Errorf("ramp: start_factor %v / target_factor %v, want start >= 0 and target > 0",
+				p.StartFactor, p.TargetFactor)
+		}
+	case "sweep":
+		n.PeriodMS, n.Amplitude, n.Phase = p.PeriodMS, p.Amplitude, p.Phase
+		if !(p.PeriodMS > 0) {
+			return fmt.Errorf("sweep: period_ms must be > 0")
+		}
+		if p.Amplitude < 0 || p.Amplitude > 1 {
+			return fmt.Errorf("sweep: amplitude %v, want in [0, 1]", p.Amplitude)
+		}
+		if p.Phase < 0 || p.Phase >= 1 {
+			return fmt.Errorf("sweep: phase %v, want in [0, 1)", p.Phase)
+		}
+	default:
+		return fmt.Errorf("unknown process kind %q", p.Kind)
+	}
+	if n != *p {
+		return fmt.Errorf("process kind %q given parameters of another kind", n.kindOrSteady())
+	}
+	return nil
+}
+
+func (p Process) kindOrSteady() string {
+	if p.Kind == "" {
+		return "steady"
+	}
+	return p.Kind
+}
+
+func (t *TraceSpec) validate() error {
+	if !(t.WindowMS > 0) {
+		return fmt.Errorf("arrival spec: trace: window_ms must be > 0")
+	}
+	if len(t.Windows) == 0 {
+		return fmt.Errorf("arrival spec: trace: no windows")
+	}
+	for w, pts := range t.Windows {
+		last := math.Inf(-1)
+		for i, p := range pts {
+			class, off := p[0], p[1]
+			if class != math.Trunc(class) || class < 0 {
+				return fmt.Errorf("arrival spec: trace window %d point %d: class %v not a non-negative integer", w, i, class)
+			}
+			if !(off >= 0) || off >= t.WindowMS {
+				return fmt.Errorf("arrival spec: trace window %d point %d: offset %v outside [0, %v)", w, i, off, t.WindowMS)
+			}
+			if off < last {
+				return fmt.Errorf("arrival spec: trace window %d: points not sorted by offset", w)
+			}
+			last = off
+		}
+	}
+	return nil
+}
+
+// maxClass returns the largest class index in the trace, or -1 if empty.
+func (t *TraceSpec) maxClass() int {
+	max := -1
+	for _, pts := range t.Windows {
+		for _, p := range pts {
+			if c := int(p[0]); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// CheckClasses validates the spec against a workload pack's class list:
+// every mix key must name a pack class and every trace class index must
+// be in range. It is the service-layer gate turning a mismatched
+// spec/pack pair into a 400 instead of a silent mis-mapping.
+func (s *Spec) CheckClasses(classNames []string) error {
+	if s.Trace != nil {
+		if max := s.Trace.maxClass(); max >= len(classNames) {
+			return fmt.Errorf("arrival spec: trace class %d out of range for workload with %d classes", max, len(classNames))
+		}
+		return nil
+	}
+	known := make(map[string]bool, len(classNames))
+	for _, n := range classNames {
+		known[n] = true
+	}
+	for i := range s.Cohorts {
+		for class := range s.Cohorts[i].Mix {
+			if !known[class] {
+				return fmt.Errorf("arrival spec: cohort %q: unknown class %q (workload classes: %s)",
+					s.Cohorts[i].Name, class, strings.Join(classNames, ", "))
+			}
+		}
+	}
+	return nil
+}
+
+// Canonical returns the canonical JSON encoding of the spec: defaults
+// materialized (steady kind, seed lanes), struct field order fixed, map
+// keys sorted by encoding/json. Two specs with the same canonical string
+// are the same load shape, which is what lets the job-ID hash and the
+// artifact store dedup on it.
+func (s *Spec) Canonical() string {
+	c := *s
+	if len(c.Cohorts) > 0 {
+		c.Cohorts = make([]Cohort, len(s.Cohorts))
+		copy(c.Cohorts, s.Cohorts)
+		for i := range c.Cohorts {
+			if c.Cohorts[i].Process.Kind == "" {
+				c.Cohorts[i].Process.Kind = "steady"
+			}
+			if c.Cohorts[i].SeedLane == 0 {
+				c.Cohorts[i].SeedLane = int64(i + 1)
+			}
+		}
+	}
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// A validated spec always marshals; this is unreachable.
+		panic(fmt.Sprintf("loadgen: canonical marshal: %v", err))
+	}
+	return string(b)
+}
+
+// CanonicalString parses raw spec JSON and returns its canonical form.
+func CanonicalString(raw string) (string, error) {
+	s, err := Parse([]byte(raw))
+	if err != nil {
+		return "", err
+	}
+	return s.Canonical(), nil
+}
+
+// Summary renders a one-line human description for job status listings,
+// e.g. "2 cohorts (burst, steady)" or "trace (12 windows)".
+func (s *Spec) Summary() string {
+	if s.Trace != nil {
+		return fmt.Sprintf("trace (%d windows)", len(s.Trace.Windows))
+	}
+	kinds := make([]string, 0, 4)
+	seen := make(map[string]bool, 4)
+	for i := range s.Cohorts {
+		k := s.Cohorts[i].Process.kindOrSteady()
+		if !seen[k] {
+			seen[k] = true
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+	noun := "cohorts"
+	if len(s.Cohorts) == 1 {
+		noun = "cohort"
+	}
+	return fmt.Sprintf("%d %s (%s)", len(s.Cohorts), noun, strings.Join(kinds, ", "))
+}
+
+// SummaryString is Summary over raw spec JSON; it returns "" when the
+// raw spec is empty and a best-effort label when it fails to parse.
+func SummaryString(raw string) string {
+	if raw == "" {
+		return ""
+	}
+	s, err := Parse([]byte(raw))
+	if err != nil {
+		return "invalid"
+	}
+	return s.Summary()
+}

@@ -3,9 +3,11 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/mem"
 	"jasworkload/internal/workload"
 )
@@ -28,6 +30,12 @@ type JobSpec struct {
 	// jas2004). It is part of the canonical config, so jobs for different
 	// packs never coalesce.
 	Workload string `json:"workload,omitempty"`
+
+	// Arrival is an inline loadgen spec (cohorts with steady/burst/ramp/
+	// sweep processes, or a recorded trace). Absent means the legacy
+	// steady Poisson loop. It participates in the canonical config, so
+	// distinct load shapes never coalesce onto one job.
+	Arrival json.RawMessage `json:"arrival,omitempty"`
 
 	// TimeoutS bounds the run's execution time in wall-clock seconds,
 	// counted from run start (0 = the daemon's -job-timeout default). It
@@ -88,6 +96,27 @@ func (s JobSpec) RunConfig() (core.RunConfig, error) {
 		return core.RunConfig{}, err
 	}
 	cfg.Workload = s.Workload
+	if len(s.Arrival) > 0 {
+		spec, err := loadgen.Parse(s.Arrival)
+		if err != nil {
+			return core.RunConfig{}, err
+		}
+		cfg.Arrival = spec.Canonical()
+		if err := core.CheckArrivalClasses(cfg.Arrival, s.Workload); err != nil {
+			return core.RunConfig{}, err
+		}
+		if spec.Trace != nil {
+			// Reject a too-short or mis-sized trace at submit time (400)
+			// instead of as a failed job: the engine windows are fixed at
+			// 1 s and the canonical config fixes the run length.
+			if spec.Trace.WindowMS != 1000 {
+				return core.RunConfig{}, fmt.Errorf("trace window_ms %v: the engine runs 1000 ms windows", spec.Trace.WindowMS)
+			}
+			if need := int(cfg.Canonical().DurationMS / 1000); len(spec.Trace.Windows) < need {
+				return core.RunConfig{}, fmt.Errorf("trace has %d windows, run needs %d", len(spec.Trace.Windows), need)
+			}
+		}
+	}
 	if cfg.RampMS >= cfg.DurationMS && cfg.DurationMS > 0 {
 		return core.RunConfig{}, fmt.Errorf("ramp_ms %v must be below duration_ms %v", cfg.RampMS, cfg.DurationMS)
 	}

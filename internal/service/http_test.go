@@ -214,6 +214,43 @@ func TestE2EDeterminismGuard(t *testing.T) {
 	if sims := core.SimCounts(); sims["request-level"] != 3 || sims["detail"] != 3 {
 		t.Fatalf("sim counts after 3 packs = %v, want 3 request-level and 3 detail", sims)
 	}
+
+	// The arrival spec is part of the job identity too: a burst-shaped
+	// submission of the otherwise-identical base config gets its own job
+	// and its own pair of simulations (distinct load shapes never
+	// coalesce), while resubmitting the same shape — even spelled with
+	// its defaults explicit — dedups onto the same job at zero extra
+	// simulations. That is the per-distinct-spec sim budget: one
+	// request-level + one detail per (config, load shape).
+	burstSpec := `{"scale":"quick","seed":7,"duration_ms":12000,"ramp_ms":2000,` +
+		`"arrival":{"version":1,"cohorts":[{"name":"surge","process":{"kind":"burst","on_ms":2000,"off_ms":1000,"factor":1.4}}]}}`
+	burstID, nonEmpty := submit(burstSpec)
+	if !nonEmpty {
+		t.Fatal("burst-arrival report empty")
+	}
+	if burstID == id {
+		t.Fatalf("burst arrival coalesced onto the steady job %s", id)
+	}
+	if sims := core.SimCounts(); sims["request-level"] != 4 || sims["detail"] != 4 {
+		t.Fatalf("sim counts after burst arrival = %v, want 4 request-level and 4 detail", sims)
+	}
+	explicit := `{"scale":"quick","seed":7,"duration_ms":12000,"ramp_ms":2000,` +
+		`"arrival":{"version":1,"cohorts":[{"name":"surge","seed_lane":1,"process":{"kind":"burst","on_ms":2000,"off_ms":1000,"factor":1.4}}]}}`
+	if got, _ := submit(explicit); got != burstID {
+		t.Fatalf("canonically-equal arrival spec got job %s, want dedup onto %s", got, burstID)
+	}
+	if sims := core.SimCounts(); sims["request-level"] != 4 || sims["detail"] != 4 {
+		t.Fatalf("equal-shape respelling re-simulated: %v", sims)
+	}
+	var burstStatus struct {
+		Arrival string `json:"arrival"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, srv.URL+"/v1/runs/"+burstID)), &burstStatus); err != nil {
+		t.Fatal(err)
+	}
+	if burstStatus.Arrival != "1 cohort (burst)" {
+		t.Fatalf("status arrival summary = %q, want %q", burstStatus.Arrival, "1 cohort (burst)")
+	}
 }
 
 // TestSubmitStrictDecoding pins the strict JobSpec wire contract: unknown
@@ -257,6 +294,40 @@ func TestSubmitStrictDecoding(t *testing.T) {
 	}
 	if !strings.Contains(string(b), "unknown workload") || !strings.Contains(string(b), "jas2004") {
 		t.Fatalf("unknown-workload error unhelpful:\n%s", b)
+	}
+}
+
+// TestSubmitArrivalValidation pins the 400 contract for arrival specs:
+// malformed spec JSON, process parameters out of range, class names that
+// don't exist in the selected pack, and traces too short for the run all
+// fail at submit time — never as an enqueued job that dies later.
+func TestSubmitArrivalValidation(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := []struct{ name, body, wantErr string }{
+		{"malformed spec", `{"scale":"quick","arrival":{"version":1}}`, "cohorts or trace"},
+		{"unknown spec field", `{"scale":"quick","arrival":{"version":1,"cohorts":[{"name":"a","typo":1}]}}`, "unknown field"},
+		{"bad burst factor", `{"scale":"quick","arrival":{"version":1,"cohorts":[{"name":"a","process":{"kind":"burst","on_ms":500,"off_ms":500,"factor":9}}]}}`, "mean-preserving"},
+		{"unknown mix class", `{"scale":"quick","arrival":{"version":1,"cohorts":[{"name":"a","mix":{"Checkout":2}}]}}`, "unknown class"},
+		{"trace class out of range", `{"scale":"quick","duration_ms":2000,"ramp_ms":1000,"arrival":{"version":1,"trace":{"window_ms":1000,"windows":[[[63,1]],[[0,2]]]}}}`, "out of range"},
+		{"short trace", `{"scale":"quick","duration_ms":5000,"ramp_ms":1000,"arrival":{"version":1,"trace":{"window_ms":1000,"windows":[[],[]]}}}`, "needs 5"},
+		{"wrong trace window size", `{"scale":"quick","duration_ms":2000,"ramp_ms":1000,"arrival":{"version":1,"trace":{"window_ms":500,"windows":[[],[],[],[]]}}}`, "1000 ms windows"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %s, want 400\n%s", tc.name, resp.Status, b)
+		}
+		if !strings.Contains(string(b), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, b, tc.wantErr)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jasworkload/internal/core"
+	"jasworkload/internal/loadgen"
 )
 
 // State is a job's lifecycle position.
@@ -63,6 +64,7 @@ type JobStatus struct {
 	Scale         string  `json:"scale"`
 	IR            int     `json:"ir"`
 	Seed          int64   `json:"seed"`
+	Arrival       string  `json:"arrival,omitempty"` // loadgen summary, e.g. "2 cohorts (burst, steady)"
 	TimeoutSec    float64 `json:"timeout_s,omitempty"`
 	RequestLevel  bool    `json:"request_level_ready"`
 	Detail        bool    `json:"detail_ready"`
@@ -85,6 +87,7 @@ func (j *Job) Status(now time.Time) JobStatus {
 		Scale:        scaleName(j.Cfg.Scale),
 		IR:           j.Cfg.IR,
 		Seed:         j.Cfg.Seed,
+		Arrival:      loadgen.SummaryString(j.Cfg.Arrival),
 		TimeoutSec:   j.timeout.Seconds(),
 		RequestLevel: rl,
 		Detail:       det,

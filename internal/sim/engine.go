@@ -9,6 +9,7 @@ import (
 	"jasworkload/internal/hpm"
 	"jasworkload/internal/isa"
 	"jasworkload/internal/jvm"
+	"jasworkload/internal/loadgen"
 	"jasworkload/internal/power4"
 	"jasworkload/internal/server"
 )
@@ -36,6 +37,11 @@ type EngineConfig struct {
 
 	WarmJIT bool // pre-compile the hot profile before t=0 (the paper's long warmup)
 	Seed    int64
+
+	// Arrival, when non-empty, is a canonical loadgen spec (JSON): the
+	// driver consumes a spec-built loadgen.Source instead of its legacy
+	// steady Poisson loop. Empty means the verbatim legacy path.
+	Arrival string
 }
 
 // DefaultEngineConfig returns the standard run parameters.
@@ -129,7 +135,27 @@ func NewEngine(cfg EngineConfig, sut *SUT) (*Engine, error) {
 		return nil, fmt.Errorf("sim: ramp %v >= duration %v", cfg.RampMS, cfg.DurationMS)
 	}
 	app := sut.Server.App()
-	drv, err := driver.New(driver.Config{IR: sut.Config.IR, Rates: app.Rates(), Seed: cfg.Seed})
+	dcfg := driver.Config{IR: sut.Config.IR, Rates: app.Rates(), Seed: cfg.Seed}
+	if cfg.Arrival != "" {
+		spec, err := loadgen.Parse([]byte(cfg.Arrival))
+		if err != nil {
+			return nil, err
+		}
+		src, err := spec.NewSource(loadgen.SourceConfig{
+			IR:         sut.Config.IR,
+			Rates:      app.Rates(),
+			ClassNames: app.ClassNames(),
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := src.CheckRun(cfg.WindowMS, int(cfg.DurationMS/cfg.WindowMS)); err != nil {
+			return nil, err
+		}
+		dcfg.Source = src
+	}
+	drv, err := driver.New(dcfg)
 	if err != nil {
 		return nil, err
 	}

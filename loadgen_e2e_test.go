@@ -1,0 +1,129 @@
+package jasworkload
+
+import (
+	"bytes"
+	"testing"
+
+	"jasworkload/internal/core"
+	"jasworkload/internal/loadgen"
+)
+
+// TestLoadgenRecordReplayReport is the end-to-end determinism contract of
+// the load generator: record a ramp run's arrival trace (standalone — no
+// simulation), then run both the generative spec and the recorded trace
+// through the full characterization. The two configs are distinct
+// experiments (different canonical configs, different artifacts, two full
+// simulation pairs), yet their reports are byte-identical, because the
+// trace replays exactly the arrivals the spec generates. Re-recording the
+// replayed trace reproduces the trace file byte for byte.
+func TestLoadgenRecordReplayReport(t *testing.T) {
+	const rampSpec = `{"version":1,"cohorts":[{"name":"rampers","process":` +
+		`{"kind":"ramp","start_factor":0.5,"target_factor":1.5,"steps":4,"step_ms":3000}}]}`
+
+	base := DefaultConfig(ScaleQuick)
+	base.DurationMS = 12_000
+	base.RampMS = 2_000
+	base.Seed = 7
+
+	rampCfg := base
+	rampCfg.Arrival = rampSpec
+
+	tr, err := core.RecordArrivalTrace(rampCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Windows) != 12 {
+		t.Fatalf("recorded %d windows, want 12", len(tr.Windows))
+	}
+	var traceFile bytes.Buffer
+	if err := loadgen.WriteTrace(&traceFile, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	traceCfg := base
+	traceCfg.Arrival = tr.Spec().Canonical()
+
+	// Distinct load shapes never coalesce: steady (empty), the ramp spec,
+	// and its recorded trace are three different canonical configs — and
+	// the page-size/detail-frac RequestKey sharing still applies inside
+	// each shape but never across shapes.
+	if rampCfg.Canonical() == base.Canonical() || traceCfg.Canonical() == base.Canonical() ||
+		rampCfg.Canonical() == traceCfg.Canonical() {
+		t.Fatal("arrival shapes coalesced in the canonical config")
+	}
+	fracA, fracB := rampCfg, rampCfg
+	fracA.DetailFrac, fracB.DetailFrac = 0.01, 0.03
+	if fracA.RequestKey() != fracB.RequestKey() {
+		t.Fatal("detail-frac variants of one arrival shape stopped sharing the request-level run")
+	}
+	if rampCfg.RequestKey() == traceCfg.RequestKey() {
+		t.Fatal("different arrival shapes share a RequestKey")
+	}
+
+	FlushRuns()
+	core.ResetSimCounts()
+	rampRep, err := Characterize(rampCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceRep, err := Characterize(traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The markdown rendering carries no job identity, so byte-equality is
+	// the honest comparison across two distinct configs.
+	if rampRep.Markdown() != traceRep.Markdown() {
+		t.Fatalf("trace replay diverged from the generating run:\n--- spec ---\n%s\n--- trace ---\n%s",
+			rampRep.Markdown(), traceRep.Markdown())
+	}
+
+	// Sim budget: two distinct shapes cost exactly one request-level and
+	// one detail run each — replay is a new experiment, not a cache hit,
+	// but it is also never more than one pair.
+	sims := core.SimCounts()
+	if sims["request-level"] != 2 || sims["detail"] != 2 {
+		t.Fatalf("sim counts = %v, want 2 request-level and 2 detail", sims)
+	}
+
+	// Closing the loop: recording the trace config re-emits the file.
+	again, err := core.RecordArrivalTrace(traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reFile bytes.Buffer
+	if err := loadgen.WriteTrace(&reFile, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceFile.Bytes(), reFile.Bytes()) {
+		t.Fatal("re-recording the replayed trace is not byte-identical")
+	}
+}
+
+// TestLoadgenSteadySpecMatchesLegacyShape sanity-checks that an explicit
+// one-cohort steady spec drives the same offered load as the legacy loop
+// (same mean JOPS within tolerance) while remaining a distinct experiment
+// (different RNG consumption order, so a different canonical config and
+// different — but valid — measurements).
+func TestLoadgenSteadySpecMatchesLegacyShape(t *testing.T) {
+	base := DefaultConfig(ScaleQuick)
+	base.DurationMS = 60_000
+	base.RampMS = 10_000
+	steady := base
+	steady.Arrival = `{"version":1,"cohorts":[{"name":"all"}]}`
+
+	legacy, err := RunRequestLevel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := RunRequestLevel(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, sj := legacy.Fig2().JOPS, spec.Fig2().JOPS
+	if lj <= 0 || sj <= 0 {
+		t.Fatalf("JOPS legacy %v spec %v", lj, sj)
+	}
+	if ratio := sj / lj; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("steady spec JOPS %v vs legacy %v (ratio %.3f), want within 10%%", sj, lj, ratio)
+	}
+}
