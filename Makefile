@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke loadgen-smoke
+.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke loadgen-smoke store-smoke
 
 all: build test
 
@@ -97,7 +97,14 @@ sweep-smoke:
 loadgen-smoke:
 	sh scripts/loadgen_smoke.sh
 
-ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke loadgen-smoke
+# End-to-end smoke of the persistent artifact store: jasd with -store-dir
+# survives kill -9 and serves the resubmitted run byte-identically with
+# zero re-simulation; two replicas sharing one store cost one simulation
+# total; a -route router fronts both replicas.
+store-smoke:
+	sh scripts/store_smoke.sh
+
+ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke loadgen-smoke store-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

@@ -50,6 +50,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -58,8 +59,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"jasworkload/internal/loadgen"
@@ -73,10 +76,16 @@ func main() {
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
+	// Every long-lived wait below (429 retry backoff, stream resume poll)
+	// selects on this context, so a Ctrl-C lands immediately instead of
+	// after the current sleep expires.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch cmd {
 	case "submit":
-		err = submit(*addr, args)
+		err = submit(ctx, *addr, args)
 	case "status":
 		err = get(*addr, args, "", false)
 	case "list":
@@ -86,9 +95,9 @@ func main() {
 	case "report":
 		err = report(*addr, args)
 	case "stream":
-		err = stream(*addr, args)
+		err = stream(ctx, *addr, args)
 	case "sweep":
-		err = sweepCmd(*addr, args)
+		err = sweepCmd(ctx, *addr, args)
 	case "figure":
 		err = figure(*addr, args)
 	case "workloads":
@@ -104,13 +113,26 @@ func main() {
 	}
 }
 
+// sleepCtx sleeps for d unless ctx is cancelled first, in which case it
+// returns the context error immediately.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: jasctl [-addr URL] submit|status|list|cancel|report|stream|figure|sweep|workloads|metrics [flags]")
 	os.Exit(2)
 }
 
 // submit posts a JobSpec assembled from flags.
-func submit(addr string, args []string) error {
+func submit(ctx context.Context, addr string, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	scale := fs.String("scale", "quick", "run scale: quick, standard, or full")
 	ir := fs.Int("ir", 0, "injection rate override")
@@ -190,21 +212,40 @@ func submit(addr string, args []string) error {
 	if *wait {
 		url += "?wait=1&format=" + *format
 	}
+	resp, err := post429Retry(ctx, url, "application/json", body, *retries, sleepCtx)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		fmt.Fprintf(os.Stderr, "jasctl: queue full, Retry-After %ss\n", resp.Header.Get("Retry-After"))
+		os.Exit(4)
+	}
+	return dump(resp)
+}
+
+// post429Retry POSTs body to url, retrying up to retries times when the
+// server answers 429 with a Retry-After hint. Each backoff runs through
+// the injected sleep so an interrupt (or a test) can cut it short; a
+// cancelled sleep aborts the whole loop with the context error. Once the
+// retry budget is spent the final 429 response is returned to the caller
+// un-retried, body open, so the caller can surface the hint.
+func post429Retry(ctx context.Context, url, contentType string, body []byte, retries int, sleep func(context.Context, time.Duration) error) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if resp.StatusCode != http.StatusTooManyRequests {
-			defer resp.Body.Close()
-			return dump(resp)
+		req.Header.Set("Content-Type", contentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+			return resp, nil
 		}
 		hint := resp.Header.Get("Retry-After")
 		resp.Body.Close()
-		if attempt >= *retries {
-			fmt.Fprintf(os.Stderr, "jasctl: queue full, Retry-After %ss\n", hint)
-			os.Exit(4)
-		}
 		// Honor the server's hint, jittered up to +50% so a herd of
 		// rejected clients does not re-converge on the same instant.
 		secs, err := strconv.Atoi(hint)
@@ -212,8 +253,10 @@ func submit(addr string, args []string) error {
 			secs = 1
 		}
 		d := time.Duration((1 + 0.5*rand.Float64()) * float64(secs) * float64(time.Second))
-		fmt.Fprintf(os.Stderr, "jasctl: queue full, retry %d/%d in %s\n", attempt+1, *retries, d.Round(100*time.Millisecond))
-		time.Sleep(d)
+		fmt.Fprintf(os.Stderr, "jasctl: queue full, retry %d/%d in %s\n", attempt+1, retries, d.Round(100*time.Millisecond))
+		if err := sleep(ctx, d); err != nil {
+			return nil, err
+		}
 	}
 }
 
@@ -266,20 +309,22 @@ func figure(addr string, args []string) error {
 // resumes where it left off instead of replaying the whole history; the
 // stream is complete once the terminal status line ({"done":true,...})
 // has been printed.
-func stream(addr string, args []string) error {
+func stream(ctx context.Context, addr string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("stream needs a job id")
 	}
-	return tailStream(addr, "/v1/runs/"+args[0]+"/stream")
+	return tailStream(ctx, addr, "/v1/runs/"+args[0]+"/stream")
 }
 
 // tailStream tails one NDJSON stream endpoint (run windows or sweep rows)
-// with ?from= resume on dropped connections.
-func tailStream(addr, path string) error {
+// with ?from= resume on dropped connections. The inter-retry pause and
+// the stream connection itself are both context-bound, so an interrupt
+// during either returns right away.
+func tailStream(ctx context.Context, addr, path string) error {
 	const maxRetries = 5
 	seen, retries := 0, 0
 	for {
-		err := streamOnce(addr, path, &seen)
+		err := streamOnce(ctx, addr, path, &seen)
 		if err == nil {
 			return nil
 		}
@@ -287,12 +332,17 @@ func tailStream(addr, path string) error {
 		if errors.As(err, &term) {
 			return term.err
 		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		retries++
 		if retries > maxRetries {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "jasctl: stream interrupted (%v), resuming from event %d\n", err, seen)
-		time.Sleep(time.Second)
+		if err := sleepCtx(ctx, time.Second); err != nil {
+			return err
+		}
 	}
 }
 
@@ -307,8 +357,12 @@ func (e *terminalError) Unwrap() error { return e.err }
 // streamOnce runs one stream connection from event *seen, advancing
 // *seen per event line. It returns nil once the terminal line arrives
 // and an error for anything that warrants a resume.
-func streamOnce(addr, path string, seen *int) error {
-	resp, err := http.Get(fmt.Sprintf("%s%s?from=%d", addr, path, *seen))
+func streamOnce(ctx context.Context, addr, path string, seen *int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s%s?from=%d", addr, path, *seen), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -340,7 +394,7 @@ func streamOnce(addr, path string, seen *int) error {
 // sweepCmd drives the sweep API. With -grid it submits a spec file and
 // (by default) tails the row stream; without it, the first positional
 // argument selects a lifecycle subcommand.
-func sweepCmd(addr string, args []string) error {
+func sweepCmd(ctx context.Context, addr string, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	grid := fs.String("grid", "", `sweep spec JSON file ("-" = stdin)`)
 	timeout := fs.Duration("timeout", 0, "per-cell run deadline (0 = server default)")
@@ -348,7 +402,7 @@ func sweepCmd(addr string, args []string) error {
 	table := fs.Bool("table", false, "print the comparison table once the sweep is done")
 	fs.Parse(args)
 	if *grid != "" {
-		return sweepSubmit(addr, *grid, *timeout, *tail, *table)
+		return sweepSubmit(ctx, addr, *grid, *timeout, *tail, *table)
 	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("sweep needs -grid FILE or a subcommand: list|status|cancel|table|stream")
@@ -367,7 +421,7 @@ func sweepCmd(addr string, args []string) error {
 	case "table":
 		return raw(addr + "/v1/sweeps/" + id + "/table")
 	case "stream":
-		return tailStream(addr, "/v1/sweeps/"+id+"/stream")
+		return tailStream(ctx, addr, "/v1/sweeps/"+id+"/stream")
 	case "cancel":
 		req, err := http.NewRequest(http.MethodDelete, addr+"/v1/sweeps/"+id, nil)
 		if err != nil {
@@ -386,7 +440,7 @@ func sweepCmd(addr string, args []string) error {
 
 // sweepSubmit posts the grid file to /v1/sweeps and optionally tails the
 // row stream and fetches the final comparison table.
-func sweepSubmit(addr, grid string, timeout time.Duration, tail, table bool) error {
+func sweepSubmit(ctx context.Context, addr, grid string, timeout time.Duration, tail, table bool) error {
 	var src io.Reader
 	if grid == "-" {
 		src = os.Stdin
@@ -432,7 +486,7 @@ func sweepSubmit(addr, grid string, timeout time.Duration, tail, table bool) err
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "jasctl: sweep %s submitted (%d cells), tailing rows\n", st.ID, st.Cells)
-	if err := tailStream(addr, "/v1/sweeps/"+st.ID+"/stream"); err != nil {
+	if err := tailStream(ctx, addr, "/v1/sweeps/"+st.ID+"/stream"); err != nil {
 		return err
 	}
 	if table {

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordedSleep is an injectable sleep that logs each requested duration
+// and honors context cancellation like the real sleepCtx.
+func recordedSleep(log *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		*log = append(*log, d)
+		return nil
+	}
+}
+
+// An immediate 200 needs no retries and no sleeps.
+func TestPost429RetryImmediateSuccess(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	resp, err := post429Retry(context.Background(), srv.URL, "application/json", []byte(`{}`), 3, recordedSleep(&slept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %v on an immediate success", slept)
+	}
+}
+
+// Two 429s then a 200: two backoffs, each within the jittered window of
+// the server's Retry-After hint ([hint, 1.5*hint]).
+func TestPost429RetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	resp, err := post429Retry(context.Background(), srv.URL, "application/json", nil, 5, recordedSleep(&slept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d requests, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("%d sleeps, want 2: %v", len(slept), slept)
+	}
+	for i, d := range slept {
+		if d < time.Second || d > 1500*time.Millisecond {
+			t.Errorf("sleep %d = %v outside the jitter window [1s, 1.5s]", i, d)
+		}
+	}
+}
+
+// With a zero retry budget the final 429 comes straight back, hint intact,
+// so the caller can print it and exit 4.
+func TestPost429RetryBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	resp, err := post429Retry(context.Background(), srv.URL, "application/json", nil, 0, recordedSleep(&slept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if hint := resp.Header.Get("Retry-After"); hint != "7" {
+		t.Fatalf("Retry-After hint %q, want 7", hint)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %v with no retry budget", slept)
+	}
+}
+
+// A cancelled context aborts the backoff immediately — the Ctrl-C path.
+// The real sleepCtx is used here, so a stuck timer would hang the test.
+func TestPost429RetryCancelledDuringBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sleep := func(ctx context.Context, d time.Duration) error {
+		cancel() // the interrupt arrives mid-backoff
+		return sleepCtx(ctx, d)
+	}
+	start := time.Now()
+	_, err := post429Retry(ctx, srv.URL, "application/json", nil, 3, sleep)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, the 60s hint was honored anyway", elapsed)
+	}
+}
+
+// sleepCtx returns the context error without waiting when already cancelled.
+func TestSleepCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pre-cancelled sleepCtx blocked")
+	}
+}

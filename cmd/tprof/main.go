@@ -36,10 +36,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tprof:", err)
 		os.Exit(1)
 	}
-	rep := tools.TProf(run.Engine.SegmentTotals(), run.SUT.JIT.Methods(), *top)
+	rep := tools.TProf(run.SegmentTotals(), run.SUT.JIT.Methods(), *top)
 	fmt.Print(rep.String())
 	if *vmstat {
-		ws := run.Engine.Windows()
+		ws := run.Windows()
 		if len(ws) > 30 {
 			ws = ws[len(ws)-30:]
 		}

@@ -23,7 +23,7 @@ func main() {
 	f3 := run.Fig3()
 	fmt.Printf("injection rate %d -> JOPS %.1f (%.2f per IR), audit pass: %v\n",
 		cfg.IR, f2.JOPS, f2.JOPS/float64(cfg.IR), f2.AuditPass)
-	fmt.Printf("CPU utilization: %.0f%%\n", 100*run.Engine.MeanUtilization())
+	fmt.Printf("CPU utilization: %.0f%%\n", 100*run.MeanUtilization())
 	fmt.Printf("GC: every %.0f s, %.0f ms pauses, %.2f%% of runtime (paper: <2%%)\n",
 		f3.Summary.MeanIntervalSec, f3.Summary.MeanPauseMS, f3.Summary.PercentOfRuntime)
 

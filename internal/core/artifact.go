@@ -51,6 +51,16 @@ func (m *memo[T]) do(fn func() (T, error)) (T, error) {
 // ready reports whether the cell has been computed, without computing it.
 func (m *memo[T]) ready() bool { return m.done.Load() }
 
+// set pre-fills the cell with a value (no error), consuming its once. The
+// persistent store uses it to hydrate figure memos from disk; a later do()
+// returns the stored value without running its function.
+func (m *memo[T]) set(v T) {
+	m.once.Do(func() {
+		m.v = v
+		m.done.Store(true)
+	})
+}
+
 // Artifact caches the runs for one canonical configuration.
 type Artifact struct {
 	// Cfg is the canonicalized configuration: per-scale defaults for
@@ -250,10 +260,8 @@ func (c *rlCell) get(ctx context.Context) (*RequestLevelRun, error) {
 			ch := make(chan struct{})
 			c.running, c.err = true, nil
 			c.attempt, c.cancel = ch, cancel
-			cfg := c.repr
 			go func() {
-				noteSim("request-level")
-				run, err := runRequestLevel(runCtx, cfg, c.broadcast)
+				run, err := c.execute(runCtx)
 				cancel()
 				c.mu.Lock()
 				if err == nil {
@@ -296,6 +304,28 @@ func (c *rlCell) get(ctx context.Context) (*RequestLevelRun, error) {
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// execute produces the cell's run: straight simulation without a
+// persistent store, else the store-through path — serve a persisted entry
+// (hydrated, zero simulations), or win the cross-replica lease, simulate,
+// and persist. noteSim fires only when a simulation actually runs, so the
+// serving layer's sims counter is an honest re-simulation detector.
+func (c *rlCell) execute(ctx context.Context) (*RequestLevelRun, error) {
+	cfg := c.repr
+	simulate := func() (*RequestLevelRun, error) {
+		noteSim("request-level")
+		return runRequestLevel(ctx, cfg, c.broadcast)
+	}
+	st := CurrentStore()
+	if st == nil {
+		return simulate()
+	}
+	key := requestKeyHash(c.key)
+	return runDeduped(ctx, st, kindRequestLevel, key,
+		func() (*RequestLevelRun, bool) { return st.loadRequestLevel(key, cfg) },
+		simulate,
+		func(run *RequestLevelRun) { st.saveRequestLevel(key, run) })
 }
 
 // isContextErr reports whether err stems from context cancellation or a
@@ -574,8 +604,19 @@ func (a *Artifact) DetailContext(ctx context.Context, groups ...string) (*Detail
 		}
 	}
 	return a.det.do(func() (*DetailRun, error) {
-		noteSim("detail")
-		return runDetail(ctx, a.Cfg, a.windowFunc("detail"), standardGroupNames()...)
+		simulate := func() (*DetailRun, error) {
+			noteSim("detail")
+			return runDetail(ctx, a.Cfg, a.windowFunc("detail"), standardGroupNames()...)
+		}
+		st := CurrentStore()
+		if st == nil {
+			return simulate()
+		}
+		key := detailKeyHash(a.Cfg)
+		return runDeduped(ctx, st, kindDetail, key,
+			func() (*DetailRun, bool) { return st.loadDetail(key, a.Cfg) },
+			simulate,
+			func(d *DetailRun) { st.saveDetail(key, d) })
 	})
 }
 

@@ -86,7 +86,11 @@ func (a *Artifact) CrossChecks() (CrossChecks, error) {
 // CrossChecksContext is CrossChecks with cancellable variant runs; the
 // first-caller-wins memo semantics of RequestLevelContext apply.
 func (a *Artifact) CrossChecksContext(ctx context.Context) (CrossChecks, error) {
-	return a.cc.do(func() (CrossChecks, error) { return a.runCrossChecks(ctx) })
+	return a.cc.do(func() (CrossChecks, error) {
+		return loadOrCompute(ctx, kindCrossChecks, a.Cfg, func() (CrossChecks, error) {
+			return a.runCrossChecks(ctx)
+		})
+	})
 }
 
 func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
@@ -108,10 +112,10 @@ func (a *Artifact) runCrossChecks(ctx context.Context) (CrossChecks, error) {
 			return fmt.Errorf("jas2004/J9: %w", err)
 		}
 		dur, _ := cfg.durations()
-		sum := jvm.Summarize(rl.SUT.Heap.Events(), dur)
+		sum := jvm.Summarize(rl.HeapEvents(), dur)
 		res.Jas2004GCShare = sum.PercentOfRuntime
-		res.J9Util = rl.Engine.MeanUtilization()
-		res.J9JOPS = rl.Engine.Tracker().JOPS()
+		res.J9Util = rl.MeanUtilization()
+		res.J9JOPS = rl.JOPS()
 		return nil
 	})
 	g.Go(func() error {

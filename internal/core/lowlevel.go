@@ -20,6 +20,11 @@ type DetailRun struct {
 	Engine   *sim.Engine
 	Monitors map[string]*hpm.Monitor
 
+	// transSteady carries the persisted steady translation-group series
+	// (keyed by event name) when the run was hydrated from the persistent
+	// store; Monitors is nil then, and every figure memo is pre-filled.
+	transSteady map[string]*stats.Series
+
 	fig5    memo[Fig5Result]
 	fig6    memo[Fig6Result]
 	fig7    memo[Fig7Result]
@@ -57,6 +62,15 @@ func runDetail(ctx context.Context, cfg RunConfig, winFn sim.WindowFunc, groups 
 func (d *DetailRun) steadySeries(group string, ev power4.Event) (*stats.Series, error) {
 	m, ok := d.Monitors[group]
 	if !ok {
+		if d.Monitors == nil && group == "translation" {
+			// Hydrated run: the figures are pre-filled memos, and the only
+			// post-hydration raw-series consumer (the large-page ablation)
+			// reads the translation group, whose steady series the store
+			// entry retains.
+			if s, ok := d.transSteady[ev.String()]; ok {
+				return s, nil
+			}
+		}
 		return nil, fmt.Errorf("core: group %q not collected", group)
 	}
 	s, err := m.Series(ev)

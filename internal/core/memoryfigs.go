@@ -148,7 +148,11 @@ func (a *Artifact) LargePages() (LargePageAblation, error) {
 // LargePagesContext is LargePages with cancellable legs; the
 // first-caller-wins memo semantics of RequestLevelContext apply.
 func (a *Artifact) LargePagesContext(ctx context.Context) (LargePageAblation, error) {
-	return a.lp.do(func() (LargePageAblation, error) { return runLargePageAblation(ctx, a.Cfg) })
+	return a.lp.do(func() (LargePageAblation, error) {
+		return loadOrCompute(ctx, kindLargePages, a.Cfg, func() (LargePageAblation, error) {
+			return runLargePageAblation(ctx, a.Cfg)
+		})
+	})
 }
 
 func runLargePageAblation(ctx context.Context, cfg RunConfig) (LargePageAblation, error) {

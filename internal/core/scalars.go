@@ -51,7 +51,11 @@ func (a *Artifact) Scalars() (ScalarsResult, error) {
 // ScalarsContext is Scalars with cancellable runs; the first-caller-wins
 // memo semantics of RequestLevelContext apply.
 func (a *Artifact) ScalarsContext(ctx context.Context) (ScalarsResult, error) {
-	return a.sc.do(func() (ScalarsResult, error) { return a.runScalars(ctx) })
+	return a.sc.do(func() (ScalarsResult, error) {
+		return loadOrCompute(ctx, kindScalars, a.Cfg, func() (ScalarsResult, error) {
+			return a.runScalars(ctx)
+		})
+	})
 }
 
 func (a *Artifact) runScalars(ctx context.Context) (ScalarsResult, error) {
@@ -63,11 +67,11 @@ func (a *Artifact) runScalars(ctx context.Context) (ScalarsResult, error) {
 		if err != nil {
 			return err
 		}
-		res.JOPSPerIR = run.Engine.Tracker().JOPS() / float64(cfg.IR)
-		res.UtilRAMDisk = run.Engine.MeanUtilization()
-		_, res.RAMDiskPasses = run.Engine.Tracker().Audit()
+		res.JOPSPerIR = run.JOPS() / float64(cfg.IR)
+		res.UtilRAMDisk = run.MeanUtilization()
+		_, res.RAMDiskPasses = run.Audit()
 
-		segs := run.Engine.SegmentTotals()
+		segs := run.SegmentTotals()
 		var total uint64
 		for _, v := range segs {
 			total += v
@@ -79,7 +83,7 @@ func (a *Artifact) runScalars(ctx context.Context) (ScalarsResult, error) {
 
 		// Stability: CV of completions across the second half of the ramp
 		// vs the steady interval should already be comparable.
-		ws := run.Engine.Windows()
+		ws := run.Windows()
 		steady := steadyStart(cfg)
 		if steady > 0 && steady < len(ws) {
 			var half []float64

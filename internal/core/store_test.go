@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// storeCfg is a reduced quick config with its own seed so the persistent
+// store tests never share runs with the other suites' configs.
+func storeCfg() RunConfig {
+	cfg := DefaultRunConfig(ScaleQuick)
+	cfg.DurationMS = 60_000
+	cfg.RampMS = 20_000
+	cfg.Seed = 424_242
+	return cfg
+}
+
+// withStore installs a fresh store rooted in a temp dir for the test and
+// restores the previous (normally nil) store plus a clean in-memory cache
+// afterwards.
+func withStore(t *testing.T) *ArtifactStore {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetStore(st)
+	t.Cleanup(func() {
+		SetStore(prev)
+		Flush()
+	})
+	Flush()
+	resetSimStats()
+	return st
+}
+
+// requireSims asserts the executed-simulation counters by kind.
+func requireSims(t *testing.T, stage string, rl, det, variant int) {
+	t.Helper()
+	if n := simCount("request-level"); n != rl {
+		t.Errorf("%s: request-level sims = %d, want %d", stage, n, rl)
+	}
+	if n := simCount("detail"); n != det {
+		t.Errorf("%s: detail sims = %d, want %d", stage, n, det)
+	}
+	if n := simCount("variant"); n != variant {
+		t.Errorf("%s: variant sims = %d, want %d", stage, n, variant)
+	}
+}
+
+// TestPersistentStoreRoundTrip is the restart story end to end: simulate
+// once with a store installed, drop every in-memory artifact (a daemon
+// restart), and rebuild everything from disk — byte-identical report,
+// figure-by-figure identical views, zero simulations of any kind.
+func TestPersistentStoreRoundTrip(t *testing.T) {
+	st := withStore(t)
+	cfg := storeCfg()
+
+	rep1, err := BuildReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1 := rep1.Markdown()
+	sc1, err := ForConfig(cfg).Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp1, err := ForConfig(cfg).LargePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl1, err := ForConfig(cfg).RequestLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := ForConfig(cfg).Detail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simCount("request-level"); n == 0 {
+		t.Fatal("first pass did not simulate")
+	}
+
+	// "Restart": forget every in-memory artifact and counter. Everything
+	// below must come from disk.
+	Flush()
+	resetSimStats()
+
+	rep2, err := BuildReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2 := rep2.Markdown(); md2 != md1 {
+		t.Error("hydrated report differs from the simulated one")
+	}
+	requireSims(t, "hydrated report", 0, 0, 0)
+
+	sc2, err := ForConfig(cfg).Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2 != sc1 {
+		t.Errorf("hydrated scalars differ: %+v != %+v", sc2, sc1)
+	}
+	lp2, err := ForConfig(cfg).LargePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp2 != lp1 {
+		t.Errorf("hydrated large-page ablation differs: %+v != %+v", lp2, lp1)
+	}
+	requireSims(t, "hydrated views", 0, 0, 0)
+
+	// Every figure-bearing view survives serialization exactly.
+	rl2, err := ForConfig(cfg).RequestLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl2.Engine != nil || rl2.SUT != nil {
+		t.Error("hydrated request-level run still holds live engine state")
+	}
+	if !reflect.DeepEqual(rl2.Fig2(), rl1.Fig2()) {
+		t.Error("Fig2 round-trip mismatch")
+	}
+	if !reflect.DeepEqual(rl2.Fig3(), rl1.Fig3()) {
+		t.Error("Fig3 round-trip mismatch")
+	}
+	if !reflect.DeepEqual(rl2.Fig4(), rl1.Fig4()) {
+		t.Error("Fig4 round-trip mismatch")
+	}
+	if rl2.JOPS() != rl1.JOPS() || rl2.MeanUtilization() != rl1.MeanUtilization() {
+		t.Error("request-level scalar snapshot mismatch")
+	}
+	if !reflect.DeepEqual(rl2.Windows(), rl1.Windows()) {
+		t.Error("window snapshot mismatch")
+	}
+	if !reflect.DeepEqual(rl2.SegmentTotals(), rl1.SegmentTotals()) {
+		t.Error("segment totals snapshot mismatch")
+	}
+	rows1, pass1 := rl1.Audit()
+	rows2, pass2 := rl2.Audit()
+	if pass1 != pass2 || !reflect.DeepEqual(rows1, rows2) {
+		t.Error("audit snapshot mismatch")
+	}
+
+	d2, err := ForConfig(cfg).Detail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Monitors != nil {
+		t.Error("hydrated detail run still holds monitors")
+	}
+	figs := []struct {
+		name string
+		get  func(d *DetailRun) (any, error)
+	}{
+		{"Fig5", func(d *DetailRun) (any, error) { return d.Fig5() }},
+		{"Fig6", func(d *DetailRun) (any, error) { return d.Fig6() }},
+		{"Fig7", func(d *DetailRun) (any, error) { return d.Fig7() }},
+		{"Fig8", func(d *DetailRun) (any, error) { return d.Fig8() }},
+		{"Fig9", func(d *DetailRun) (any, error) { return d.Fig9() }},
+		{"Fig10", func(d *DetailRun) (any, error) { return d.Fig10() }},
+		{"Locking", func(d *DetailRun) (any, error) { return d.Locking() }},
+	}
+	for _, f := range figs {
+		v1, err1 := f.get(d1)
+		v2, err2 := f.get(d2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: errs %v / %v", f.name, err1, err2)
+		}
+		if !reflect.DeepEqual(v1, v2) {
+			t.Errorf("%s round-trip mismatch", f.name)
+		}
+	}
+	requireSims(t, "figure views", 0, 0, 0)
+
+	// The large-page ablation view is the one consumer of raw series on a
+	// hydrated detail run. Delete its persisted view and recompute: both
+	// page-size legs hydrate, the translation series come from the store
+	// entries, and the result matches the simulated one with zero sims.
+	if err := os.Remove(st.entryPath(kindLargePages, detailKeyHash(cfg))); err != nil {
+		t.Fatal(err)
+	}
+	Flush()
+	resetSimStats()
+	lp3, err := ForConfig(cfg).LargePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp3 != lp1 {
+		t.Errorf("recomputed ablation over hydrated runs differs: %+v != %+v", lp3, lp1)
+	}
+	requireSims(t, "recomputed ablation", 0, 0, 0)
+
+	stats := st.Stats()
+	if stats.Hits[kindRequestLevel] == 0 || stats.Hits[kindDetail] == 0 {
+		t.Errorf("store hits not counted: %+v", stats.Hits)
+	}
+	if stats.Writes == 0 || stats.Bytes == 0 {
+		t.Errorf("store writes/bytes not counted: writes=%d bytes=%d", stats.Writes, stats.Bytes)
+	}
+}
+
+// TestPersistentStoreCorruptEntryIsMiss: damaged entries are re-simulated
+// (and repaired), never served.
+func TestPersistentStoreCorruptEntryIsMiss(t *testing.T) {
+	st := withStore(t)
+	cfg := storeCfg()
+	cfg.Seed = 424_243
+
+	if _, err := RunRequestLevel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	requireSims(t, "first run", 1, 0, 0)
+
+	// Truncate the entry mid-payload, as a crash mid-write (without the
+	// atomic rename) would have.
+	path := st.entryPath(kindRequestLevel, requestKeyHash(cfg.RequestKey()))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	Flush()
+	resetSimStats()
+	if _, err := RunRequestLevel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	requireSims(t, "corrupt entry", 1, 0, 0) // re-simulated, not served
+	if st.Stats().Corrupt == 0 {
+		t.Error("corruption not counted")
+	}
+
+	// The re-run repaired the entry: a third pass hydrates.
+	Flush()
+	resetSimStats()
+	if _, err := RunRequestLevel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	requireSims(t, "repaired entry", 0, 0, 0)
+}
+
+// TestRunDedupedConcurrentWriters: N concurrent executors of one key —
+// the in-process analogue of N replicas racing — converge to one
+// execution and one stored entry; losers serve the winner's result.
+func TestRunDedupedConcurrentWriters(t *testing.T) {
+	st := withStore(t)
+	st.leasePoll = time.Millisecond
+
+	type payload struct{ N int }
+	var runs atomic.Int32
+	var wg sync.WaitGroup
+	results := make([]payload, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := runDeduped(context.Background(), st, kindScalars, "sharedkey",
+				func() (payload, bool) { return loadStoreView[payload](st, kindScalars, "sharedkey") },
+				func() (payload, error) {
+					runs.Add(1)
+					time.Sleep(20 * time.Millisecond) // let the others hit the lease
+					return payload{N: 7}, nil
+				},
+				func(v payload) { saveStoreView(st, kindScalars, "sharedkey", v) })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Errorf("%d executions for one key, want 1", n)
+	}
+	for i, v := range results {
+		if v.N != 7 {
+			t.Errorf("waiter %d got %+v", i, v)
+		}
+	}
+	if st.Stats().LeaseWaits == 0 {
+		t.Error("no lease waits recorded")
+	}
+}
+
+// TestStoreLeaseStaleBreak: a lease left by a crashed holder is broken
+// after the TTL instead of blocking the key forever.
+func TestStoreLeaseStaleBreak(t *testing.T) {
+	st := withStore(t)
+	st.leaseTTL = 50 * time.Millisecond
+
+	release, ok := st.acquireLease("detail", "k1")
+	if !ok {
+		t.Fatal("fresh lease not acquired")
+	}
+	if _, ok := st.acquireLease("detail", "k1"); ok {
+		t.Fatal("held lease acquired twice")
+	}
+	// Age the lease past the TTL, as if its holder died mid-simulation.
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(st.leasePath("detail", "k1"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	release2, ok := st.acquireLease("detail", "k1")
+	if !ok {
+		t.Fatal("stale lease not broken")
+	}
+	release2()
+	release() // idempotent double-remove is fine
+
+	// waitLease returns promptly on a cancelled context.
+	release3, _ := st.acquireLease("detail", "k2")
+	defer release3()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st.leaseTTL = time.Minute
+	if err := st.waitLease(ctx, "detail", "k2"); err == nil {
+		t.Fatal("cancelled waitLease returned nil")
+	}
+}
+
+// TestStoreDisabledUnchanged: with no store installed the cell path is the
+// pre-store one — simulate, no disk artifacts, PersistentStoreStats off.
+func TestStoreDisabledUnchanged(t *testing.T) {
+	if CurrentStore() != nil {
+		t.Fatal("test expects no ambient store")
+	}
+	if _, ok := PersistentStoreStats(); ok {
+		t.Fatal("stats reported with persistence disabled")
+	}
+}

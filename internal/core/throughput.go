@@ -14,15 +14,75 @@ import (
 )
 
 // RequestLevelRun is one request-level (no instruction detail) benchmark
-// execution; Figures 2, 3 and 4 are all memoized views of it.
+// execution; Figures 2, 3 and 4 are all memoized views of it. A run
+// hydrated from the persistent store has nil SUT/Engine and carries a
+// snapshot instead: consumers outside this package must read windows,
+// scalars, and audit rows through the accessors below, which serve live
+// and hydrated runs identically.
 type RequestLevelRun struct {
 	Cfg    RunConfig
 	SUT    *sim.SUT
 	Engine *sim.Engine
 
+	// snap replaces the engine-backed scalars when the run was hydrated
+	// from the persistent store rather than simulated in-process.
+	snap *rlSnapshot
+
 	fig2 memo[Fig2Result]
 	fig3 memo[Fig3Result]
 	fig4 memo[Fig4Result]
+}
+
+// rlSnapshot is the persisted slice of engine state a hydrated
+// request-level run serves through the accessors.
+type rlSnapshot struct {
+	windows   []sim.WindowStats
+	jops      float64
+	meanUtil  float64
+	segTotals [server.NumSegments]uint64
+	auditRows []driver.ClassAudit
+	auditPass bool
+}
+
+// Windows returns the run's per-window statistics.
+func (r *RequestLevelRun) Windows() []sim.WindowStats {
+	if r.Engine != nil {
+		return r.Engine.Windows()
+	}
+	return r.snap.windows
+}
+
+// JOPS returns the run's final throughput metric.
+func (r *RequestLevelRun) JOPS() float64 {
+	if r.Engine != nil {
+		return r.Engine.Tracker().JOPS()
+	}
+	return r.snap.jops
+}
+
+// MeanUtilization returns the run's mean CPU utilization.
+func (r *RequestLevelRun) MeanUtilization() float64 {
+	if r.Engine != nil {
+		return r.Engine.MeanUtilization()
+	}
+	return r.snap.meanUtil
+}
+
+// SegmentTotals returns the run's per-segment cycle totals.
+func (r *RequestLevelRun) SegmentTotals() [server.NumSegments]uint64 {
+	if r.Engine != nil {
+		return r.Engine.SegmentTotals()
+	}
+	return r.snap.segTotals
+}
+
+// HeapEvents returns the run's GC event log. A hydrated run serves it from
+// the Figure 3 view, which retains the full event list.
+func (r *RequestLevelRun) HeapEvents() []jvm.GCEvent {
+	if r.SUT != nil {
+		return r.SUT.Heap.Events()
+	}
+	return r.Fig3().Events
 }
 
 // RunRequestLevel executes the workload at request-level fidelity. Results
@@ -218,4 +278,9 @@ func (f Fig4Result) String() string {
 }
 
 // Audit returns the run-rule audit for the underlying run.
-func (r *RequestLevelRun) Audit() ([]driver.ClassAudit, bool) { return r.Engine.Tracker().Audit() }
+func (r *RequestLevelRun) Audit() ([]driver.ClassAudit, bool) {
+	if r.Engine != nil {
+		return r.Engine.Tracker().Audit()
+	}
+	return r.snap.auditRows, r.snap.auditPass
+}

@@ -1,0 +1,159 @@
+package db
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the on-disk entry format of the persistent artifact store:
+// the durable analogue of the WAL's torn-tail discipline applied to whole
+// files. One entry file holds one serialized artifact payload behind a
+// versioned header and a checksum; like a torn WAL tail, any structurally
+// damaged file (truncated, bit-flipped, mislabeled) is detected on read
+// and reported as ErrCorruptEntry so the reader treats it as a miss — a
+// corrupt entry is never served. Writes are atomic: the payload lands in a
+// temp file in the same directory, is synced, and renamed into place, so
+// a crash mid-write leaves either the old entry or no entry, never a torn
+// one at the final path.
+//
+// Layout (little-endian):
+//
+//	magic    [8]byte  "JASSTOR1"
+//	version  uint32   EntryFileVersion
+//	kindLen  uint32   | kind string (what the payload is, e.g. "detail")
+//	keyLen   uint32   | key string (the content address, a sha256 hex)
+//	paylen   uint64   payload length
+//	checksum [32]byte sha256 of the payload
+//	payload  [paylen]byte
+
+// EntryFileVersion is the current entry-file format version. Bump it when
+// the header layout or the payload encoding changes incompatibly; readers
+// treat other versions as corrupt (= a cache miss), never as data.
+const EntryFileVersion = 1
+
+// entryMagic identifies an artifact-store entry file.
+var entryMagic = [8]byte{'J', 'A', 'S', 'S', 'T', 'O', 'R', '1'}
+
+// ErrCorruptEntry reports a structurally damaged entry file: bad magic or
+// version, truncation, checksum mismatch, or a kind/key label that does
+// not match what the reader asked for. Callers must treat it as a miss.
+var ErrCorruptEntry = errors.New("db: corrupt entry file")
+
+// maxEntryLabel bounds the kind and key header strings; anything larger
+// is damage, not data.
+const maxEntryLabel = 4096
+
+// WriteEntryFile atomically persists payload as a checksummed entry file.
+// The bytes are written to a temp file in path's directory, synced, and
+// renamed over path, so concurrent readers and a crash mid-write both see
+// either the previous entry or the complete new one.
+func WriteEntryFile(path, kind, key string, payload []byte) error {
+	if len(kind) > maxEntryLabel || len(key) > maxEntryLabel {
+		return fmt.Errorf("db: entry label too long (kind %d, key %d bytes)", len(kind), len(key))
+	}
+	var buf bytes.Buffer
+	buf.Write(entryMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(EntryFileVersion))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(kind)))
+	buf.WriteString(kind)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(key)))
+	buf.WriteString(key)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".entry-*")
+	if err != nil {
+		return fmt.Errorf("db: entry temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("db: entry write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("db: entry sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("db: entry close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("db: entry rename: %w", err)
+	}
+	return nil
+}
+
+// ReadEntryFile reads and validates the entry at path, returning its
+// payload. A missing file returns the os.ReadFile error (fs.ErrNotExist);
+// every structural problem — wrong magic or version, truncation, length
+// overrun, checksum mismatch, or a kind/key that differs from the
+// requested one — returns an error wrapping ErrCorruptEntry.
+func ReadEntryFile(path, kind, key string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(what string) ([]byte, error) {
+		return nil, fmt.Errorf("%w: %s: %s", ErrCorruptEntry, path, what)
+	}
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != entryMagic {
+		return corrupt("bad magic")
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil || version != EntryFileVersion {
+		return corrupt(fmt.Sprintf("version %d (want %d)", version, EntryFileVersion))
+	}
+	readLabel := func(name, want string) error {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("truncated %s length", name)
+		}
+		if n > maxEntryLabel || int64(n) > int64(r.Len()) {
+			return fmt.Errorf("%s length %d out of range", name, n)
+		}
+		lab := make([]byte, n)
+		if _, err := r.Read(lab); err != nil {
+			return fmt.Errorf("truncated %s", name)
+		}
+		if string(lab) != want {
+			return fmt.Errorf("%s %q (want %q)", name, lab, want)
+		}
+		return nil
+	}
+	if err := readLabel("kind", kind); err != nil {
+		return corrupt(err.Error())
+	}
+	if err := readLabel("key", key); err != nil {
+		return corrupt(err.Error())
+	}
+	var paylen uint64
+	if err := binary.Read(r, binary.LittleEndian, &paylen); err != nil {
+		return corrupt("truncated payload length")
+	}
+	var sum [32]byte
+	if _, err := r.Read(sum[:]); err != nil {
+		return corrupt("truncated checksum")
+	}
+	if paylen != uint64(r.Len()) {
+		return corrupt(fmt.Sprintf("payload length %d, %d bytes remain", paylen, r.Len()))
+	}
+	payload := data[len(data)-r.Len():]
+	if sha256.Sum256(payload) != sum {
+		return corrupt("checksum mismatch")
+	}
+	return payload, nil
+}

@@ -1,0 +1,160 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func entryPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "e.art")
+}
+
+func TestEntryFileRoundTrip(t *testing.T) {
+	path := entryPath(t)
+	payload := []byte("the payload \x00\x01\xff bytes")
+	if err := WriteEntryFile(path, "detail", "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEntryFile(path, "detail", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	// Empty payloads round-trip too.
+	if err := WriteEntryFile(path, "detail", "abc123", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadEntryFile(path, "detail", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty payload read back %d bytes", len(got))
+	}
+}
+
+func TestEntryFileMissing(t *testing.T) {
+	_, err := ReadEntryFile(filepath.Join(t.TempDir(), "nope.art"), "k", "x")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorruptEntry) {
+		t.Fatal("missing file reported as corrupt")
+	}
+}
+
+func TestEntryFileCorruption(t *testing.T) {
+	payload := []byte(strings.Repeat("simulation figures ", 64))
+	write := func(t *testing.T) string {
+		t.Helper()
+		path := entryPath(t)
+		if err := WriteEntryFile(path, "request-level", "deadbeef", payload); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	damage := []struct {
+		name string
+		hurt func(t *testing.T, path string)
+	}{
+		{"truncated tail", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:len(data)-7], 0o644)
+		}},
+		{"truncated header", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:10], 0o644)
+		}},
+		{"flipped payload byte", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[len(data)-1] ^= 0x40
+			os.WriteFile(path, data, 0o644)
+		}},
+		{"flipped header byte", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[0] ^= 0x40
+			os.WriteFile(path, data, 0o644)
+		}},
+		{"future version", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[8] = 0xee // version field, little-endian low byte
+			os.WriteFile(path, data, 0o644)
+		}},
+		{"empty file", func(t *testing.T, path string) {
+			os.WriteFile(path, nil, 0o644)
+		}},
+		{"trailing garbage", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, append(data, 'x'), 0o644)
+		}},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			path := write(t)
+			d.hurt(t, path)
+			if _, err := ReadEntryFile(path, "request-level", "deadbeef"); !errors.Is(err, ErrCorruptEntry) {
+				t.Fatalf("damaged entry read as %v, want ErrCorruptEntry", err)
+			}
+		})
+	}
+}
+
+func TestEntryFileLabelMismatch(t *testing.T) {
+	path := entryPath(t)
+	if err := WriteEntryFile(path, "detail", "key1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEntryFile(path, "scalars", "key1"); !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("wrong kind read as %v, want ErrCorruptEntry", err)
+	}
+	if _, err := ReadEntryFile(path, "detail", "key2"); !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("wrong key read as %v, want ErrCorruptEntry", err)
+	}
+}
+
+// Concurrent same-path writers must converge to exactly one valid entry
+// with no temp files left behind — the atomic temp+rename discipline.
+func TestEntryFileConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.art")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := WriteEntryFile(path, "k", "x", []byte("same bytes every writer")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := ReadEntryFile(path, "k", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "same bytes every writer" {
+		t.Fatalf("converged payload %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d files left in dir, want 1 (temp files leaked)", len(ents))
+	}
+}
+
+func TestEntryFileLabelTooLong(t *testing.T) {
+	if err := WriteEntryFile(entryPath(t), strings.Repeat("k", maxEntryLabel+1), "x", nil); err == nil {
+		t.Fatal("oversized kind accepted")
+	}
+}

@@ -104,6 +104,16 @@ func (w *WAL) commit(txn uint64, recs []LogRecord) {
 // flush forces the log to storage.
 func (w *WAL) flush() {
 	if w.flushedLSN == w.lsn {
+		// The whole log is already durable, so this flush performs no
+		// storage write — but the accounting must stay coherent anyway:
+		// once flushedLSN == lsn there can be no commit still awaiting
+		// durability, so a surviving pendingCommits count would make the
+		// next group threshold fire early. Every commit currently advances
+		// lsn (it always appends its commit record) before counting itself
+		// pending, so today this reset is a no-op; it pins the invariant
+		// "flushed log => zero pending commits" against future record
+		// batching rather than relying on that ordering.
+		w.pendingCommits = 0
 		return
 	}
 	w.flushes++

@@ -216,6 +216,105 @@ func TestReplayErrors(t *testing.T) {
 	}
 }
 
+// Interleaving explicit Flush calls with group commits must keep the
+// accounting coherent: after any Flush the durable prefix covers the whole
+// log and no commit is still counted pending, so the next group flush
+// fires only after a full fresh batch.
+func TestWALFlushInterleavesWithCommits(t *testing.T) {
+	d := walDB(t, 3)
+	d.CreateTable("t", 2, 10)
+	commit := func(i int) {
+		t.Helper()
+		tx := d.Begin()
+		tx.Insert("t", Row{Value(i), 0})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := d.WAL()
+	check := func(step string) {
+		t.Helper()
+		if w.FlushedLSN() != w.LSN() {
+			t.Fatalf("%s: flushedLSN=%d lsn=%d", step, w.FlushedLSN(), w.LSN())
+		}
+		if w.pendingCommits != 0 {
+			t.Fatalf("%s: %d commits still pending after flush", step, w.pendingCommits)
+		}
+	}
+
+	commit(0)
+	commit(1)
+	w.Flush() // mid-batch checkpoint: 2 pending commits become durable
+	check("mid-batch flush")
+	if w.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1", w.Flushes())
+	}
+	w.Flush() // already durable: a no-op write, but accounting still coherent
+	check("no-op flush")
+
+	// The checkpoint reset the batch: the group threshold needs 3 fresh
+	// commits again, not 3 minus the pre-checkpoint count.
+	commit(2)
+	commit(3)
+	if w.Flushes() != 1 {
+		t.Fatalf("group flush fired early (flushes=%d)", w.Flushes())
+	}
+	commit(4)
+	if w.Flushes() != 2 {
+		t.Fatalf("group flush missing after full batch (flushes=%d)", w.Flushes())
+	}
+	check("group flush")
+}
+
+// Crash-recovery shape: a torn tail — the log ends mid-transaction, before
+// the commit record made it out — replays to the pre-crash committed state,
+// exactly like the artifact store treating a torn entry file as a miss. The
+// in-flight transaction's records are skipped, never half-applied.
+func TestWALReplayTornTail(t *testing.T) {
+	src := testDB(t)
+	dst := testDB(t)
+	for _, d := range []*Database{src, dst} {
+		d.CreateTable("t", 2, 10)
+	}
+	if err := src.EnableWAL(1); err != nil {
+		t.Fatal(err)
+	}
+	tx := src.Begin()
+	tx.Insert("t", Row{1, 10})
+	tx.Insert("t", Row{2, 20})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := src.Begin()
+	tx2.Insert("t", Row{3, 30})
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: drop the final commit record, as if the crash landed
+	// between appending txn2's redo records and its commit marker.
+	tail := src.WAL().Tail()
+	if tail[len(tail)-1].Kind != LogCommit {
+		t.Fatal("log does not end in a commit record")
+	}
+	torn := tail[:len(tail)-1]
+	if err := Replay(dst, torn); err != nil {
+		t.Fatalf("torn-tail replay: %v", err)
+	}
+	rows, err := dst.Scan("t", -1000, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("recovered %d rows, want 2 (torn txn must not apply)", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] == 3 {
+			t.Fatal("torn transaction's insert survived recovery")
+		}
+	}
+}
+
 func TestLogKindString(t *testing.T) {
 	for _, k := range []LogKind{LogInsert, LogDelete, LogUpdate, LogCommit} {
 		if k.String() == "" {

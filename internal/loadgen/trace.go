@@ -69,6 +69,14 @@ func ReadTrace(r io.Reader) (*TraceSpec, error) {
 	if h.Windows < 0 {
 		return nil, fmt.Errorf("trace: negative window count %d", h.Windows)
 	}
+	// Reject a bad window length here, before decoding any window lines:
+	// deferring to the whole-trace validate() would read (and possibly
+	// buffer) every line of an arbitrarily long trace first, and report the
+	// failure as a confusing per-window decode error when the body is
+	// malformed too. The comparison is written to also reject NaN.
+	if !(h.WindowMS > 0) {
+		return nil, fmt.Errorf("trace: header window_ms %v must be > 0", h.WindowMS)
+	}
 	t := &TraceSpec{WindowMS: h.WindowMS, Windows: make([][]TracePoint, 0, h.Windows)}
 	for i := 0; i < h.Windows; i++ {
 		var line traceLine

@@ -331,7 +331,7 @@ func (s *Service) figure(j *Job, name string) (any, error) {
 		case "tprof":
 			return rl.Fig4().Report, nil
 		default:
-			return stringView(tools.VMStat(rl.Engine.Windows())), nil
+			return stringView(tools.VMStat(rl.Windows())), nil
 		}
 	case "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "locking":
 		d, err := art.Detail()

@@ -158,6 +158,25 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, resid
 		fmt.Fprintf(w, "jasd_sims_total{kind=%q} %d\n", kind, sims[kind])
 	}
 
+	// The persistent-store series exist only when a store is installed
+	// (-store-dir), so a storeless scrape stays byte-compatible with older
+	// daemons.
+	if ps, ok := core.PersistentStoreStats(); ok {
+		fmt.Fprintf(w, "# HELP jasd_store_hits_total Persistent-store loads served from disk, by entry kind.\n# TYPE jasd_store_hits_total counter\n")
+		for _, kind := range ps.Kinds() {
+			fmt.Fprintf(w, "jasd_store_hits_total{kind=%q} %d\n", kind, ps.Hits[kind])
+		}
+		fmt.Fprintf(w, "# HELP jasd_store_misses_total Persistent-store loads that found no usable entry, by entry kind.\n# TYPE jasd_store_misses_total counter\n")
+		for _, kind := range ps.Kinds() {
+			fmt.Fprintf(w, "jasd_store_misses_total{kind=%q} %d\n", kind, ps.Misses[kind])
+		}
+		counter("jasd_store_writes_total", "Entries written to the persistent store.", ps.Writes)
+		counter("jasd_store_write_failures_total", "Persistent-store writes that failed (entry not persisted; run unaffected).", ps.WriteFails)
+		counter("jasd_store_corrupt_total", "Torn or damaged store entries detected and treated as misses.", ps.Corrupt)
+		counter("jasd_store_lease_waits_total", "Loads that waited out another replica's lease instead of simulating.", ps.LeaseWaits)
+		gauge("jasd_store_bytes", "Bytes resident in the persistent store directory.", float64(ps.Bytes))
+	}
+
 	counter("jasd_http_requests_total", "HTTP requests served.", m.httpRequests)
 	counter("jasd_windows_streamed_total", "Simulated windows observed by the streaming layer.", m.windowsSeen)
 

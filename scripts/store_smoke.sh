@@ -1,0 +1,153 @@
+#!/bin/sh
+# Persistent-store smoke test (make store-smoke / make ci), two legs:
+#
+# 1. Crash durability: start jasd with -store-dir, serve the golden
+#    quick-scale run, SIGKILL the daemon (no drain, no flush), restart it
+#    on the same store, resubmit the same config — the report must be
+#    byte-identical and /metrics must show zero simulations of any kind:
+#    everything hydrated from disk.
+#
+# 2. Replication: two replicas share one store directory. The same config
+#    submitted to each yields byte-identical reports at the cost of one
+#    request-level and one detail simulation TOTAL across both replicas —
+#    the second replica hits the entries the first one wrote. A router
+#    instance over both replicas proxies requests end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/jasd" ./cmd/jasd
+$GO build -o "$tmp/jasctl" ./cmd/jasctl
+
+# wait_addr FILE: block until jasd has written its resolved address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "store-smoke: jasd did not start ($1)" >&2
+            cat "$tmp"/*.log >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "http://$(cat "$1")"
+}
+
+# sim_count ADDR KIND: read one jasd_sims_total series off /metrics.
+sim_count() {
+    "$tmp/jasctl" -addr "$1" metrics | grep -F "jasd_sims_total{kind=\"$2\"}" | awk '{print $2}'
+}
+
+# --- Leg 1: kill -9, restart, zero re-simulation -------------------------
+
+store1="$tmp/store1"
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr1" -store-dir "$store1" 2>"$tmp/jasd1.log" &
+pid=$!
+pids="$pid"
+addr=$(wait_addr "$tmp/addr1")
+
+"$tmp/jasctl" -addr "$addr" submit -scale quick -seed 1 -wait -format md >"$tmp/report1.md"
+if ! diff -u testdata/golden_report_quick.md "$tmp/report1.md"; then
+    echo "store-smoke: stored report drifted from golden" >&2
+    exit 1
+fi
+if [ "$(sim_count "$addr" request-level)" != "1" ] || [ "$(sim_count "$addr" detail)" != "1" ]; then
+    echo "store-smoke: first run did not simulate once per fidelity" >&2
+    "$tmp/jasctl" -addr "$addr" metrics >&2
+    exit 1
+fi
+
+# Crash hard: no drain, no goodbye. Durability must not depend on a clean
+# shutdown — entries were written atomically when each artifact finished.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pids=""
+
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr2" -store-dir "$store1" 2>"$tmp/jasd2.log" &
+pid=$!
+pids="$pid"
+addr=$(wait_addr "$tmp/addr2")
+
+"$tmp/jasctl" -addr "$addr" submit -scale quick -seed 1 -wait -format md >"$tmp/report2.md"
+if ! cmp -s "$tmp/report1.md" "$tmp/report2.md"; then
+    echo "store-smoke: post-restart report differs from pre-crash report" >&2
+    exit 1
+fi
+for kind in request-level detail variant; do
+    if [ "$(sim_count "$addr" "$kind")" != "0" ]; then
+        echo "store-smoke: restarted daemon re-simulated ($kind)" >&2
+        "$tmp/jasctl" -addr "$addr" metrics >&2
+        exit 1
+    fi
+done
+hits=$("$tmp/jasctl" -addr "$addr" metrics | grep -F 'jasd_store_hits_total{kind="request-level"}' | awk '{print $2}')
+if [ "${hits:-0}" -lt 1 ]; then
+    echo "store-smoke: restart served no store hits" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid"
+pids=""
+if ! grep -q "drained cleanly" "$tmp/jasd2.log"; then
+    echo "store-smoke: restarted daemon did not drain" >&2
+    cat "$tmp/jasd2.log" >&2
+    exit 1
+fi
+
+# --- Leg 2: two replicas, one store, one simulation total ----------------
+
+store2="$tmp/store2"
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addrA" -store-dir "$store2" 2>"$tmp/jasdA.log" &
+pidA=$!
+pids="$pidA"
+"$tmp/jasd" -addr 127.0.0.1:0 -addrfile "$tmp/addrB" -store-dir "$store2" 2>"$tmp/jasdB.log" &
+pidB=$!
+pids="$pids $pidB"
+addrA=$(wait_addr "$tmp/addrA")
+addrB=$(wait_addr "$tmp/addrB")
+
+"$tmp/jasctl" -addr "$addrA" submit -scale quick -seed 3 -wait -format md >"$tmp/reportA.md"
+"$tmp/jasctl" -addr "$addrB" submit -scale quick -seed 3 -wait -format md >"$tmp/reportB.md"
+if ! cmp -s "$tmp/reportA.md" "$tmp/reportB.md"; then
+    echo "store-smoke: replicas served different reports for one config" >&2
+    exit 1
+fi
+for kind in request-level detail; do
+    total=$(( $(sim_count "$addrA" "$kind") + $(sim_count "$addrB" "$kind") ))
+    if [ "$total" != "1" ]; then
+        echo "store-smoke: $kind simulated $total times across two replicas, want 1" >&2
+        "$tmp/jasctl" -addr "$addrA" metrics >&2
+        "$tmp/jasctl" -addr "$addrB" metrics >&2
+        exit 1
+    fi
+done
+
+# The consistent-hash router fronts both replicas: a fresh config routed
+# through it lands on exactly one replica, and ID-bearing follow-ups find
+# the same owner (the report fetch below would 404 on the wrong replica).
+"$tmp/jasd" -route "$addrA,$addrB" -addr 127.0.0.1:0 -addrfile "$tmp/addrR" 2>"$tmp/jasdR.log" &
+pidR=$!
+pids="$pids $pidR"
+addrR=$(wait_addr "$tmp/addrR")
+
+"$tmp/jasctl" -addr "$addrR" submit -scale quick -seed 4 -wait -format md >"$tmp/reportR.md"
+"$tmp/jasctl" -addr "$addrR" submit -scale quick -seed 4 -wait -format md >"$tmp/reportR2.md"
+if ! cmp -s "$tmp/reportR.md" "$tmp/reportR2.md"; then
+    echo "store-smoke: routed resubmission served a different report" >&2
+    exit 1
+fi
+
+for p in $pids; do kill -TERM "$p" 2>/dev/null || true; done
+for p in $pids; do wait "$p" 2>/dev/null || true; done
+pids=""
+echo "store-smoke: ok"
