@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke loadgen-smoke store-smoke
+.PHONY: all build test ci fmt vet race equiv calibrate bench-smoke bench-json report service-smoke sweep-smoke loadgen-smoke store-smoke shard-smoke
 
 all: build test
 
@@ -35,14 +35,18 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # The batched pipeline must be bit-equivalent to the per-instruction
-# reference, and the decoupled stage pipeline bit-equivalent to the fused
-# loop at every stage-buffer size; run those guards on their own so a
-# failure names them directly, then once more under the race detector so
-# the concurrent (rings) stage schedule is exercised for data races too.
+# reference, the decoupled stage pipeline bit-equivalent to the fused
+# loop at every stage-buffer size, and the core-sharded schedule
+# bit-equivalent at every shard count, queue depth, and GOMAXPROCS; run
+# those guards on their own so a failure names them directly, then once
+# more under the race detector so the concurrent schedules (stage rings
+# and the shard merge) are exercised for data races too.
 equiv:
 	$(GO) test -run 'TestDetailStreamEquivalence' ./internal/sim/
 	$(GO) test -run 'TestPipeline' ./internal/power4/
-	$(GO) test -race -run 'TestPipelineEquivalence|TestEnginePipelined' ./internal/power4/ ./internal/sim/
+	$(GO) test -run 'TestSharded' ./internal/power4/
+	$(GO) test -run 'TestEngineSharded' ./internal/sim/
+	$(GO) test -race -run 'TestPipelineEquivalence|TestShardedEquivalence|TestEnginePipelined|TestEngineSharded' ./internal/power4/ ./internal/sim/
 
 # The workload-pack calibration gate: every registered scenario pack
 # (jas2004, dataanalytics, virtweb) re-derives its quick-scale headline
@@ -54,12 +58,12 @@ equiv:
 calibrate:
 	$(GO) run ./cmd/calibrate -check -workload all
 
-# The floor check (JAS_BENCH_FLOOR=1) fails if the pipelined detail
-# stream is slower than the fused loop: pipelining must never be a
-# pessimization on the CI host.
+# The floor checks (JAS_BENCH_FLOOR=1) fail if the pipelined or the
+# sharded-auto detail stream is slower than the fused loop: neither
+# schedule may ever be a pessimization on the CI host.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig2|BenchmarkDetailStream|BenchmarkBuildReport' -benchtime 1x .
-	JAS_BENCH_FLOOR=1 $(GO) test -run 'TestPipelinedFloor' -count 1 .
+	JAS_BENCH_FLOOR=1 $(GO) test -run 'TestPipelinedFloor|TestShardedFloor' -count 1 .
 
 # Measured numbers for the README perf table: the stream benchmarks get
 # 5 runs of 6 iterations (min-of-5 rides out shared-host noise), the
@@ -68,8 +72,8 @@ bench-smoke:
 # parallelism 1/4/8) gets 3 runs of 300 round trips. BENCH_OUT names the
 # artifact; BENCH_BASELINE (a previous artifact) adds per-benchmark
 # min-vs-min speedup deltas to it.
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR8.json
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkDetailStream' -benchmem -benchtime 6x -count 5 . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkLoadgenWindow' -benchmem -benchtime 1000x -count 5 . && \
@@ -104,7 +108,14 @@ loadgen-smoke:
 store-smoke:
 	sh scripts/store_smoke.sh
 
-ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke loadgen-smoke store-smoke
+# End-to-end smoke of the core-sharded detail schedule: the quick-scale
+# report generated by jasrun -sharded and served by a real jasd -sharded
+# must both be byte-identical to the pinned golden, and /metrics must
+# surface the shard gauge and merge-stall counters.
+shard-smoke:
+	sh scripts/shard_smoke.sh
+
+ci: fmt vet build race equiv calibrate bench-smoke service-smoke sweep-smoke loadgen-smoke store-smoke shard-smoke
 
 # Regenerate the paper-vs-measured table (EXPERIMENTS.md format).
 report:

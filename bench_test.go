@@ -13,6 +13,7 @@
 package jasworkload
 
 import (
+	"runtime"
 	"testing"
 
 	"jasworkload/internal/core"
@@ -466,13 +467,107 @@ func BenchmarkDetailStreamReference(b *testing.B) {
 	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
+// replayInterleaved delivers the trace in fixed-size chunks round-robin
+// across per-core sinks — the multi-core feed shape the engine produces,
+// where every core carries a slice of the stream over the shared
+// hierarchy. The single-core stream benchmarks above deliberately
+// saturate one core; this harness is for measuring schedules whose
+// speedup comes from running the cores' slices concurrently.
+func replayInterleaved(trace []isa.Instr, sinks []isa.BatchSink, chunk int) {
+	for off, c := 0, 0; off < len(trace); off, c = off+chunk, c+1 {
+		end := off + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		sinks[c%len(sinks)].ConsumeBatch(trace[off:end])
+	}
+}
+
+const shardChunk = 4096 // instructions per core turn in the interleaved feed
+
+// benchSharded streams the recorded trace interleaved across all cores
+// through a shard group, with a Drain per iteration modelling the
+// engine's once-per-window barrier.
+func benchSharded(b *testing.B, cfg power4.ShardConfig) {
+	b.Helper()
+	trace := benchDetailTrace(b)
+	sut := benchStreamCore(b)
+	g, err := power4.NewShardGroup(sut.Cores, sut.Hier, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	sinks := make([]isa.BatchSink, len(sut.Cores))
+	for i := range sinks {
+		sinks[i] = g.Sink(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayInterleaved(trace, sinks, shardChunk)
+		g.Drain()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkDetailStreamSharded measures the production core-sharded
+// detail path: the interleaved multi-core stream through per-core shard
+// goroutines with the deterministic coherence merge, shard count
+// auto-selected for the host (collapsing to the fused loop on 1-CPU
+// hosts). Its honest fused baseline is BenchmarkDetailStreamFusedMulti —
+// identical feed, no shard machinery; benchjson derives shard_speedup
+// from that pair.
+func BenchmarkDetailStreamSharded(b *testing.B) {
+	benchSharded(b, power4.ShardConfig{})
+}
+
+// BenchmarkDetailStreamShardedForced forces one worker per simulated
+// core regardless of host parallelism: ShardedForced vs FusedMulti is
+// the cost of the shard machinery itself (queue handoffs, event
+// recording, the merge) when the host cannot overlap the workers.
+func BenchmarkDetailStreamShardedForced(b *testing.B) {
+	benchSharded(b, power4.ShardConfig{Shards: 4})
+}
+
+// BenchmarkDetailStreamFusedMulti measures the fused loop over the same
+// interleaved multi-core feed the sharded benchmarks consume — the
+// SetSharded(false) reference for shard_speedup.
+func BenchmarkDetailStreamFusedMulti(b *testing.B) {
+	trace := benchDetailTrace(b)
+	sut := benchStreamCore(b)
+	sinks := make([]isa.BatchSink, len(sut.Cores))
+	for i := range sinks {
+		sinks[i] = sut.Cores[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayInterleaved(trace, sinks, shardChunk)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// Allocation ceilings for BenchmarkBuildReport. The pooling pass (lazy
+// buffer-pool residency tables, retained ref-list capacity, headroom on
+// first ref growth) took the end-to-end report from 392k allocs and
+// 246 MB per op down to ~368k and ~199 MB; the ceilings sit between the
+// two so a regression back toward the old numbers fails the benchmark
+// instead of silently landing in the checked-in BENCH json.
+const (
+	buildReportAllocCeiling = 385_000
+	buildReportBytesCeiling = 230 << 20
+)
+
 // BenchmarkBuildReport regenerates the complete paper-vs-measured report
 // from a cold cache every iteration — one request-level run, one detail
 // run, and the two cross-check variant runs, scheduled concurrently.
 func BenchmarkBuildReport(b *testing.B) {
+	b.ReportAllocs()
 	cfg := quickCfg()
 	cfg.DurationMS = 60_000
 	cfg.RampMS = 20_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	for i := 0; i < b.N; i++ {
 		FlushRuns()
 		rep, err := Characterize(cfg)
@@ -480,6 +575,14 @@ func BenchmarkBuildReport(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(rep.Rows)), "rows")
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if allocs := (after.Mallocs - before.Mallocs) / uint64(b.N); allocs > buildReportAllocCeiling {
+		b.Fatalf("BuildReport allocation regression: %d allocs/op, ceiling %d", allocs, buildReportAllocCeiling)
+	}
+	if bytes := (after.TotalAlloc - before.TotalAlloc) / uint64(b.N); bytes > buildReportBytesCeiling {
+		b.Fatalf("BuildReport allocation regression: %d B/op, ceiling %d", bytes, buildReportBytesCeiling)
 	}
 }
 

@@ -180,13 +180,22 @@ func main() {
 
 	summary := struct {
 		Go         string   `json:"go"`
+		NumCPU     int      `json:"num_cpu"`
+		GoMaxProcs int      `json:"gomaxprocs"`
 		Protocol   string   `json:"protocol"`
 		Baseline   string   `json:"baseline,omitempty"`
 		Benchmarks []*entry `json:"benchmarks"`
 		Speedup    float64  `json:"detail_stream_speedup,omitempty"`
 		SweepWin   float64  `json:"sweep_grid_speedup,omitempty"`
+		ShardWin   float64  `json:"shard_speedup,omitempty"`
 	}{
-		Go:         runtime.Version(),
+		Go: runtime.Version(),
+		// Host metadata: the sharded-vs-fused numbers only mean something
+		// relative to the parallelism of the host that produced them (a
+		// 1-vCPU host auto-collapses sharding to the fused loop, so its
+		// shard_speedup is ~1 by design).
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Protocol:   "repeated runs per benchmark; cite min (least-contended sample) on noisy shared hosts; speedup_vs_baseline = baseline min ns/op over this min ns/op",
 		Baseline:   *baseline,
 		Benchmarks: entries,
@@ -202,6 +211,12 @@ func main() {
 	if s, u := byName["BenchmarkSweepGridShared"], byName["BenchmarkSweepGridUnshared"]; s != nil && u != nil &&
 		s.NsPerOp != nil && u.NsPerOp != nil && s.NsPerOp.Min > 0 {
 		summary.SweepWin = u.NsPerOp.Min / s.NsPerOp.Min
+	}
+	// Shard ratio: the fused loop over the core-sharded schedule, both
+	// consuming the identical interleaved multi-core feed, min-vs-min.
+	if s, f := byName["BenchmarkDetailStreamSharded"], byName["BenchmarkDetailStreamFusedMulti"]; s != nil && f != nil &&
+		s.NsPerOp != nil && f.NsPerOp != nil && s.NsPerOp.Min > 0 {
+		summary.ShardWin = f.NsPerOp.Min / s.NsPerOp.Min
 	}
 
 	buf, err := json.MarshalIndent(summary, "", "  ")

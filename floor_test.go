@@ -66,3 +66,71 @@ func TestPipelinedFloor(t *testing.T) {
 			pipedMin, fusedMin, limit)
 	}
 }
+
+// TestShardedFloor is the same guarantee for the core-sharded schedule:
+// the auto-configured shard group (which collapses to the fused loop on
+// 1-CPU hosts and runs one worker per simulated core elsewhere) must
+// never run the interleaved multi-core stream slower than the fused loop
+// on the running host. Both legs consume the identical round-robin feed,
+// so the comparison isolates the schedule, not the feed shape.
+func TestShardedFloor(t *testing.T) {
+	if os.Getenv("JAS_BENCH_FLOOR") == "" {
+		t.Skip("timing floor; run via `make bench-smoke` (JAS_BENCH_FLOOR=1)")
+	}
+	trace := benchDetailTrace(t)
+	const chunk = 4096
+
+	feed := func(sinks []isa.BatchSink) {
+		for off, c := 0, 0; off < len(trace); off, c = off+chunk, c+1 {
+			end := off + chunk
+			if end > len(trace) {
+				end = len(trace)
+			}
+			sinks[c%len(sinks)].ConsumeBatch(trace[off:end])
+		}
+	}
+	fused := func() time.Duration {
+		sut := benchStreamCore(t)
+		sinks := make([]isa.BatchSink, len(sut.Cores))
+		for i := range sinks {
+			sinks[i] = sut.Cores[i]
+		}
+		start := time.Now()
+		feed(sinks)
+		return time.Since(start)
+	}
+	sharded := func() time.Duration {
+		sut := benchStreamCore(t)
+		g, err := power4.NewShardGroup(sut.Cores, sut.Hier, power4.ShardConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		sinks := make([]isa.BatchSink, len(sut.Cores))
+		for i := range sinks {
+			sinks[i] = g.Sink(i)
+		}
+		start := time.Now()
+		feed(sinks)
+		g.Drain()
+		return time.Since(start)
+	}
+
+	const rounds = 5
+	fusedMin, shardMin := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < rounds; r++ {
+		if d := fused(); d < fusedMin {
+			fusedMin = d
+		}
+		if d := sharded(); d < shardMin {
+			shardMin = d
+		}
+	}
+	t.Logf("fused min %v, sharded-auto min %v over %d paired rounds (%d instr)",
+		fusedMin, shardMin, rounds, len(trace))
+
+	if limit := fusedMin + fusedMin*3/100; shardMin > limit {
+		t.Errorf("sharded detail stream is a pessimization: min %v vs fused min %v (floor %v)",
+			shardMin, fusedMin, limit)
+	}
+}

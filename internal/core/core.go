@@ -155,6 +155,7 @@ func (c RunConfig) newEngine(sut *sim.SUT, detailFrac float64) (*sim.Engine, err
 	ecfg.DurationMS, ecfg.RampMS = c.durations()
 	ecfg.DetailFrac = detailFrac
 	ecfg.Pipelined = Pipelined()
+	ecfg.Sharded = Sharded()
 	ecfg.Arrival = c.Arrival
 	return sim.NewEngine(ecfg, sut)
 }

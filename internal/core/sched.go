@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"jasworkload/internal/power4"
 )
 
 // The experiment scheduler: a bounded worker pool that runs independent
@@ -63,6 +65,50 @@ func SetPipelined(enabled bool) bool {
 	pipelined = enabled
 	return prev
 }
+
+// sharded selects the core-sharded detail schedule: one goroutine per
+// simulated core with a deterministic coherence merge. Like pipelined it
+// is a package knob, not a RunConfig field — the shard merge is
+// bit-identical to the fused loop, so it must not perturb canonical
+// artifact keys or jasd job IDs. When both knobs are on, sharding wins
+// (it subsumes the stage overlap); its auto mode collapses to the fused
+// loop on 1-CPU hosts, so leaving it enabled is never a pessimization.
+var sharded = true
+
+// Sharded reports whether detail-mode runs use the core-sharded group.
+func Sharded() bool {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return sharded
+}
+
+// SetSharded enables or disables the core-sharded detail schedule for
+// subsequent runs and returns the previous setting. Counters and reports
+// are bit-identical either way; false falls back to the pipelined or
+// fused schedule for reference measurements.
+func SetSharded(enabled bool) bool {
+	parMu.Lock()
+	defer parMu.Unlock()
+	prev := sharded
+	sharded = enabled
+	return prev
+}
+
+// DetailShards reports the shard count a detail run started now would
+// use: 0 when sharding is disabled or the auto mode collapses to the
+// fused loop (no host parallelism), otherwise one worker per simulated
+// core up to GOMAXPROCS.
+func DetailShards() int {
+	if !Sharded() {
+		return 0
+	}
+	tc := power4.DefaultTopologyConfig()
+	return power4.AutoShards(tc.Chips * tc.CoresPerChip)
+}
+
+// ShardMergeStalls re-exports the process-wide per-shard merge-stall
+// counters (see power4.ShardMergeStalls).
+func ShardMergeStalls() []uint64 { return power4.ShardMergeStalls() }
 
 // Group runs a set of tasks with bounded concurrency and collects the
 // first error (errgroup-style, without the external dependency).

@@ -73,7 +73,8 @@ func (d DiskModel) Name() string { return fmt.Sprintf("disk(x%d)", d.Spindles) }
 type BufferPool struct {
 	region    *mem.Region
 	pageBytes uint64
-	frames    []PageID
+	capFrames int            // frames the region can hold
+	frames    []PageID       // materialized frames only; grows toward capFrames
 	present   map[PageID]int // -> frame index
 	dirty     []bool
 	clock     []bool // second-chance bits
@@ -86,7 +87,13 @@ type BufferPool struct {
 	ioWaitMS float64
 }
 
-// NewBufferPool builds a pool of frames covering the given region.
+// NewBufferPool builds a pool of frames covering the given region. Like
+// the present map, the per-frame residency tables (frame tags, dirty and
+// clock bits) are sized to the resident working set as it grows, not to
+// the region's frame count: frames are claimed in clock order, so a run
+// whose page population never approaches the region size pays only for
+// the prefix it actually touches — a 2 GB region at 4 KB pages would
+// otherwise pre-allocate half a million frame slots per simulation.
 func NewBufferPool(region *mem.Region, pageBytes uint64, storage Storage) (*BufferPool, error) {
 	if region == nil {
 		return nil, errors.New("db: nil buffer region")
@@ -97,28 +104,17 @@ func NewBufferPool(region *mem.Region, pageBytes uint64, storage Storage) (*Buff
 	if storage == nil {
 		return nil, errors.New("db: nil storage")
 	}
-	n := int(region.Size / pageBytes)
-	bp := &BufferPool{
+	return &BufferPool{
 		region:    region,
 		pageBytes: pageBytes,
-		frames:    make([]PageID, n),
-		// Sized to the resident working set as it grows, not to frame
-		// count: a 2 GB region at 4 KB pages would pre-bucket ~19 MB of
-		// map for half a million frames, while a run only ever pays for
-		// the pages it actually touches.
-		present: make(map[PageID]int),
-		dirty:   make([]bool, n),
-		clock:   make([]bool, n),
-		storage: storage,
-	}
-	for i := range bp.frames {
-		bp.frames[i] = PageID{Table: -1}
-	}
-	return bp, nil
+		capFrames: int(region.Size / pageBytes),
+		present:   make(map[PageID]int),
+		storage:   storage,
+	}, nil
 }
 
-// Frames returns the number of frames.
-func (bp *BufferPool) Frames() int { return len(bp.frames) }
+// Frames returns the number of frames the region holds.
+func (bp *BufferPool) Frames() int { return bp.capFrames }
 
 // Storage returns the backing store.
 func (bp *BufferPool) Storage() Storage { return bp.storage }
@@ -148,14 +144,21 @@ func (bp *BufferPool) Touch(p PageID, write bool) uint64 {
 	return bp.region.Base + uint64(idx)*bp.pageBytes + off
 }
 
-// evict frees a frame using the clock (second chance) algorithm.
+// evict frees a frame using the clock (second chance) algorithm. Frames
+// are claimed in hand order, so while the pool is cold every
+// materialized frame is occupied and the hand sits on the next
+// never-used index — claiming it is exactly what the eager layout's
+// empty-frame scan did, at the same index.
 func (bp *BufferPool) evict() int {
+	if n := len(bp.frames); n < bp.capFrames {
+		bp.grow(n + 1)
+		bp.frames = bp.frames[:n+1]
+		bp.dirty = bp.dirty[:n+1]
+		bp.clock = bp.clock[:n+1]
+		bp.hand = (n + 1) % bp.capFrames
+		return n
+	}
 	for {
-		if bp.frames[bp.hand].Table == -1 {
-			idx := bp.hand
-			bp.hand = (bp.hand + 1) % len(bp.frames)
-			return idx
-		}
 		if bp.clock[bp.hand] {
 			bp.clock[bp.hand] = false
 			bp.hand = (bp.hand + 1) % len(bp.frames)
@@ -170,6 +173,35 @@ func (bp *BufferPool) evict() int {
 		bp.hand = (bp.hand + 1) % len(bp.frames)
 		return idx
 	}
+}
+
+// grow ensures capacity for at least want frames of bookkeeping,
+// doubling (capped at the region's frame count) so growth cost is
+// amortized and a working set far below capacity never allocates the
+// tail.
+func (bp *BufferPool) grow(want int) {
+	if cap(bp.frames) >= want {
+		return
+	}
+	newCap := cap(bp.frames) * 2
+	if newCap < 256 {
+		newCap = 256
+	}
+	if newCap < want {
+		newCap = want
+	}
+	if newCap > bp.capFrames {
+		newCap = bp.capFrames
+	}
+	frames := make([]PageID, len(bp.frames), newCap)
+	copy(frames, bp.frames)
+	bp.frames = frames
+	dirty := make([]bool, len(bp.dirty), newCap)
+	copy(dirty, bp.dirty)
+	bp.dirty = dirty
+	clock := make([]bool, len(bp.clock), newCap)
+	copy(clock, bp.clock)
+	bp.clock = clock
 }
 
 // HitRate returns the lifetime buffer-pool hit rate.

@@ -35,6 +35,24 @@ func (r *Ring[T]) Recv() (T, bool) {
 	return v, ok
 }
 
+// TryRecv dequeues the oldest item without blocking. ok is false when
+// the ring is momentarily empty (or closed and drained) — a consumer that
+// needs the item falls back to a blocking Recv, which distinguishes the
+// two. The non-blocking probe lets a multiplexing consumer count how
+// often it would have stalled on each upstream ring.
+func (r *Ring[T]) TryRecv() (T, bool) {
+	var zero T
+	select {
+	case v, open := <-r.ch:
+		if !open {
+			return zero, false
+		}
+		return v, true
+	default:
+		return zero, false
+	}
+}
+
 // Close marks the producer side finished; the consumer drains the
 // remaining items and then sees ok == false.
 func (r *Ring[T]) Close() { close(r.ch) }

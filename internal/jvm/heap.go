@@ -103,9 +103,16 @@ type Heap struct {
 	// GC scratch space, retained across collections so steady-state
 	// collects allocate nothing (they are the hottest allocation sites
 	// in a full report build otherwise).
-	markScratch  []ObjID
-	spanScratch  []span
-	mergeScratch []span
+	markScratch    []ObjID
+	spanScratch    []span
+	mergeScratch   []span
+	compactScratch []compactPair
+}
+
+// compactPair is Compact's per-live-object scratch record.
+type compactPair struct {
+	id   ObjID
+	addr uint64
 }
 
 // NewHeap builds a heap over the given region.
@@ -249,8 +256,17 @@ func (h *Heap) AddRoot(id ObjID) { h.roots[id] = struct{}{} }
 func (h *Heap) RemoveRoot(id ObjID) { delete(h.roots, id) }
 
 // AddRef appends a reference from parent to child (e.g., a cache insert).
+// References arrive one at a time, so the ref list skips the 1→2→4
+// doubling ladder and jumps straight to a small headroom — across a run
+// that ladder was the single largest allocation count in BuildReport.
 func (h *Heap) AddRef(parent, child ObjID) {
-	h.objects[parent].refs = append(h.objects[parent].refs, child)
+	o := &h.objects[parent]
+	if len(o.refs) == cap(o.refs) && cap(o.refs) < 8 {
+		refs := make([]ObjID, len(o.refs), 8)
+		copy(refs, o.refs)
+		o.refs = refs
+	}
+	o.refs = append(o.refs, child)
 }
 
 // ClearRefs drops all outgoing references of id (e.g., a cache clear).
@@ -312,7 +328,10 @@ func (h *Heap) Collect(nowMS float64) GCEvent {
 			freed += uint64(o.size)
 			deadObjs++
 			o.alive = false
-			o.refs = nil
+			// Keep the refs capacity: the id goes onto the free list and
+			// the next Alloc/AddRef cycle on this slot refills in place
+			// instead of re-growing a fresh slice per recycled object.
+			o.refs = o.refs[:0]
 			h.freeIDs = append(h.freeIDs, ObjID(i))
 		}
 	}
@@ -387,14 +406,10 @@ func (h *Heap) coalesce(freed []span) {
 // system never needs it during an hour-long run; the heapsweep example
 // shows it kicking in for undersized heaps.
 func (h *Heap) Compact(nowMS float64) GCEvent {
-	type pair struct {
-		id   ObjID
-		addr uint64
-	}
-	live := make([]pair, 0, len(h.objects))
+	live := h.compactScratch[:0]
 	for i := range h.objects {
 		if h.objects[i].alive {
-			live = append(live, pair{ObjID(i), h.objects[i].addr})
+			live = append(live, compactPair{ObjID(i), h.objects[i].addr})
 		}
 	}
 	sort.Slice(live, func(i, j int) bool { return live[i].addr < live[j].addr })
@@ -412,8 +427,9 @@ func (h *Heap) Compact(nowMS float64) GCEvent {
 	if cur < h.region.End() {
 		h.free = append(h.free, span{addr: cur, size: h.region.End() - cur})
 	}
-	h.dark = nil
+	h.dark = h.dark[:0] // keep the span list's capacity for post-compact churn
 	h.next = 0
+	h.compactScratch = live[:0]
 	compactMS := h.cfg.CompactNsPerByte * float64(moved) / 1e6
 	h.gcSeq++
 	ev := GCEvent{

@@ -177,6 +177,18 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, queueCap, residentJobs, resid
 		gauge("jasd_store_bytes", "Bytes resident in the persistent store directory.", float64(ps.Bytes))
 	}
 
+	gauge("jasd_detail_shards", "Shard workers a detail run started now would use (0 = sharding off or auto-collapsed to the fused loop).", float64(core.DetailShards()))
+	// One series per shard index that ever stalled the merge, plus every
+	// index a current run would use — so the series set is stable across
+	// scrapes of an active daemon but quiet indices never pollute it.
+	fmt.Fprintf(w, "# HELP jasd_shard_merge_stalls_total Times the deterministic coherence merge had to wait on a shard for the next batch in global order.\n# TYPE jasd_shard_merge_stalls_total counter\n")
+	active := core.DetailShards()
+	for i, n := range core.ShardMergeStalls() {
+		if i < active || n > 0 {
+			fmt.Fprintf(w, "jasd_shard_merge_stalls_total{shard=\"%d\"} %d\n", i, n)
+		}
+	}
+
 	counter("jasd_http_requests_total", "HTTP requests served.", m.httpRequests)
 	counter("jasd_windows_streamed_total", "Simulated windows observed by the streaming layer.", m.windowsSeen)
 

@@ -22,6 +22,7 @@ func TestEnginePipelinedEquivalence(t *testing.T) {
 		ecfg.RampMS = 2_000
 		ecfg.DetailFrac = 0.02
 		ecfg.Pipelined = pipelined
+		ecfg.Sharded = false // this guard compares the pipeline against the fused loop
 		e, err := NewEngine(ecfg, sut)
 		if err != nil {
 			t.Fatal(err)
@@ -79,5 +80,8 @@ func TestEnginePipelineTeardown(t *testing.T) {
 	}
 	if e.pipe != nil {
 		t.Fatal("pipeline survived RunContext")
+	}
+	if e.shard != nil {
+		t.Fatal("shard group survived RunContext")
 	}
 }
